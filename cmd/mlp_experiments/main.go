@@ -1,0 +1,66 @@
+// Command mlp_experiments is the analogue of the paper artifact's
+// launch_experiments_mlp1.py / launch_experiments_mlp2.py (task T3): it
+// sweeps every universal-algorithm partitioning with all replication
+// factors and stationary strategies on the selected system, adds the
+// DTensor (and, on H100, COSMA) comparison series, and prints the data
+// behind Figures 2 and 3 as an aligned table.
+//
+//	mlp_experiments -system pvc  -layer mlp1
+//	mlp_experiments -system h100 -layer mlp2
+//	mlp_experiments -quick           # smaller sweep for smoke testing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slicing/internal/bench"
+	"slicing/internal/trace"
+	"slicing/internal/universal"
+)
+
+func main() {
+	var (
+		sysID = flag.String("system", "pvc", "pvc | h100")
+		layer = flag.String("layer", "mlp1", "mlp1 | mlp2")
+		quick = flag.Bool("quick", false, "restrict the sweep (fewer batches and factors)")
+	)
+	flag.Parse()
+
+	var sys universal.SimSystem
+	withCOSMA := false
+	switch *sysID {
+	case "pvc":
+		sys = universal.PVCSystem()
+	case "h100":
+		sys = universal.H100System()
+		withCOSMA = true
+	default:
+		fmt.Fprintf(os.Stderr, "mlp_experiments: unknown system %q\n", *sysID)
+		os.Exit(2)
+	}
+
+	var l bench.Layer
+	switch *layer {
+	case "mlp1":
+		l = bench.MLP1
+	case "mlp2":
+		l = bench.MLP2
+	default:
+		fmt.Fprintf(os.Stderr, "mlp_experiments: unknown layer %q\n", *layer)
+		os.Exit(2)
+	}
+
+	opt := bench.Options{}
+	if *quick {
+		opt.Replications = []int{1, 2, 4}
+		opt.Batches = []int{1024, 8192}
+	}
+
+	fig := bench.RunFigure(sys, l, withCOSMA, opt)
+	trace.WriteFigureTable(os.Stdout, fig)
+	sum := trace.Summarize(fig)
+	fmt.Printf("\nheadline: %s = %.1f%% vs %s = %.1f%% (UA competitive: %v)\n",
+		sum.BestUA, sum.BestUAPct, sum.BestOther, sum.BestOtherPct, sum.UAWinsOrTies)
+}

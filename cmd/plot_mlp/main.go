@@ -1,0 +1,59 @@
+// Command plot_mlp is the analogue of the paper artifact's plot_mlp1.py /
+// plot_mlp2.py (task T4): it regenerates the requested figure's data and
+// renders an ASCII approximation of the percent-of-peak-versus-batch-size
+// plot from Figures 2-3, with one marker per series and the legend below.
+//
+//	plot_mlp -system pvc  -layer mlp1
+//	plot_mlp -system h100 -layer mlp2 -height 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slicing/internal/bench"
+	"slicing/internal/trace"
+	"slicing/internal/universal"
+)
+
+func main() {
+	var (
+		sysID  = flag.String("system", "pvc", "pvc | h100")
+		layer  = flag.String("layer", "mlp1", "mlp1 | mlp2")
+		height = flag.Int("height", 24, "chart height in rows")
+		quick  = flag.Bool("quick", false, "restrict the sweep (fewer batches and factors)")
+	)
+	flag.Parse()
+
+	var sys universal.SimSystem
+	withCOSMA := false
+	switch *sysID {
+	case "pvc":
+		sys = universal.PVCSystem()
+	case "h100":
+		sys = universal.H100System()
+		withCOSMA = true
+	default:
+		fmt.Fprintf(os.Stderr, "plot_mlp: unknown system %q\n", *sysID)
+		os.Exit(2)
+	}
+	var l bench.Layer
+	switch *layer {
+	case "mlp1":
+		l = bench.MLP1
+	case "mlp2":
+		l = bench.MLP2
+	default:
+		fmt.Fprintf(os.Stderr, "plot_mlp: unknown layer %q\n", *layer)
+		os.Exit(2)
+	}
+
+	opt := bench.Options{}
+	if *quick {
+		opt.Replications = []int{1, 2, 4}
+		opt.Batches = []int{1024, 8192}
+	}
+	fig := bench.RunFigure(sys, l, withCOSMA, opt)
+	trace.WriteFigureChart(os.Stdout, fig, *height)
+}

@@ -1,0 +1,114 @@
+// Command verify_conformance runs the universal algorithm's correctness
+// matrix end to end with real arithmetic: every partitioning triple from
+// the standard vocabulary (row, column, 2D block, cyclic, misaligned
+// custom) × replication factors × stationary strategies × fetch modes,
+// each verified against a serial reference GEMM. It is the library's
+// self-check artifact: run it after any change to the slicing or execution
+// layers.
+//
+//	verify_conformance             # standard sweep (~hundreds of configs)
+//	verify_conformance -quick      # reduced sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slicing/internal/distmat"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+	"slicing/internal/universal"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweep")
+	flag.Parse()
+
+	const p, m, n, k = 4, 33, 29, 37
+	// The custom descriptor's process grid must match the slot count,
+	// which depends on the replication factor.
+	parts := func(name string, slots int) distmat.Partition {
+		pr, pc := distmat.NearSquareFactors(slots)
+		switch name {
+		case "row":
+			return distmat.RowBlock{}
+		case "col":
+			return distmat.ColBlock{}
+		case "block":
+			return distmat.Block2D{}
+		case "cyclic":
+			return distmat.RowCyclic{BlockRows: 3}
+		default:
+			return distmat.Custom{TileRows: 7, TileCols: 11, ProcRows: pr, ProcCols: pc}
+		}
+	}
+	partNames := []string{"row", "col", "block", "cyclic", "custom"}
+	stats := []universal.Stationary{universal.StationaryA, universal.StationaryB, universal.StationaryC}
+	repls := [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}}
+	if *quick {
+		partNames = []string{"row", "block", "custom"}
+		repls = [][2]int{{1, 1}, {2, 2}}
+	}
+
+	run, failed := 0, 0
+	for _, na := range partNames {
+		for _, nb := range partNames {
+			for _, nc := range partNames {
+				for _, cs := range repls {
+					for _, stat := range stats {
+						for _, subTile := range []bool{false, true} {
+							if subTile && (run%3 != 0) {
+								continue // sample the sub-tile mode rather than doubling the sweep
+							}
+							run++
+							if !verifyOne(p, m, n, k,
+								parts(na, p/cs[0]), parts(nb, p/cs[0]), parts(nc, p/cs[1]),
+								cs[0], cs[1], stat, subTile) {
+								failed++
+								fmt.Printf("FAIL A=%s B=%s C=%s cAB=%d cC=%d %v subtile=%v\n",
+									na, nb, nc, cs[0], cs[1], stat, subTile)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("%d configurations verified, %d failures\n", run, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func verifyOne(p, m, n, k int, pa, pb, pc distmat.Partition, cAB, cC int,
+	stat universal.Stationary, subTile bool) bool {
+	w := shmem.NewWorld(p)
+	a := distmat.New(w, m, k, pa, cAB)
+	b := distmat.New(w, k, n, pb, cAB)
+	c := distmat.New(w, m, n, pc, cC)
+	w.Run(func(pe *shmem.PE) {
+		a.FillRandom(pe, 7)
+		b.FillRandom(pe, 8)
+	})
+	var ref, got *tile.Matrix
+	w.Run(func(pe *shmem.PE) {
+		if pe.Rank() == 0 {
+			ref = tile.New(m, n)
+			tile.GemmNaive(ref, a.Gather(pe, 0), b.Gather(pe, 0))
+		}
+	})
+	cfg := universal.DefaultConfig()
+	cfg.Stationary = stat
+	cfg.SubTileFetch = subTile
+	cfg.SyncReplicas = true
+	w.Run(func(pe *shmem.PE) {
+		universal.Multiply(pe, c, a, b, cfg)
+	})
+	w.Run(func(pe *shmem.PE) {
+		if pe.Rank() == 0 {
+			got = c.Gather(pe, 0)
+		}
+	})
+	return got.AllClose(ref, 1e-3)
+}

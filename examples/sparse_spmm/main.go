@@ -1,0 +1,81 @@
+// Sparse SpMM: the sparse-times-dense workload of the paper's related
+// work (square sparse matrix × tall-and-skinny dense matrix, the shape
+// that motivated 1.5D algorithms). The universal algorithm's slicing pass
+// is format-agnostic: the same op generation drives a sparse local kernel
+// (CSR windowing + SpMM) with nnz-sized one-sided tile fetches. The
+// example distributes a random sparse matrix several ways, multiplies,
+// verifies, and reports how tile nnz varies across the grid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"slicing"
+	"slicing/internal/index"
+	"slicing/internal/tile"
+)
+
+func main() {
+	const p = 4
+	const m, k, n = 600, 600, 48 // square sparse A, tall-skinny dense B
+	const density = 0.03
+
+	rng := rand.New(rand.NewSource(7))
+	global := tile.RandomCSR(rng, m, k, density)
+	fmt.Printf("sparse A: %dx%d, %d non-zeros (%.1f%% dense)\n",
+		m, k, global.NNZ(), 100*float64(global.NNZ())/float64(m*k))
+
+	for _, layout := range []struct {
+		name string
+		part slicing.Partition
+		repl int
+	}{
+		{"row-block", slicing.RowBlock{}, 1},
+		{"2d-block", slicing.Block2D{}, 1},
+		{"row-block, c=2 (1.5D style)", slicing.RowBlock{}, 2},
+	} {
+		world := slicing.NewWorld(p)
+		a := slicing.NewSparseMatrix(world, global, layout.part, layout.repl)
+		b := slicing.NewMatrix(world, k, n, slicing.RowBlock{}, 1)
+		c := slicing.NewMatrix(world, m, n, slicing.RowBlock{}, 1)
+
+		world.Run(func(pe *slicing.PE) {
+			b.FillRandom(pe, 11)
+		})
+		world.Run(func(pe *slicing.PE) {
+			slicing.MultiplySparse(pe, c, a, b, slicing.DefaultConfig())
+		})
+
+		var ok bool
+		world.Run(func(pe *slicing.PE) {
+			if pe.Rank() != 0 {
+				return
+			}
+			ref := tile.New(m, n)
+			tile.SpMM(ref, global, b.Gather(pe, 0))
+			ok = c.Gather(pe, 0).AllClose(ref, 1e-3)
+		})
+		if !ok {
+			log.Fatalf("%s: verification FAILED", layout.name)
+		}
+		fmt.Printf("  %-28s verified OK", layout.name)
+
+		// Tile nnz spread: sparse problems can be load-imbalanced.
+		tr, tc := a.GridShape()
+		minNNZ, maxNNZ := -1, 0
+		for r := 0; r < tr; r++ {
+			for col := 0; col < tc; col++ {
+				nnz := a.TileNNZ(index.TileIdx{Row: r, Col: col})
+				if minNNZ < 0 || nnz < minNNZ {
+					minNNZ = nnz
+				}
+				if nnz > maxNNZ {
+					maxNNZ = nnz
+				}
+			}
+		}
+		fmt.Printf("  (tile nnz %d..%d)\n", minNNZ, maxNNZ)
+	}
+}

@@ -1,0 +1,169 @@
+// Package autotune addresses the problem the paper explicitly defers to
+// future work (§6): selecting an optimal partitioning and replication
+// factor for a particular problem. In the spirit of COSMA's
+// red-blue-pebbling-derived search [18], but targeting the universal
+// algorithm, it enumerates candidate (partitioning triple, replication
+// pair, stationary strategy) configurations under a per-PE memory budget,
+// prices each with the §4.3 cost model, optionally re-ranks the leaders
+// with the discrete-event simulator, and returns the best configuration
+// ready to instantiate.
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"slicing/internal/bench"
+	"slicing/internal/costmodel"
+	"slicing/internal/distmat"
+	"slicing/internal/shmem"
+	"slicing/internal/universal"
+)
+
+// Candidate is one fully specified configuration.
+type Candidate struct {
+	Part       bench.Partitioning
+	ReplAB     int
+	ReplC      int
+	Stationary universal.Stationary
+	// CostSeconds is the cost-model estimate; SimSeconds the discrete-event
+	// refinement (zero when the candidate was not simulated).
+	CostSeconds float64
+	SimSeconds  float64
+	// MemElems is the per-PE memory footprint in elements.
+	MemElems float64
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("%v cAB=%d cC=%d %v (est %.4gs)", c.Part, c.ReplAB, c.ReplC, c.Stationary, c.CostSeconds)
+}
+
+// Options bounds the search.
+type Options struct {
+	// MemBudgetElems is the per-PE memory budget in float32 elements; 0
+	// means unlimited.
+	MemBudgetElems float64
+	// SimulateTop re-ranks this many cost-model leaders with the
+	// discrete-event simulator (0 disables the refinement).
+	SimulateTop int
+	// AllowZeroComm permits configurations that eliminate communication
+	// entirely (full input replication). Off by default, matching the
+	// paper's evaluation methodology (§5.2.1).
+	AllowZeroComm bool
+}
+
+// memElems estimates a configuration's per-PE footprint: each matrix's
+// elements divided by its replica's slot count.
+func memElems(m, n, k, p, cAB, cC int) float64 {
+	slotsAB := float64(p / cAB)
+	slotsC := float64(p / cC)
+	return float64(m)*float64(k)/slotsAB + float64(k)*float64(n)/slotsAB + float64(m)*float64(n)/slotsC
+}
+
+// Search enumerates configurations for an m×n×k multiply over a system
+// and returns candidates sorted best-first. It never returns an empty
+// slice: if the memory budget excludes everything, it panics with a
+// diagnostic, since no valid configuration exists.
+func Search(sys universal.SimSystem, m, n, k int, opt Options) []Candidate {
+	p := sys.Topo.NumPE()
+	md := costmodel.New(sys.Topo, sys.Dev)
+	budget := opt.MemBudgetElems
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+
+	var divisors []int
+	for c := 1; c <= p; c++ {
+		if p%c == 0 {
+			divisors = append(divisors, c)
+		}
+	}
+
+	var out []Candidate
+	for _, part := range bench.UAPartitionings {
+		for _, cAB := range divisors {
+			for _, cC := range divisors {
+				mem := memElems(m, n, k, p, cAB, cC)
+				if mem > budget {
+					continue
+				}
+				prob := buildProblem(sys, m, n, k, part, cAB, cC)
+				for _, stat := range []universal.Stationary{universal.StationaryB, universal.StationaryC} {
+					if !opt.AllowZeroComm && zeroComm(prob, stat) {
+						continue
+					}
+					cost := md.ProblemCost(prob, stat)
+					out = append(out, Candidate{
+						Part: part, ReplAB: cAB, ReplC: cC, Stationary: stat,
+						CostSeconds: cost, MemElems: mem,
+					})
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		panic(fmt.Sprintf("autotune: no configuration of %d PEs fits %g elements", p, budget))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CostSeconds < out[j].CostSeconds })
+
+	if opt.SimulateTop > 0 {
+		top := opt.SimulateTop
+		if top > len(out) {
+			top = len(out)
+		}
+		for i := 0; i < top; i++ {
+			c := &out[i]
+			prob := buildProblem(sys, m, n, k, c.Part, c.ReplAB, c.ReplC)
+			cfg := universal.DefaultConfig()
+			cfg.Stationary = c.Stationary
+			c.SimSeconds = universal.SimulateMultiply(prob, cfg, sys).Makespan
+		}
+		sort.SliceStable(out[:top], func(i, j int) bool { return out[i].SimSeconds < out[j].SimSeconds })
+	}
+	return out
+}
+
+// Best returns the single best configuration.
+func Best(sys universal.SimSystem, m, n, k int, opt Options) Candidate {
+	return Search(sys, m, n, k, opt)[0]
+}
+
+// Instantiate allocates the candidate's three matrices over a world of the
+// system's size, ready for universal.Multiply with the candidate's
+// stationary strategy.
+func (c Candidate) Instantiate(alloc shmem.Allocator, m, n, k int) (a, b, cm *distmat.Matrix) {
+	pa, pb, pc := c.Part.Parts()
+	a = distmat.New(alloc, m, k, pa, c.ReplAB)
+	b = distmat.New(alloc, k, n, pb, c.ReplAB)
+	cm = distmat.New(alloc, m, n, pc, c.ReplC)
+	return a, b, cm
+}
+
+// Config returns the execution config matching the candidate.
+func (c Candidate) Config() universal.Config {
+	cfg := universal.DefaultConfig()
+	cfg.Stationary = c.Stationary
+	cfg.SyncReplicas = true
+	return cfg
+}
+
+func buildProblem(sys universal.SimSystem, m, n, k int, part bench.Partitioning, cAB, cC int) universal.Problem {
+	w := shmem.NewWorld(sys.Topo.NumPE())
+	pa, pb, pc := part.Parts()
+	a := distmat.New(w, m, k, pa, cAB)
+	b := distmat.New(w, k, n, pb, cAB)
+	c := distmat.New(w, m, n, pc, cC)
+	return universal.NewProblem(c, a, b)
+}
+
+func zeroComm(prob universal.Problem, stat universal.Stationary) bool {
+	p := prob.A.World().NumPE()
+	for rank := 0; rank < p; rank++ {
+		plan := universal.BuildPlan(rank, prob, stat, 0)
+		if plan.RemoteFetchBytes()+plan.RemoteAccumBytes() > 0 {
+			return false
+		}
+	}
+	return prob.C.Replication() == 1 // a replicated C still pays reduce_replicas
+}

@@ -1,0 +1,165 @@
+package baselines
+
+import (
+	"fmt"
+	"testing"
+
+	"slicing/internal/distmat"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+)
+
+// fillAndReference fills A and B and returns the serial product.
+func fillAndReference(w *shmem.World, a, b *distmat.Matrix, m, n int) *tile.Matrix {
+	var ref *tile.Matrix
+	w.Run(func(pe *shmem.PE) {
+		a.FillRandom(pe, 31)
+		b.FillRandom(pe, 32)
+	})
+	w.Run(func(pe *shmem.PE) {
+		if pe.Rank() == 0 {
+			fullA := a.Gather(pe, 0)
+			fullB := b.Gather(pe, 0)
+			ref = tile.New(m, n)
+			tile.GemmNaive(ref, fullA, fullB)
+		}
+	})
+	return ref
+}
+
+func gatherC(w *shmem.World, c *distmat.Matrix) *tile.Matrix {
+	var got *tile.Matrix
+	w.Run(func(pe *shmem.PE) {
+		if pe.Rank() == 0 {
+			got = c.Gather(pe, 0)
+		}
+	})
+	return got
+}
+
+func TestSUMMACorrect(t *testing.T) {
+	cases := []struct{ m, n, k, pr, pc, kb int }{
+		{48, 48, 48, 2, 2, 12},
+		{48, 48, 48, 2, 3, 8},
+		{50, 46, 54, 2, 2, 9},  // ragged everywhere
+		{32, 32, 32, 1, 4, 8},  // degenerate 1D grid
+		{32, 32, 32, 4, 1, 16}, // degenerate column grid
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dx%dx%d_grid%dx%d_kb%d", tc.m, tc.n, tc.k, tc.pr, tc.pc, tc.kb), func(t *testing.T) {
+			w := shmem.NewWorld(tc.pr * tc.pc)
+			sp := NewSUMMA(w, tc.m, tc.n, tc.k, tc.pr, tc.pc, tc.kb)
+			ref := fillAndReference(w, sp.A, sp.B, tc.m, tc.n)
+			w.Run(sp.Multiply)
+			if got := gatherC(w, sp.C); !got.AllClose(ref, 1e-3) {
+				t.Fatalf("SUMMA mismatch: %g", got.MaxAbsDiff(ref))
+			}
+		})
+	}
+}
+
+func TestSUMMAGridMismatchPanics(t *testing.T) {
+	w := shmem.NewWorld(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad grid should panic")
+		}
+	}()
+	NewSUMMA(w, 16, 16, 16, 3, 2, 4)
+}
+
+func TestCannonCorrect(t *testing.T) {
+	for _, p := range []int{1, 4, 9} {
+		for _, dims := range [][3]int{{36, 36, 36}, {37, 41, 43}} {
+			t.Run(fmt.Sprintf("p%d_%dx%dx%d", p, dims[0], dims[1], dims[2]), func(t *testing.T) {
+				w := shmem.NewWorld(p)
+				cp := NewCannon(w, dims[0], dims[1], dims[2])
+				ref := fillAndReference(w, cp.A, cp.B, dims[0], dims[1])
+				w.Run(cp.Multiply)
+				if got := gatherC(w, cp.C); !got.AllClose(ref, 1e-3) {
+					t.Fatalf("Cannon mismatch: %g", got.MaxAbsDiff(ref))
+				}
+			})
+		}
+	}
+}
+
+func TestCannonNonSquarePanics(t *testing.T) {
+	w := shmem.NewWorld(6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square world should panic")
+		}
+	}()
+	NewCannon(w, 12, 12, 12)
+}
+
+func TestOneDotFiveDCorrect(t *testing.T) {
+	for _, tc := range []struct{ p, c, m, n, k int }{
+		{4, 1, 32, 24, 40},
+		{4, 2, 32, 24, 40},
+		{12, 3, 36, 30, 48},
+		{12, 4, 35, 29, 47}, // ragged
+		{4, 4, 20, 20, 20},  // fully replicated A and C
+	} {
+		t.Run(fmt.Sprintf("p%d_c%d", tc.p, tc.c), func(t *testing.T) {
+			w := shmem.NewWorld(tc.p)
+			od := NewOneDotFiveD(w, tc.m, tc.n, tc.k, tc.c)
+			ref := fillAndReference(w, od.A, od.B, tc.m, tc.n)
+			w.Run(od.Multiply)
+			if got := gatherC(w, od.C); !got.AllClose(ref, 1e-3) {
+				t.Fatalf("1.5D mismatch: %g", got.MaxAbsDiff(ref))
+			}
+		})
+	}
+}
+
+func TestTwoPointFiveDCorrect(t *testing.T) {
+	for _, tc := range []struct{ p, c, m, n, k int }{
+		{4, 1, 32, 32, 32},  // degenerates to SUMMA
+		{8, 2, 32, 32, 32},  // 2 replicas of 2x2
+		{12, 3, 34, 38, 42}, // 3 replicas of 2x2, ragged
+		{16, 4, 32, 32, 64}, // 4 replicas of 2x2
+	} {
+		t.Run(fmt.Sprintf("p%d_c%d", tc.p, tc.c), func(t *testing.T) {
+			w := shmem.NewWorld(tc.p)
+			td := NewTwoPointFiveD(w, tc.m, tc.n, tc.k, tc.c)
+			ref := fillAndReference(w, td.A, td.B, tc.m, tc.n)
+			w.Run(td.Multiply)
+			if got := gatherC(w, td.C); !got.AllClose(ref, 1e-3) {
+				t.Fatalf("2.5D mismatch: %g", got.MaxAbsDiff(ref))
+			}
+		})
+	}
+}
+
+func TestTwoPointFiveDBadReplicationPanics(t *testing.T) {
+	w := shmem.NewWorld(12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p/c not square should panic")
+		}
+	}()
+	NewTwoPointFiveD(w, 16, 16, 16, 2) // 12/2 = 6 not square
+}
+
+// The 2.5D algorithm with c replicas must cut remote get traffic versus
+// c=1 on the same problem (the communication-avoiding claim of §2.1).
+func TestTwoPointFiveDReducesGets(t *testing.T) {
+	run := func(p, c int) int64 {
+		w := shmem.NewWorld(p)
+		td := NewTwoPointFiveD(w, 64, 64, 64, c)
+		w.Run(func(pe *shmem.PE) {
+			td.A.FillRandom(pe, 1)
+			td.B.FillRandom(pe, 2)
+		})
+		w.ResetStats()
+		w.Run(td.Multiply)
+		return w.Stats().RemoteGetBytes
+	}
+	gets1 := run(4, 1)  // 2x2, no replication
+	gets4 := run(16, 4) // 4 replicas of 2x2: same grid, k-stages split
+	if gets4 >= gets1*4 {
+		t.Fatalf("2.5D with c=4 should fetch less than 4x the c=1 traffic per replica set: %d vs %d", gets4, gets1)
+	}
+}

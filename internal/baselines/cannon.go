@@ -1,0 +1,54 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"slicing/internal/distmat"
+	"slicing/internal/index"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+)
+
+// CannonProblem holds the operands of a Cannon multiplication on a square
+// q×q process grid (the classical precondition p = q²).
+type CannonProblem struct {
+	A, B, C *distmat.Matrix
+	Q       int
+}
+
+// NewCannon allocates operands for an m×n×k Cannon multiply. The world
+// size must be a perfect square.
+func NewCannon(w *shmem.World, m, n, k int) CannonProblem {
+	q := int(math.Sqrt(float64(w.NumPE())))
+	if q*q != w.NumPE() {
+		panic(fmt.Sprintf("baselines: Cannon needs a square PE count, got %d", w.NumPE()))
+	}
+	return CannonProblem{
+		A: distmat.New(w, m, k, distmat.Custom{TileRows: ceilDiv(m, q), TileCols: ceilDiv(k, q), ProcRows: q, ProcCols: q}, 1),
+		B: distmat.New(w, k, n, distmat.Custom{TileRows: ceilDiv(k, q), TileCols: ceilDiv(n, q), ProcRows: q, ProcCols: q}, 1),
+		C: distmat.New(w, m, n, distmat.Block2D{ProcRows: q, ProcCols: q}, 1),
+		Q: q,
+	}
+}
+
+// Multiply runs the generalized (one-sided) Cannon algorithm: instead of
+// physically rotating tiles along rows and columns, step t has PE (i, j)
+// read A(i, i+j+t mod q) and B(i+j+t mod q, j) directly from their owners —
+// the initial skew i+j is Cannon's alignment shuffle expressed as index
+// arithmetic, and it doubles as the network load balancer. Collective.
+func (cp CannonProblem) Multiply(pe *shmem.PE) {
+	cp.C.Zero(pe)
+	q := cp.Q
+	i := pe.Rank() / q
+	j := pe.Rank() % q
+	cIdx := index.TileIdx{Row: i, Col: j}
+	cTile := cp.C.Tile(pe, cIdx, distmat.LocalReplica)
+	for t := 0; t < q; t++ {
+		s := (i + j + t) % q
+		aTile := cp.A.GetTile(pe, index.TileIdx{Row: i, Col: s}, distmat.LocalReplica)
+		bTile := cp.B.GetTile(pe, index.TileIdx{Row: s, Col: j}, distmat.LocalReplica)
+		tile.Gemm(cTile, aTile, bTile)
+	}
+	pe.Barrier()
+}

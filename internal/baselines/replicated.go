@@ -1,0 +1,126 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"slicing/internal/distmat"
+	"slicing/internal/index"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+)
+
+// OneDotFiveD is the 1.5D algorithm (Koanantakool et al.): 1D row-block
+// partitionings with A and C replicated c times and B split across all p
+// processes. Each replica group computes the partial products for its 1/c
+// share of the inner dimension; partial C results are reduced across
+// replicas.
+type OneDotFiveD struct {
+	A, B, C *distmat.Matrix
+	Repl    int
+}
+
+// NewOneDotFiveD allocates operands for an m×n×k 1.5D multiply with
+// replication factor c (which must divide the PE count).
+func NewOneDotFiveD(w *shmem.World, m, n, k, c int) OneDotFiveD {
+	return OneDotFiveD{
+		A:    distmat.New(w, m, k, distmat.RowBlock{}, c),
+		B:    distmat.New(w, k, n, distmat.RowBlock{}, 1),
+		C:    distmat.New(w, m, n, distmat.RowBlock{}, c),
+		Repl: c,
+	}
+}
+
+// Multiply runs the 1.5D algorithm: each PE walks the B row-blocks
+// assigned to its replica (block t goes to replica t mod c), pulls each
+// with a one-sided get, multiplies it against the matching column slice of
+// its local A band, and accumulates into its local C band; replicas are
+// then reduced. Collective.
+func (od OneDotFiveD) Multiply(pe *shmem.PE) {
+	od.C.Zero(pe)
+	rep := od.C.ReplicaOf(pe.Rank())
+	aIdx := od.A.OwnedTiles(pe.Rank())
+	// Every slot owns exactly one row band under RowBlock (bands may be
+	// empty when m < slots; then there is simply nothing to compute).
+	if len(aIdx) == 1 {
+		aTile := od.A.Tile(pe, aIdx[0], distmat.LocalReplica)
+		cTile := od.C.Tile(pe, aIdx[0], distmat.LocalReplica)
+		bRows, _ := od.B.GridShape()
+		for t := 0; t < bRows; t++ {
+			if t%od.Repl != rep {
+				continue
+			}
+			bIdx := index.TileIdx{Row: t, Col: 0}
+			bTile := od.B.GetTile(pe, bIdx, distmat.LocalReplica)
+			bb := od.B.TileBounds(bIdx)
+			aSlice := aTile.View(0, bb.Rows.Begin, aTile.Rows, bb.Rows.Len())
+			tile.Gemm(cTile, aSlice, bTile)
+		}
+	}
+	pe.Barrier()
+	if od.Repl > 1 {
+		od.C.ReduceReplicas(pe, 0)
+		od.C.BroadcastReplica(pe, 0)
+	}
+}
+
+// TwoPointFiveD is the 2.5D algorithm (Solomonik & Demmel): c replicas of
+// a q×q 2D grid (p = c·q²). Each replica executes 1/c of the SUMMA-style
+// k-stages; partial C results are reduced across replicas. c = 1
+// degenerates to 2D SUMMA; c = p/1 would be fully replicated.
+type TwoPointFiveD struct {
+	A, B, C *distmat.Matrix
+	Q, Repl int
+}
+
+// NewTwoPointFiveD allocates operands for an m×n×k 2.5D multiply with
+// replication c. p/c must be a perfect square.
+func NewTwoPointFiveD(w *shmem.World, m, n, k, c int) TwoPointFiveD {
+	p := w.NumPE()
+	if c <= 0 || p%c != 0 {
+		panic(fmt.Sprintf("baselines: 2.5D replication %d does not divide %d PEs", c, p))
+	}
+	q := int(math.Sqrt(float64(p / c)))
+	if q*q != p/c {
+		panic(fmt.Sprintf("baselines: 2.5D needs square replica grids, p/c = %d", p/c))
+	}
+	mk := func(rows, cols, tr, tc int) *distmat.Matrix {
+		return distmat.New(w, rows, cols, distmat.Custom{TileRows: tr, TileCols: tc, ProcRows: q, ProcCols: q}, c)
+	}
+	return TwoPointFiveD{
+		A: mk(m, k, ceilDiv(m, q), ceilDiv(k, q)),
+		B: mk(k, n, ceilDiv(k, q), ceilDiv(n, q)),
+		C: mk(m, n, ceilDiv(m, q), ceilDiv(n, q)),
+		Q: q, Repl: c,
+	}
+}
+
+// Multiply runs the 2.5D algorithm with one-sided pulls inside each
+// replica and a replica reduction at the end. Collective.
+func (td TwoPointFiveD) Multiply(pe *shmem.PE) {
+	td.C.Zero(pe)
+	q := td.Q
+	rep := td.C.ReplicaOf(pe.Rank())
+	slot := td.C.SlotOf(pe.Rank())
+	i, j := slot/q, slot%q
+	cIdx := index.TileIdx{Row: i, Col: j}
+	cTile := td.C.Tile(pe, cIdx, distmat.LocalReplica)
+	_, kStages := td.A.GridShape()
+	// The replica's share of the k-stages, walked with a per-PE offset (the
+	// Cannon-style skew) so simultaneous pulls spread across owners.
+	var mine []int
+	for t := rep; t < kStages; t += td.Repl {
+		mine = append(mine, t)
+	}
+	for idx := range mine {
+		s := mine[(idx+i+j)%len(mine)]
+		aTile := td.A.GetTile(pe, index.TileIdx{Row: i, Col: s}, distmat.LocalReplica)
+		bTile := td.B.GetTile(pe, index.TileIdx{Row: s, Col: j}, distmat.LocalReplica)
+		tile.Gemm(cTile, aTile, bTile)
+	}
+	pe.Barrier()
+	if td.Repl > 1 {
+		td.C.ReduceReplicas(pe, 0)
+		td.C.BroadcastReplica(pe, 0)
+	}
+}

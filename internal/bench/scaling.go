@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	"slicing/internal/shmem"
+	"slicing/internal/simnet"
+	"slicing/internal/universal"
+)
+
+// ClusterSystem returns a multi-node H100 system (450 GB/s NVLink inside a
+// node, RDMA-NIC class links between nodes), extending the paper's
+// single-node evaluation to the regime its §3 inter-node accumulate path
+// targets.
+func ClusterSystem(nodes int) universal.SimSystem {
+	return universal.SimSystem{
+		Topo: simnet.PresetH100Cluster(nodes),
+		Dev:  gpusim.PresetH100Device(),
+	}
+}
+
+// ScalingPoint is one cluster size in a strong-scaling sweep.
+type ScalingPoint struct {
+	Nodes         int
+	PEs           int
+	Makespan      float64
+	PercentOfPeak float64
+	Speedup       float64 // relative to the smallest cluster in the sweep
+	Efficiency    float64 // speedup / (PEs ratio)
+}
+
+// StrongScaling runs a fixed MLP problem across growing cluster sizes
+// with the best partitioning found per size (quick replication sweep) and
+// reports speedup and parallel efficiency.
+func StrongScaling(layer Layer, batch int, nodeCounts []int) []ScalingPoint {
+	var out []ScalingPoint
+	m, n, k := layer.Dims(batch)
+	for _, nodes := range nodeCounts {
+		sys := ClusterSystem(nodes)
+		p := sys.Topo.NumPE()
+		best := -1.0
+		var bestRes universal.SimResult
+		for _, part := range []Partitioning{PartColumn, PartOuterProd, PartBlock} {
+			for _, c := range []int{1, nodes} { // per-node replication is the natural cluster choice
+				if p%c != 0 {
+					continue
+				}
+				w := shmem.NewWorld(p)
+				pa, pb, pc := part.Parts()
+				a := distmat.New(w, m, k, pa, c)
+				b := distmat.New(w, k, n, pb, c)
+				cm := distmat.New(w, m, n, pc, 1)
+				cfg := universal.DefaultConfig()
+				res := universal.SimulateMultiply(universal.NewProblem(cm, a, b), cfg, sys)
+				if res.RemoteGetBytes+res.RemoteAccumBytes == 0 {
+					continue
+				}
+				if res.PercentOfPeak > best {
+					best = res.PercentOfPeak
+					bestRes = res
+				}
+			}
+		}
+		out = append(out, ScalingPoint{
+			Nodes: nodes, PEs: p,
+			Makespan: bestRes.Makespan, PercentOfPeak: bestRes.PercentOfPeak,
+		})
+	}
+	if len(out) > 0 {
+		base := out[0]
+		for i := range out {
+			out[i].Speedup = base.Makespan / out[i].Makespan
+			out[i].Efficiency = out[i].Speedup * float64(base.PEs) / float64(out[i].PEs)
+		}
+	}
+	return out
+}
+
+func (sp ScalingPoint) String() string {
+	return fmt.Sprintf("%d nodes (%d PEs): %.4fs, %.1f%% peak, speedup %.2fx, efficiency %.0f%%",
+		sp.Nodes, sp.PEs, sp.Makespan, sp.PercentOfPeak, sp.Speedup, sp.Efficiency*100)
+}

@@ -1,0 +1,209 @@
+package collectives
+
+import (
+	"testing"
+
+	"slicing/internal/shmem"
+)
+
+func TestGroupBasics(t *testing.T) {
+	g := WorldGroup(4)
+	if g.Size() != 4 || g.IndexOf(2) != 2 || !g.Contains(3) {
+		t.Fatalf("world group wrong: %+v", g)
+	}
+	sub := NewGroup(3, 1)
+	if sub.IndexOf(3) != 0 || sub.IndexOf(1) != 1 || sub.IndexOf(0) != -1 {
+		t.Fatalf("subgroup indexing wrong: %+v", sub)
+	}
+}
+
+func TestNewGroupEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty group should panic")
+		}
+	}()
+	NewGroup()
+}
+
+func TestBroadcastWorld(t *testing.T) {
+	w := shmem.NewWorld(4)
+	seg := w.AllocSymmetric(8)
+	g := WorldGroup(4)
+	w.Run(func(pe *shmem.PE) {
+		if pe.Rank() == 0 {
+			local := pe.Local(seg)
+			for i := range local {
+				local[i] = float32(i + 1)
+			}
+		}
+		Broadcast(pe, g, seg, 0, 8, 0)
+		local := pe.Local(seg)
+		for i := 0; i < 8; i++ {
+			if local[i] != float32(i+1) {
+				t.Errorf("rank %d elem %d = %v", pe.Rank(), i, local[i])
+			}
+		}
+	})
+}
+
+func TestBroadcastSubgroupAndOffset(t *testing.T) {
+	w := shmem.NewWorld(4)
+	seg := w.AllocSymmetric(8)
+	g := NewGroup(1, 3) // root is member 0 == rank 1
+	w.Run(func(pe *shmem.PE) {
+		if pe.Rank() == 1 {
+			pe.Local(seg)[4] = 42
+		}
+		if pe.Rank() == 0 {
+			pe.Local(seg)[4] = 7 // non-member, must be untouched
+		}
+		Broadcast(pe, g, seg, 4, 2, 0)
+		switch pe.Rank() {
+		case 3:
+			if pe.Local(seg)[4] != 42 {
+				t.Errorf("member rank 3 did not receive broadcast")
+			}
+		case 0:
+			if pe.Local(seg)[4] != 7 {
+				t.Errorf("non-member rank 0 was modified")
+			}
+		}
+	})
+}
+
+func TestReduceSumsToRoot(t *testing.T) {
+	w := shmem.NewWorld(6)
+	seg := w.AllocSymmetric(4)
+	g := WorldGroup(6)
+	w.Run(func(pe *shmem.PE) {
+		local := pe.Local(seg)
+		for i := range local {
+			local[i] = float32(pe.Rank() + 1)
+		}
+		Reduce(pe, g, seg, 0, 4, 0)
+		if pe.Rank() == 0 {
+			if local[0] != 21 { // 1+2+...+6
+				t.Errorf("reduced value = %v, want 21", local[0])
+			}
+		} else if local[0] != float32(pe.Rank()+1) {
+			t.Errorf("non-root rank %d modified: %v", pe.Rank(), local[0])
+		}
+	})
+}
+
+func TestAllReduce(t *testing.T) {
+	w := shmem.NewWorld(4)
+	seg := w.AllocSymmetric(3)
+	g := WorldGroup(4)
+	w.Run(func(pe *shmem.PE) {
+		local := pe.Local(seg)
+		for i := range local {
+			local[i] = 1
+		}
+		AllReduce(pe, g, seg, 0, 3)
+		for i := range local {
+			if local[i] != 4 {
+				t.Errorf("rank %d elem %d = %v, want 4", pe.Rank(), i, local[i])
+			}
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	const p = 4
+	const n = 10 // 10/4 = chunks of 2,2,2,4
+	w := shmem.NewWorld(p)
+	seg := w.AllocSymmetric(n)
+	g := WorldGroup(p)
+	w.Run(func(pe *shmem.PE) {
+		local := pe.Local(seg)
+		for i := range local {
+			local[i] = float32(i)
+		}
+		ReduceScatter(pe, g, seg, 0, n, nil)
+		idx := g.IndexOf(pe.Rank())
+		chunk := n / p
+		begin := idx * chunk
+		size := chunk
+		if idx == p-1 {
+			size = n - (p-1)*chunk
+		}
+		for i := begin; i < begin+size; i++ {
+			if local[i] != float32(i*p) {
+				t.Errorf("rank %d chunk elem %d = %v, want %v", pe.Rank(), i, local[i], float32(i*p))
+			}
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	const p = 4
+	const n = 9 // chunks 2,2,2,3
+	w := shmem.NewWorld(p)
+	seg := w.AllocSymmetric(n)
+	g := WorldGroup(p)
+	w.Run(func(pe *shmem.PE) {
+		idx := g.IndexOf(pe.Rank())
+		chunk := n / p
+		begin := idx * chunk
+		size := chunk
+		if idx == p-1 {
+			size = n - (p-1)*chunk
+		}
+		local := pe.Local(seg)
+		for i := begin; i < begin+size; i++ {
+			local[i] = float32(100*idx + i)
+		}
+		AllGather(pe, g, seg, 0, n)
+		for srcIdx := 0; srcIdx < p; srcIdx++ {
+			b := srcIdx * chunk
+			s := chunk
+			if srcIdx == p-1 {
+				s = n - (p-1)*chunk
+			}
+			for i := b; i < b+s; i++ {
+				if local[i] != float32(100*srcIdx+i) {
+					t.Errorf("rank %d elem %d = %v, want %v", pe.Rank(), i, local[i], float32(100*srcIdx+i))
+				}
+			}
+		}
+	})
+}
+
+func TestReduceInvalidRootPanics(t *testing.T) {
+	w := shmem.NewWorld(2)
+	seg := w.AllocSymmetric(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid root should panic")
+		}
+	}()
+	w.Run(func(pe *shmem.PE) {
+		Reduce(pe, WorldGroup(2), seg, 0, 2, 5)
+	})
+}
+
+func TestCollectivesComposable(t *testing.T) {
+	// Two disjoint subgroups all-reducing concurrently must not interfere.
+	w := shmem.NewWorld(4)
+	seg := w.AllocSymmetric(2)
+	g0 := NewGroup(0, 1)
+	g1 := NewGroup(2, 3)
+	w.Run(func(pe *shmem.PE) {
+		local := pe.Local(seg)
+		local[0] = float32(pe.Rank() + 1)
+		if g0.Contains(pe.Rank()) {
+			AllReduce(pe, g0, seg, 0, 1)
+		} else {
+			AllReduce(pe, g1, seg, 0, 1)
+		}
+		want := float32(3) // 1+2
+		if g1.Contains(pe.Rank()) {
+			want = 7 // 3+4
+		}
+		if local[0] != want {
+			t.Errorf("rank %d = %v, want %v", pe.Rank(), local[0], want)
+		}
+	})
+}

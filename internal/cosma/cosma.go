@@ -1,0 +1,168 @@
+// Package cosma implements a COSMA-style baseline (Kwasniewski et al.,
+// SC'19): given a problem size, a processor count, and a memory budget, it
+// selects the processor-grid decomposition (pm × pn × pk) that minimizes
+// per-processor communication volume — scaling automatically between 2D
+// (pk = 1, no replication) and 2.5D (pk > 1, replicated grids with a final
+// group all-reduce of C), which is exactly the behaviour the paper
+// describes for its COSMA comparison in Figure 3.
+//
+// The optimizer is exact over all factorization triples of p (p is small
+// on one node). Execution reuses the universal algorithm's distributed
+// matrices: the decomposition instantiates A, B, C as 2D-blocked matrices
+// on the pm×pn grid with replication pk; the paper's observation that
+// COSMA's group collective can be suboptimal is modelled by a collective
+// efficiency factor in the performance model.
+package cosma
+
+import (
+	"fmt"
+	"math"
+
+	"slicing/internal/distmat"
+	"slicing/internal/shmem"
+	"slicing/internal/universal"
+)
+
+// Decomposition is a processor-grid choice for C = A·B on p = Pm·Pn·Pk
+// processors: the m dimension is split Pm ways, n split Pn ways, and the k
+// dimension split Pk ways across replicas.
+type Decomposition struct {
+	Pm, Pn, Pk int
+	// CommVolume is the modelled per-processor communication volume in
+	// elements (A and B brick gathers plus the C reduction when Pk > 1).
+	CommVolume float64
+	// MemElems is the per-processor memory footprint in elements.
+	MemElems float64
+}
+
+func (d Decomposition) String() string {
+	return fmt.Sprintf("grid %dx%dx%d (comm %.3g elems/proc)", d.Pm, d.Pn, d.Pk, d.CommVolume)
+}
+
+// volume models per-processor communication for a (pm, pn, pk) grid: each
+// processor needs an (m/pm × k/pk) brick of A and a (k/pk × n/pn) brick of
+// B (gathered from wherever they start), and with pk > 1 the C brick
+// (m/pm × n/pn) is reduced across the pk replicas (counted twice for the
+// reduce+broadcast round trip).
+func volume(m, n, k, pm, pn, pk int) float64 {
+	fm, fn, fk := float64(m), float64(n), float64(k)
+	a := fm / float64(pm) * fk / float64(pk)
+	b := fk / float64(pk) * fn / float64(pn)
+	c := 0.0
+	if pk > 1 {
+		c = 2 * fm / float64(pm) * fn / float64(pn)
+	}
+	return a + b + c
+}
+
+// memory models the per-processor footprint: the local bricks of A, B, C.
+func memory(m, n, k, pm, pn, pk int) float64 {
+	fm, fn, fk := float64(m), float64(n), float64(k)
+	return fm/float64(pm)*fk/float64(pk) + fk/float64(pk)*fn/float64(pn) + fm/float64(pm)*fn/float64(pn)
+}
+
+// Optimize returns the decomposition of p processors minimizing modelled
+// communication volume subject to the per-processor memory budget (in
+// elements; pass math.Inf(1) for unlimited, as the paper's COSMA runs do).
+// Ties prefer smaller Pk (less replication machinery).
+func Optimize(m, n, k, p int, memBudget float64) Decomposition {
+	if m <= 0 || n <= 0 || k <= 0 || p <= 0 {
+		panic(fmt.Sprintf("cosma: invalid problem %dx%dx%d on %d", m, n, k, p))
+	}
+	best := Decomposition{CommVolume: math.Inf(1)}
+	found := false
+	for pm := 1; pm <= p; pm++ {
+		if p%pm != 0 {
+			continue
+		}
+		rest := p / pm
+		for pn := 1; pn <= rest; pn++ {
+			if rest%pn != 0 {
+				continue
+			}
+			pk := rest / pn
+			mem := memory(m, n, k, pm, pn, pk)
+			if mem > memBudget {
+				continue
+			}
+			v := volume(m, n, k, pm, pn, pk)
+			if !found || v < best.CommVolume ||
+				(v == best.CommVolume && pk < best.Pk) {
+				best = Decomposition{Pm: pm, Pn: pn, Pk: pk, CommVolume: v, MemElems: mem}
+				found = true
+			}
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("cosma: no decomposition of %d procs fits memory budget %g", p, memBudget))
+	}
+	return best
+}
+
+// Operands instantiates the decomposition's matrices over a world: A, B, C
+// 2D-blocked on the Pm×Pn grid within each of the Pk replicas.
+func (d Decomposition) Operands(alloc shmem.Allocator, m, n, k int) (a, b, c *distmat.Matrix) {
+	part := distmat.Block2D{ProcRows: d.Pm, ProcCols: d.Pn}
+	a = distmat.New(alloc, m, k, part, d.Pk)
+	b = distmat.New(alloc, k, n, part, d.Pk)
+	c = distmat.New(alloc, m, n, part, d.Pk)
+	return a, b, c
+}
+
+// Multiply executes the decomposition with the universal one-sided engine
+// (the replicas split the k-range; reduce_replicas completes C), playing
+// the role of COSMA's own comm-optimal executor. Collective.
+func Multiply(pe *shmem.PE, c, a, b *distmat.Matrix) {
+	cfg := universal.DefaultConfig()
+	cfg.Stationary = universal.StationaryC
+	cfg.SyncReplicas = true
+	universal.Multiply(pe, c, a, b, cfg)
+}
+
+// CollectiveEfficiency discounts COSMA's group all-reduce bandwidth in the
+// performance model, reflecting the paper's observation that the group
+// collective's performance "is possibly suboptimal" on MLP-1 (§5.2).
+const CollectiveEfficiency = 0.6
+
+// Simulate estimates COSMA's time on the simulated system: the local brick
+// GEMM (roofline) plus ring all-gathers for the A and B bricks within
+// their gather groups and a ring all-reduce of C across the Pk replicas at
+// discounted collective efficiency.
+func Simulate(sys universal.SimSystem, m, n, k int) (Decomposition, universal.SimResult) {
+	p := sys.Topo.NumPE()
+	d := Optimize(m, n, k, p, math.Inf(1))
+	// Slowest hop bottlenecks ring collectives.
+	bw := math.Inf(1)
+	for i := 0; i < p; i++ {
+		if b := sys.Topo.Bandwidth(i, (i+1)%p); b < bw {
+			bw = b
+		}
+	}
+	bw *= CollectiveEfficiency
+
+	bm := ceilDiv(m, d.Pm)
+	bn := ceilDiv(n, d.Pn)
+	bk := ceilDiv(k, d.Pk)
+	gemmT := sys.Dev.GemmTime(bm, bn, bk)
+
+	ring := func(group int, bytes float64) float64 {
+		if group <= 1 {
+			return 0
+		}
+		g := float64(group)
+		return (g - 1) / g * bytes / bw
+	}
+	// A brick is gathered across the pn dimension, B across pm; C is
+	// all-reduced across pk (2x for reduce + broadcast).
+	commT := ring(d.Pn, 4*float64(bm)*float64(bk)) +
+		ring(d.Pm, 4*float64(bk)*float64(bn)) +
+		2*ring(d.Pk, 4*float64(bm)*float64(bn))
+
+	total := gemmT + commT + sys.Dev.LaunchOverhead
+	res := universal.SimResult{Makespan: total}
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	res.PercentOfPeak = flops / (float64(p) * sys.Dev.PeakFlops * total) * 100
+	return d, res
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

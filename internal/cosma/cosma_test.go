@@ -1,0 +1,130 @@
+package cosma
+
+import (
+	"math"
+	"testing"
+
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+	"slicing/internal/universal"
+)
+
+func TestOptimizeCoversAllProcessors(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 12, 16} {
+		d := Optimize(4096, 4096, 4096, p, math.Inf(1))
+		if d.Pm*d.Pn*d.Pk != p {
+			t.Errorf("p=%d: grid %dx%dx%d does not multiply to p", p, d.Pm, d.Pn, d.Pk)
+		}
+	}
+}
+
+func TestOptimizeSquareProblemPrefers2D(t *testing.T) {
+	// For a square problem on a square processor count with no memory
+	// pressure, splitting m and n evenly beats heavy k-replication.
+	d := Optimize(8192, 8192, 8192, 16, math.Inf(1))
+	if d.Pm != 4 || d.Pn != 4 {
+		t.Errorf("square problem picked %v, want 4x4 spatial grid", d)
+	}
+}
+
+func TestOptimizeTallSkinnyUsesReplication(t *testing.T) {
+	// MLP-2-like: enormous k. Splitting k (replication) saves the most
+	// communication.
+	d := Optimize(1024, 12288, 49152, 8, math.Inf(1))
+	if d.Pk <= 1 {
+		t.Errorf("huge-k problem should split k, got %v", d)
+	}
+}
+
+func TestOptimizeRespectsMemoryBudget(t *testing.T) {
+	m, n, k, p := 4096, 4096, 4096, 8
+	unlimited := Optimize(m, n, k, p, math.Inf(1))
+	// A budget just above the minimal 2D footprint forbids replication.
+	tight := Optimize(m, n, k, p, memory(m, n, k, 2, 4, 1)+1)
+	if tight.MemElems > memory(m, n, k, 2, 4, 1)+1 {
+		t.Errorf("budgeted decomposition %v exceeds budget", tight)
+	}
+	if unlimited.CommVolume > tight.CommVolume {
+		t.Errorf("unlimited budget (%v) should never be worse than tight (%v)", unlimited, tight)
+	}
+}
+
+func TestOptimizeImpossibleBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("impossible budget should panic")
+		}
+	}()
+	Optimize(1024, 1024, 1024, 4, 10)
+}
+
+func TestVolumeModelSanity(t *testing.T) {
+	// No replication: C term free; with replication it costs.
+	v1 := volume(100, 100, 100, 2, 2, 1)
+	v2 := volume(100, 100, 100, 2, 2, 2)
+	if v2 >= v1 && v2-v1 < 1 {
+		t.Logf("v1=%g v2=%g", v1, v2)
+	}
+	if volume(100, 100, 100, 1, 1, 1) <= 0 {
+		t.Error("volume must be positive")
+	}
+}
+
+func TestMultiplyMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ p, m, n, k int }{
+		{4, 24, 28, 32},
+		{8, 26, 30, 34},
+		{12, 36, 24, 48},
+	} {
+		d := Optimize(tc.m, tc.n, tc.k, tc.p, math.Inf(1))
+		w := shmem.NewWorld(tc.p)
+		a, b, c := d.Operands(w, tc.m, tc.n, tc.k)
+		var ref, got *tile.Matrix
+		w.Run(func(pe *shmem.PE) {
+			a.FillRandom(pe, 61)
+			b.FillRandom(pe, 62)
+		})
+		w.Run(func(pe *shmem.PE) {
+			if pe.Rank() == 0 {
+				fa := a.Gather(pe, 0)
+				fb := b.Gather(pe, 0)
+				ref = tile.New(tc.m, tc.n)
+				tile.GemmNaive(ref, fa, fb)
+			}
+		})
+		w.Run(func(pe *shmem.PE) {
+			Multiply(pe, c, a, b)
+		})
+		w.Run(func(pe *shmem.PE) {
+			if pe.Rank() == 0 {
+				got = c.Gather(pe, 0)
+			}
+		})
+		if !got.AllClose(ref, 1e-3) {
+			t.Fatalf("p=%d %v: mismatch %g", tc.p, d, got.MaxAbsDiff(ref))
+		}
+	}
+}
+
+func TestSimulateProducesSaneNumbers(t *testing.T) {
+	d, res := Simulate(universal.H100System(), 4096, 4096, 4096)
+	if d.Pm*d.Pn*d.Pk != 8 {
+		t.Fatalf("decomposition %v does not cover 8 GPUs", d)
+	}
+	if res.PercentOfPeak <= 0 || res.PercentOfPeak > 100 {
+		t.Fatalf("percent of peak = %g", res.PercentOfPeak)
+	}
+}
+
+// Figure 3 shape: COSMA on MLP-1 should trail a communication-free
+// column-parallel execution because of its group collective.
+func TestSimulateCosmaTrailsOnMLP1(t *testing.T) {
+	sys := universal.H100System()
+	_, cosmaRes := Simulate(sys, 8192, 49152, 12288)
+	colGemm := sys.Dev.GemmTime(8192, 49152/8, 12288) + sys.Dev.LaunchOverhead
+	colPct := 2.0 * 8192 * 49152 * 12288 / (8 * sys.Dev.PeakFlops * colGemm) * 100
+	if cosmaRes.PercentOfPeak >= colPct {
+		t.Fatalf("COSMA (%.1f%%) should trail comm-free column parallel (%.1f%%) on MLP-1",
+			cosmaRes.PercentOfPeak, colPct)
+	}
+}

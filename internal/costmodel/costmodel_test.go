@@ -1,0 +1,144 @@
+package costmodel
+
+import (
+	"testing"
+
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	"slicing/internal/shmem"
+	"slicing/internal/simnet"
+	"slicing/internal/universal"
+)
+
+func model(p int) *Model {
+	return New(simnet.NewUniform(p, 100e9, 1000e9, 1e-6, "test"), gpusim.PresetH100Device())
+}
+
+func problem(p, m, n, k int, pa, pb, pc distmat.Partition) universal.Problem {
+	w := shmem.NewWorld(p)
+	a := distmat.New(w, m, k, pa, 1)
+	b := distmat.New(w, k, n, pb, 1)
+	c := distmat.New(w, m, n, pc, 1)
+	return universal.NewProblem(c, a, b)
+}
+
+func TestGemmCostPositive(t *testing.T) {
+	md := model(4)
+	if md.GemmCost(128, 128, 128) <= 0 {
+		t.Fatal("gemm cost must be positive")
+	}
+	if md.GemmCost(1024, 1024, 1024) <= md.GemmCost(128, 128, 128) {
+		t.Fatal("bigger gemm must cost more")
+	}
+}
+
+func TestFetchCostLocalVsRemote(t *testing.T) {
+	md := model(4)
+	local := md.FetchCost(1, 1, 1<<20)
+	remote := md.FetchCost(0, 1, 1<<20)
+	if local >= remote {
+		t.Fatalf("local fetch (%g) should be cheaper than remote (%g)", local, remote)
+	}
+}
+
+func TestAccumCostSlowerThanFetch(t *testing.T) {
+	md := model(4)
+	fetch := md.FetchCost(0, 1, 1<<20)
+	accum := md.AccumCost(0, 1, 1<<20)
+	if accum <= fetch {
+		t.Fatalf("remote accumulate (%g) should cost more than get (%g) at 0.8x bandwidth", accum, fetch)
+	}
+}
+
+func TestPlanCostTotalIsMax(t *testing.T) {
+	pc := PlanCost{Comm: 3, Compute: 5}
+	if pc.Total() != 5 {
+		t.Fatalf("Total = %g", pc.Total())
+	}
+	if pc.Serial() != 8 {
+		t.Fatalf("Serial = %g", pc.Serial())
+	}
+}
+
+func TestProblemCostPositiveAndScales(t *testing.T) {
+	md := model(4)
+	small := md.ProblemCost(problem(4, 256, 256, 256, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}), universal.StationaryC)
+	big := md.ProblemCost(problem(4, 1024, 1024, 1024, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}), universal.StationaryC)
+	if small <= 0 || big <= small {
+		t.Fatalf("problem cost does not scale: small %g, big %g", small, big)
+	}
+}
+
+// The advisor must pick a strategy that avoids moving the dominant matrix.
+func TestChooseStationaryAvoidsMovingGiantMatrix(t *testing.T) {
+	md := model(8)
+	mdTopo := New(simnet.NewUniform(8, 26.5e9, 1000e9, 1e-6, "slow"), gpusim.PresetPVCDevice())
+	_ = md
+	// MLP-2-like: B is 48K x 12K (giant), C is small.
+	prob := problem(8, 1024, 12288, 49152, distmat.ColBlock{}, distmat.RowBlock{}, distmat.Block2D{})
+	best, cost := mdTopo.ChooseStationary(prob)
+	if cost <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	costC := mdTopo.ProblemCost(prob, universal.StationaryC)
+	costBest := mdTopo.ProblemCost(prob, best)
+	if costBest > costC {
+		t.Fatalf("advisor picked %v (%g) worse than StationaryC (%g)", best, costBest, costC)
+	}
+	if best == universal.StationaryC {
+		t.Fatalf("with a giant B, advisor should not keep C stationary")
+	}
+}
+
+// Cost-model ranking should broadly agree with the discrete-event
+// simulation about which stationary strategy wins.
+func TestCostModelAgreesWithSimulation(t *testing.T) {
+	topo := simnet.PresetPVC()
+	dev := gpusim.PresetPVCDevice()
+	md := New(topo, dev)
+	sys := universal.SimSystem{Topo: topo, Dev: dev}
+	mk := func() universal.Problem {
+		return problem(12, 1024, 12288, 49152, distmat.ColBlock{}, distmat.RowBlock{}, distmat.Block2D{})
+	}
+	best, _ := md.ChooseStationary(mk())
+
+	simT := map[universal.Stationary]float64{}
+	simBestT := -1.0
+	for _, s := range []universal.Stationary{universal.StationaryA, universal.StationaryB, universal.StationaryC} {
+		cfg := universal.DefaultConfig()
+		cfg.Stationary = s
+		res := universal.SimulateMultiply(mk(), cfg, sys)
+		simT[s] = res.Makespan
+		if simBestT < 0 || res.Makespan < simBestT {
+			simBestT = res.Makespan
+		}
+	}
+	// Strategies can be near-tied (here S-A and S-B both avoid moving the
+	// giant B), so require the advisor's pick to be within 15% of the
+	// simulation's best rather than an identical label.
+	if simT[best] > simBestT*1.15 {
+		t.Fatalf("cost model picked %v (simulated %.4gs), but best simulated is %.4gs", best, simT[best], simBestT)
+	}
+}
+
+func TestStepCostSplitsCommCompute(t *testing.T) {
+	md := model(4)
+	prob := problem(4, 64, 64, 64, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{})
+	plan := universal.BuildPlan(0, prob, universal.StationaryC, 0)
+	var sawComm, sawCompute bool
+	for _, s := range plan.Steps {
+		sc := md.StepCost(0, s)
+		if sc.Compute > 0 {
+			sawCompute = true
+		}
+		if sc.Comm > 0 {
+			sawComm = true
+		}
+	}
+	if !sawCompute {
+		t.Fatal("no compute cost in any step")
+	}
+	if !sawComm {
+		t.Fatal("no communication cost in any step (block2d C over 4 PEs must fetch)")
+	}
+}

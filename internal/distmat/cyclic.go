@@ -1,0 +1,50 @@
+package distmat
+
+import "slicing/internal/index"
+
+// RowCyclic distributes row-blocks of the given height cyclically across
+// slots (ScaLAPACK 1-D block-cyclic over rows). BlockRows of 1 is a pure
+// cyclic distribution; larger blocks trade load balance for locality.
+type RowCyclic struct {
+	BlockRows int
+}
+
+func (rc RowCyclic) blockRows() int {
+	if rc.BlockRows <= 0 {
+		return 1
+	}
+	return rc.BlockRows
+}
+
+func (rc RowCyclic) Grid(rows, cols, slots int) index.Grid {
+	return index.NewGrid(rows, cols, rc.blockRows(), cols)
+}
+
+func (rc RowCyclic) OwnerSlot(g index.Grid, idx index.TileIdx, slots int) int {
+	return idx.Row % slots
+}
+
+func (RowCyclic) Name() string { return "row-cyclic" }
+
+// ColCyclic distributes column-blocks cyclically across slots (1-D
+// block-cyclic over columns).
+type ColCyclic struct {
+	BlockCols int
+}
+
+func (cc ColCyclic) blockCols() int {
+	if cc.BlockCols <= 0 {
+		return 1
+	}
+	return cc.BlockCols
+}
+
+func (cc ColCyclic) Grid(rows, cols, slots int) index.Grid {
+	return index.NewGrid(rows, cols, rows, cc.blockCols())
+}
+
+func (cc ColCyclic) OwnerSlot(g index.Grid, idx index.TileIdx, slots int) int {
+	return idx.Col % slots
+}
+
+func (ColCyclic) Name() string { return "col-cyclic" }

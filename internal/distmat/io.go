@@ -1,0 +1,82 @@
+package distmat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+)
+
+// ioMagic identifies the serialized matrix format ("SLCM" + version 1).
+var ioMagic = [8]byte{'S', 'L', 'C', 'M', 0, 0, 0, 1}
+
+// WriteTo serializes the matrix's logical contents (replica 0, gathered
+// with one-sided reads by the calling PE) in a simple self-describing
+// binary format: magic, shape, then row-major float32 data. Any single PE
+// may call it; it is not collective. The partitioning is deliberately not
+// serialized — a checkpoint can be restored into any distribution.
+func (m *Matrix) WriteTo(pe *shmem.PE, w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	if err := binary.Write(bw, binary.LittleEndian, ioMagic); err != nil {
+		return written, fmt.Errorf("distmat: writing header: %w", err)
+	}
+	written += int64(len(ioMagic))
+	dims := [2]int64{int64(m.rows), int64(m.cols)}
+	if err := binary.Write(bw, binary.LittleEndian, dims); err != nil {
+		return written, fmt.Errorf("distmat: writing shape: %w", err)
+	}
+	written += 16
+	full := m.Gather(pe, 0)
+	if err := binary.Write(bw, binary.LittleEndian, full.Data); err != nil {
+		return written, fmt.Errorf("distmat: writing data: %w", err)
+	}
+	written += int64(len(full.Data)) * 4
+	return written, bw.Flush()
+}
+
+// ReadInto deserializes a matrix written by WriteTo into this matrix,
+// which must have the same global shape (any partitioning/replication).
+// Collective: every PE must call it with an identical reader's content —
+// in practice each PE opens its own copy — or call it via ScatterFrom
+// after a single-PE ReadMatrix.
+func (m *Matrix) ReadInto(pe *shmem.PE, r io.Reader) error {
+	full, err := ReadDense(r)
+	if err != nil {
+		return err
+	}
+	if full.Rows != m.rows || full.Cols != m.cols {
+		return fmt.Errorf("distmat: checkpoint is %dx%d, matrix is %dx%d",
+			full.Rows, full.Cols, m.rows, m.cols)
+	}
+	m.ScatterFrom(pe, full)
+	return nil
+}
+
+// ReadDense reads a serialized matrix into a local dense matrix.
+func ReadDense(r io.Reader) (*tile.Matrix, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("distmat: reading header: %w", err)
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("distmat: bad magic %v", magic)
+	}
+	var dims [2]int64
+	if err := binary.Read(br, binary.LittleEndian, &dims); err != nil {
+		return nil, fmt.Errorf("distmat: reading shape: %w", err)
+	}
+	rows, cols := int(dims[0]), int(dims[1])
+	if rows < 0 || cols < 0 || (cols != 0 && rows > (1<<31)/max(cols, 1)) {
+		return nil, fmt.Errorf("distmat: implausible shape %dx%d", rows, cols)
+	}
+	out := tile.New(rows, cols)
+	if err := binary.Read(br, binary.LittleEndian, out.Data); err != nil {
+		return nil, fmt.Errorf("distmat: reading data: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+// Package distmat implements the distributed matrix data structure of §3 of
+// the paper: a matrix shape, a partition object, and a replication factor,
+// with tiles held in symmetric memory and accessed exclusively through the
+// one-sided primitives of Table 1 (get_tile, get_tile_async,
+// accumulate_tile, broadcast_replica, reduce_replicas, overlapping_tiles,
+// tile_bounds, grid_shape).
+package distmat
+
+import (
+	"fmt"
+	"math"
+
+	"slicing/internal/index"
+)
+
+// Partition defines how a matrix is tiled within one replica and which
+// replica-local slot owns each tile. Slots are numbered [0, slots) where
+// slots = worldPEs / replicationFactor.
+type Partition interface {
+	// Grid returns the tile grid used for a rows×cols matrix split across
+	// the given number of slots.
+	Grid(rows, cols, slots int) index.Grid
+	// OwnerSlot returns the slot owning tile idx of the given grid.
+	OwnerSlot(g index.Grid, idx index.TileIdx, slots int) int
+	// Name returns the partitioning's conventional name.
+	Name() string
+}
+
+// RowBlock is a 1-D block distribution across rows: slot i owns the i-th
+// contiguous band of rows (the "Row" partitioning in Figures 2-3; sequence-
+// parallel–style for activations).
+type RowBlock struct{}
+
+func (RowBlock) Grid(rows, cols, slots int) index.Grid {
+	return index.NewGrid(rows, cols, ceilDiv(rows, slots), cols)
+}
+
+func (RowBlock) OwnerSlot(g index.Grid, idx index.TileIdx, slots int) int {
+	return idx.Row % slots
+}
+
+func (RowBlock) Name() string { return "row" }
+
+// ColBlock is a 1-D block distribution across columns (the "Column"
+// partitioning; Megatron-style for the first MLP weight).
+type ColBlock struct{}
+
+func (ColBlock) Grid(rows, cols, slots int) index.Grid {
+	return index.NewGrid(rows, cols, rows, ceilDiv(cols, slots))
+}
+
+func (ColBlock) OwnerSlot(g index.Grid, idx index.TileIdx, slots int) int {
+	return idx.Col % slots
+}
+
+func (ColBlock) Name() string { return "column" }
+
+// Block2D is a 2-D block distribution over a ProcRows×ProcCols slot grid.
+// Zero values pick a near-square factorization of the slot count.
+type Block2D struct {
+	ProcRows, ProcCols int
+}
+
+func (b Block2D) dims(slots int) (pr, pc int) {
+	pr, pc = b.ProcRows, b.ProcCols
+	if pr == 0 && pc == 0 {
+		pr, pc = NearSquareFactors(slots)
+	} else if pr == 0 {
+		pr = slots / pc
+	} else if pc == 0 {
+		pc = slots / pr
+	}
+	if pr*pc != slots {
+		panic(fmt.Sprintf("distmat: block2d grid %dx%d does not cover %d slots", pr, pc, slots))
+	}
+	return pr, pc
+}
+
+func (b Block2D) Grid(rows, cols, slots int) index.Grid {
+	pr, pc := b.dims(slots)
+	return index.NewGrid(rows, cols, ceilDiv(rows, pr), ceilDiv(cols, pc))
+}
+
+func (b Block2D) OwnerSlot(g index.Grid, idx index.TileIdx, slots int) int {
+	pr, pc := b.dims(slots)
+	return (idx.Row%pr)*pc + idx.Col%pc
+}
+
+func (b Block2D) Name() string { return "block2d" }
+
+// Custom is a ScaLAPACK-style descriptor: an explicit tile shape and an
+// explicit ProcRows×ProcCols process grid with block-cyclic ownership. It
+// expresses blocked, cyclic, and block-cyclic distributions, including
+// deliberately misaligned tilings (Figure 1).
+type Custom struct {
+	TileRows, TileCols int
+	ProcRows, ProcCols int
+}
+
+func (c Custom) Grid(rows, cols, slots int) index.Grid {
+	if c.ProcRows*c.ProcCols != slots {
+		panic(fmt.Sprintf("distmat: custom grid %dx%d does not cover %d slots", c.ProcRows, c.ProcCols, slots))
+	}
+	return index.NewGrid(rows, cols, c.TileRows, c.TileCols)
+}
+
+func (c Custom) OwnerSlot(g index.Grid, idx index.TileIdx, slots int) int {
+	return (idx.Row%c.ProcRows)*c.ProcCols + idx.Col%c.ProcCols
+}
+
+func (c Custom) Name() string { return "custom" }
+
+// NearSquareFactors returns the factor pair (pr, pc) of p with pr <= pc and
+// pr as close to sqrt(p) as possible, the conventional process-grid choice.
+func NearSquareFactors(p int) (pr, pc int) {
+	if p <= 0 {
+		panic(fmt.Sprintf("distmat: cannot factor %d", p))
+	}
+	pr = int(math.Sqrt(float64(p)))
+	for pr > 1 && p%pr != 0 {
+		pr--
+	}
+	return pr, p / pr
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,46 @@
+package distmat
+
+import (
+	"fmt"
+
+	"slicing/internal/index"
+	"slicing/internal/shmem"
+)
+
+// TransposeInto writes this matrix's transpose into dst, which must have
+// the transposed global shape but may use any partitioning and replication
+// factor. Each PE fills the dst tiles it owns by pulling the corresponding
+// sub-tiles of the source with one-sided reads and transposing locally, so
+// the operation is a pure-get redistribution — the pattern a backward pass
+// needs for dW = Xᵀ·dY when the forward partitionings don't line up.
+// Collective: every PE must call it; it ends with a barrier.
+func (m *Matrix) TransposeInto(pe *shmem.PE, dst *Matrix) {
+	if dst.rows != m.cols || dst.cols != m.rows {
+		panic(fmt.Sprintf("distmat: transpose of %dx%d into %dx%d", m.rows, m.cols, dst.rows, dst.cols))
+	}
+	if dst.world != m.world {
+		panic("distmat: transpose across worlds")
+	}
+	for _, dIdx := range dst.OwnedTiles(pe.Rank()) {
+		db := dst.TileBounds(dIdx)
+		out := dst.Tile(pe, dIdx, LocalReplica)
+		// The dst tile covers (rows R, cols C) of the transposed matrix,
+		// i.e. (rows C, cols R) of the source.
+		srcRect := index.Rect{Rows: db.Cols, Cols: db.Rows}
+		for _, sIdx := range m.OverlappingTiles(srcRect) {
+			sb := m.TileBounds(sIdx)
+			part := sb.Intersect(srcRect)
+			chunk := m.GetSubTile(pe, sIdx, LocalReplica, part)
+			// part (r, c) in the source lands at (c - dRow0, r - dCol0) in
+			// the dst tile.
+			for r := 0; r < chunk.Rows; r++ {
+				srcRow := part.Rows.Begin + r
+				for c := 0; c < chunk.Cols; c++ {
+					srcCol := part.Cols.Begin + c
+					out.Set(srcCol-db.Rows.Begin, srcRow-db.Cols.Begin, chunk.At(r, c))
+				}
+			}
+		}
+	}
+	pe.Barrier()
+}

@@ -1,0 +1,203 @@
+package dtensor
+
+import (
+	"fmt"
+	"testing"
+
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+	"slicing/internal/universal"
+)
+
+// checkMatmul runs Matmul with the given placements and verifies against
+// the serial product.
+func checkMatmul(t *testing.T, p, m, n, k int, pa, pb Placement) {
+	t.Helper()
+	w := shmem.NewWorld(p)
+	x := New(w, m, k, pa)
+	wt := New(w, k, n, pb)
+	var ref, got *tile.Matrix
+	w.Run(func(pe *shmem.PE) {
+		x.FillRandom(pe, 51)
+		wt.FillRandom(pe, 52)
+	})
+	w.Run(func(pe *shmem.PE) {
+		if pe.Rank() == 0 {
+			fx := x.Full(pe)
+			fw := wt.Full(pe)
+			ref = tile.New(m, n)
+			tile.GemmNaive(ref, fx, fw)
+		}
+	})
+	var outPlace Placement
+	w.Run(func(pe *shmem.PE) {
+		out := Matmul(pe, x, wt)
+		if pe.Rank() == 0 {
+			got = out.Full(pe)
+			outPlace = out.Place
+		}
+	})
+	if !got.AllClose(ref, 1e-3) {
+		t.Fatalf("(%v,%v): mismatch %g", pa, pb, got.MaxAbsDiff(ref))
+	}
+	_ = outPlace
+}
+
+func TestMatmulAllPlacementPairs(t *testing.T) {
+	places := []Placement{Shard0, Shard1, Replicate}
+	for _, pa := range places {
+		for _, pb := range places {
+			t.Run(fmt.Sprintf("%v_%v", pa, pb), func(t *testing.T) {
+				checkMatmul(t, 4, 18, 22, 26, pa, pb)
+			})
+		}
+	}
+}
+
+func TestMatmulPartialInputsCompleted(t *testing.T) {
+	checkMatmul(t, 4, 12, 14, 16, Partial, Replicate)
+	checkMatmul(t, 4, 12, 14, 16, Replicate, Partial)
+}
+
+func TestMatmulOutputPlacements(t *testing.T) {
+	w := shmem.NewWorld(4)
+	cases := []struct {
+		pa, pb, want Placement
+	}{
+		{Shard0, Replicate, Shard0},
+		{Replicate, Shard1, Shard1},
+		{Shard1, Shard0, Partial},
+		{Replicate, Shard0, Partial},
+		{Shard1, Replicate, Partial},
+		{Replicate, Replicate, Replicate},
+	}
+	for _, tc := range cases {
+		x := New(w, 16, 16, tc.pa)
+		wt := New(w, 16, 16, tc.pb)
+		var got Placement
+		w.Run(func(pe *shmem.PE) {
+			x.FillRandom(pe, 1)
+			wt.FillRandom(pe, 2)
+			out := Matmul(pe, x, wt)
+			if pe.Rank() == 0 {
+				got = out.Place
+			}
+		})
+		if got != tc.want {
+			t.Errorf("(%v,%v) -> %v, want %v", tc.pa, tc.pb, got, tc.want)
+		}
+	}
+}
+
+func TestRedistributeRoundTrips(t *testing.T) {
+	const p, m, n = 4, 15, 21
+	targets := []Placement{Shard0, Shard1, Replicate}
+	for _, from := range targets {
+		for _, to := range targets {
+			t.Run(fmt.Sprintf("%v_to_%v", from, to), func(t *testing.T) {
+				w := shmem.NewWorld(p)
+				src := New(w, m, n, from)
+				var ref, got *tile.Matrix
+				w.Run(func(pe *shmem.PE) {
+					src.FillRandom(pe, 77)
+					if pe.Rank() == 0 {
+						ref = src.Full(pe)
+					}
+				})
+				w.Run(func(pe *shmem.PE) {
+					out := Redistribute(pe, src, to)
+					if out.Place != to {
+						t.Errorf("placement = %v", out.Place)
+					}
+					if pe.Rank() == 1 {
+						got = out.Full(pe)
+					}
+				})
+				if !got.Equal(ref) {
+					t.Fatalf("redistribute %v->%v corrupted data", from, to)
+				}
+			})
+		}
+	}
+}
+
+func TestRedistributePartialToShard(t *testing.T) {
+	w := shmem.NewWorld(4)
+	src := New(w, 12, 12, Partial)
+	var ref, got *tile.Matrix
+	w.Run(func(pe *shmem.PE) {
+		src.FillRandom(pe, 3)
+		if pe.Rank() == 0 {
+			ref = src.Full(pe)
+		}
+	})
+	w.Run(func(pe *shmem.PE) {
+		out := Redistribute(pe, src, Shard0)
+		if pe.Rank() == 2 {
+			got = out.Full(pe)
+		}
+	})
+	if !got.AllClose(ref, 1e-4) {
+		t.Fatal("partial->shard lost the reduction")
+	}
+}
+
+func TestMatmulShapeMismatchPanics(t *testing.T) {
+	w := shmem.NewWorld(2)
+	x := New(w, 4, 5, Replicate)
+	wt := New(w, 6, 4, Replicate)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	w.Run(func(pe *shmem.PE) {
+		Matmul(pe, x, wt)
+	})
+}
+
+func TestUnsupportedErrorMessage(t *testing.T) {
+	err := UnsupportedError{Shard0, Partial}
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestSimulateMatmulColumnNoComm(t *testing.T) {
+	sys := universal.H100System()
+	res := SimulateColPartitioning(sys, 4096, 49152, 12288)
+	if !res.Supported {
+		t.Fatal("column partitioning must be supported")
+	}
+	if res.CommBytes != 0 {
+		t.Fatalf("Megatron-style column matmul should need no comm, got %g bytes", res.CommBytes)
+	}
+	if res.PercentOfPeak <= 0 || res.PercentOfPeak > 100 {
+		t.Fatalf("percent of peak = %g", res.PercentOfPeak)
+	}
+}
+
+func TestSimulateMatmulRowPaysAllReduce(t *testing.T) {
+	sys := universal.PVCSystem()
+	row := SimulateRowPartitioning(sys, 1024, 49152, 12288)
+	col := SimulateColPartitioning(sys, 1024, 49152, 12288)
+	if row.CommBytes == 0 {
+		t.Fatal("row partitioning must all-reduce the output")
+	}
+	if row.Seconds <= col.Seconds {
+		t.Fatalf("on MLP-1 with slow links, DT-Row (%.4g) should be slower than DT-Column (%.4g)",
+			row.Seconds, col.Seconds)
+	}
+}
+
+func TestSimulateMatmulReshardCost(t *testing.T) {
+	sys := universal.H100System()
+	direct := SimulateMatmul(sys, 2048, 2048, 2048, Shard0, Replicate)
+	reshard := SimulateMatmul(sys, 2048, 2048, 2048, Shard0, Shard0)
+	if !reshard.Supported {
+		t.Fatal("shard0/shard0 should dispatch via reshard")
+	}
+	if reshard.Seconds <= direct.Seconds {
+		t.Fatalf("resharding must cost something: %g vs %g", reshard.Seconds, direct.Seconds)
+	}
+}

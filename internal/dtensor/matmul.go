@@ -1,0 +1,224 @@
+package dtensor
+
+import (
+	"fmt"
+
+	"slicing/internal/collectives"
+	"slicing/internal/distmat"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+)
+
+// ErrUnsupported is returned (as a panic payload of type UnsupportedError)
+// when no sharding rule matches and resharding is disabled — reproducing
+// DTensor's behaviour for placements with no registered algorithm.
+type UnsupportedError struct {
+	PlaceA, PlaceB Placement
+}
+
+func (e UnsupportedError) Error() string {
+	return fmt.Sprintf("dtensor: no matmul rule for (%v, %v)", e.PlaceA, e.PlaceB)
+}
+
+// Matmul multiplies two DTensors with the SPMD dispatch discipline:
+//
+//	(Shard0,    Replicate) -> Shard0    local row-band GEMM, no comm
+//	(Replicate, Shard1)    -> Shard1    local column-band GEMM, no comm
+//	(Shard1,    Shard0)    -> Partial   outer-product partial terms
+//	(Replicate, Shard0)    -> Partial   k-sliced partial terms
+//	(Shard1,    Replicate) -> Partial   k-sliced partial terms
+//	(Replicate, Replicate) -> Replicate full local GEMM
+//
+// Any other combination has no registered algorithm: one operand is
+// redistributed first (allgather to Replicate, or allreduce for Partial
+// inputs), mirroring the resharding overhead the paper attributes to
+// dispatch-based systems. Collective.
+func Matmul(pe *shmem.PE, x, w *DTensor) *DTensor {
+	if x.Cols != w.Rows {
+		panic(fmt.Sprintf("dtensor: shape mismatch %dx%d @ %dx%d", x.Rows, x.Cols, w.Rows, w.Cols))
+	}
+	// Partial inputs must be completed before they can be consumed.
+	if x.Place == Partial {
+		x = Redistribute(pe, x, Replicate)
+	}
+	if w.Place == Partial {
+		w = Redistribute(pe, w, Replicate)
+	}
+
+	switch {
+	case x.Place == Shard0 && w.Place == Replicate:
+		return matmulRowParallel(pe, x, w)
+	case x.Place == Replicate && w.Place == Shard1:
+		return matmulColParallel(pe, x, w)
+	case x.Place == Shard1 && w.Place == Shard0:
+		return matmulOuterProduct(pe, x, w)
+	case x.Place == Replicate && w.Place == Shard0:
+		return matmulKSlicedA(pe, x, w)
+	case x.Place == Shard1 && w.Place == Replicate:
+		return matmulKSlicedB(pe, x, w)
+	case x.Place == Replicate && w.Place == Replicate:
+		return matmulReplicated(pe, x, w)
+	// No registered rule: reshard the right operand and retry, the
+	// redistribute() fallback of §5.2.
+	case x.Place == Shard0:
+		return matmulRowParallel(pe, x, Redistribute(pe, w, Replicate))
+	case x.Place == Shard1 && w.Place == Shard1:
+		return matmulColParallel(pe, Redistribute(pe, x, Replicate), w)
+	default:
+		panic(UnsupportedError{x.Place, w.Place})
+	}
+}
+
+// bandFor returns this PE's band interval under a RowBlock/ColBlock split
+// of extent over the world.
+func bandFor(pe *shmem.PE, extent int) (begin, end int) {
+	p := pe.NumPE()
+	size := (extent + p - 1) / p
+	begin = pe.Rank() * size
+	if begin > extent {
+		begin = extent
+	}
+	end = begin + size
+	if end > extent {
+		end = extent
+	}
+	return begin, end
+}
+
+func localFull(pe *shmem.PE, t *DTensor) *tile.Matrix {
+	tiles := t.Mat.OwnedTiles(pe.Rank())
+	if len(tiles) != 1 {
+		panic(fmt.Sprintf("dtensor: replicated tensor owns %d tiles", len(tiles)))
+	}
+	return t.Mat.Tile(pe, tiles[0], distmat.LocalReplica)
+}
+
+func localBand(pe *shmem.PE, t *DTensor) *tile.Matrix {
+	tiles := t.Mat.OwnedTiles(pe.Rank())
+	if len(tiles) == 0 {
+		return tile.New(0, 0)
+	}
+	if len(tiles) != 1 {
+		panic(fmt.Sprintf("dtensor: sharded tensor owns %d tiles", len(tiles)))
+	}
+	return t.Mat.Tile(pe, tiles[0], distmat.LocalReplica)
+}
+
+func matmulRowParallel(pe *shmem.PE, x, w *DTensor) *DTensor {
+	out := New(pe, x.Rows, w.Cols, Shard0)
+	xBand := localBand(pe, x)
+	if xBand.Rows > 0 {
+		cBand := localBand(pe, out)
+		cBand.Zero()
+		tile.Gemm(cBand, xBand, localFull(pe, w))
+	}
+	pe.Barrier()
+	return out
+}
+
+func matmulColParallel(pe *shmem.PE, x, w *DTensor) *DTensor {
+	out := New(pe, x.Rows, w.Cols, Shard1)
+	wBand := localBand(pe, w)
+	if wBand.Cols > 0 {
+		cBand := localBand(pe, out)
+		cBand.Zero()
+		tile.Gemm(cBand, localFull(pe, x), wBand)
+	}
+	pe.Barrier()
+	return out
+}
+
+func matmulOuterProduct(pe *shmem.PE, x, w *DTensor) *DTensor {
+	out := New(pe, x.Rows, w.Cols, Partial)
+	xBand := localBand(pe, x) // my k-columns of X
+	wBand := localBand(pe, w) // my k-rows of W
+	mine := localFull(pe, out)
+	mine.Zero()
+	if xBand.Cols > 0 && wBand.Rows > 0 {
+		tile.Gemm(mine, xBand, wBand)
+	}
+	pe.Barrier()
+	return out
+}
+
+func matmulKSlicedA(pe *shmem.PE, x, w *DTensor) *DTensor {
+	out := New(pe, x.Rows, w.Cols, Partial)
+	begin, end := bandFor(pe, x.Cols)
+	mine := localFull(pe, out)
+	mine.Zero()
+	if end > begin {
+		xFull := localFull(pe, x)
+		xSlice := xFull.View(0, begin, x.Rows, end-begin)
+		tile.Gemm(mine, xSlice, localBand(pe, w))
+	}
+	pe.Barrier()
+	return out
+}
+
+func matmulKSlicedB(pe *shmem.PE, x, w *DTensor) *DTensor {
+	out := New(pe, x.Rows, w.Cols, Partial)
+	begin, end := bandFor(pe, w.Rows)
+	mine := localFull(pe, out)
+	mine.Zero()
+	if end > begin {
+		wFull := localFull(pe, w)
+		wSlice := wFull.View(begin, 0, end-begin, w.Cols)
+		tile.Gemm(mine, localBand(pe, x), wSlice)
+	}
+	pe.Barrier()
+	return out
+}
+
+func matmulReplicated(pe *shmem.PE, x, w *DTensor) *DTensor {
+	out := New(pe, x.Rows, w.Cols, Replicate)
+	mine := localFull(pe, out)
+	mine.Zero()
+	tile.Gemm(mine, localFull(pe, x), localFull(pe, w))
+	pe.Barrier()
+	return out
+}
+
+// Redistribute converts a DTensor to the target placement using
+// collectives over the one-sided substrate: Partial→Replicate is an
+// all-reduce, Shard→Replicate an all-gather (one-sided pulls),
+// Replicate→Shard a local slice, Partial→Shard an all-reduce followed by a
+// slice, and Shard0↔Shard1 goes through Replicate. Collective.
+func Redistribute(pe *shmem.PE, t *DTensor, target Placement) *DTensor {
+	if t.Place == target {
+		return t
+	}
+	w := t.world
+	group := collectives.WorldGroup(w.NumPE())
+	switch {
+	case t.Place == Partial && target == Replicate:
+		collectives.AllReduce(pe, group, t.Mat.Segment(), 0, t.Rows*t.Cols)
+		out := *t
+		out.Place = Replicate
+		return &out
+	case t.Place == Partial: // Partial -> Shard*
+		return Redistribute(pe, Redistribute(pe, t, Replicate), target)
+	case (t.Place == Shard0 || t.Place == Shard1) && target == Replicate:
+		out := New(pe, t.Rows, t.Cols, Replicate)
+		full := t.Full(pe) // one-sided all-gather: every PE pulls all bands
+		localFull(pe, out).CopyFrom(full)
+		pe.Barrier()
+		return out
+	case t.Place == Replicate && (target == Shard0 || target == Shard1):
+		out := New(pe, t.Rows, t.Cols, target)
+		band := localBand(pe, out)
+		if band.Rows > 0 && band.Cols > 0 {
+			src := localFull(pe, t)
+			if target == Shard0 {
+				begin, _ := bandFor(pe, t.Rows)
+				band.CopyFrom(src.View(begin, 0, band.Rows, band.Cols))
+			} else {
+				begin, _ := bandFor(pe, t.Cols)
+				band.CopyFrom(src.View(0, begin, band.Rows, band.Cols))
+			}
+		}
+		pe.Barrier()
+		return out
+	default: // Shard0 <-> Shard1
+		return Redistribute(pe, Redistribute(pe, t, Replicate), target)
+	}
+}

@@ -1,0 +1,107 @@
+package dtensor
+
+import (
+	"math"
+
+	"slicing/internal/universal"
+)
+
+// SimResult reports one simulated DTensor matmul.
+type SimResult struct {
+	Seconds       float64
+	PercentOfPeak float64
+	CommBytes     float64
+	Supported     bool
+}
+
+// ringBW returns the bandwidth of the slowest hop on the natural ring over
+// the topology, which bottlenecks ring-based collectives (the oneCCL/NCCL
+// implementations DTensor dispatches to).
+func ringBW(sys universal.SimSystem) float64 {
+	p := sys.Topo.NumPE()
+	bw := math.Inf(1)
+	for i := 0; i < p; i++ {
+		if b := sys.Topo.Bandwidth(i, (i+1)%p); b < bw {
+			bw = b
+		}
+	}
+	return bw
+}
+
+// SimulateMatmul estimates the time of one DTensor matmul with the given
+// input placements on the simulated system: the dispatched local GEMM
+// (roofline with shape efficiency) plus the collectives the dispatch rule
+// implies (ring all-reduce for Partial outputs — the redistribute() the
+// paper issues to complete the reduction — or ring all-gather when an
+// operand must be resharded first). Unsupported combinations return
+// Supported == false.
+func SimulateMatmul(sys universal.SimSystem, m, n, k int, pa, pb Placement) SimResult {
+	p := sys.Topo.NumPE()
+	bw := ringBW(sys)
+	fp := float64(p)
+
+	// Ring collective costs over x bytes.
+	allReduce := func(bytes float64) float64 { return 2 * (fp - 1) / fp * bytes / bw }
+	allGather := func(bytes float64) float64 { return (fp - 1) / fp * bytes / bw }
+
+	var gemmT, commT, commBytes float64
+	supported := true
+	ceil := func(a, b int) int { return (a + b - 1) / b }
+
+	switch {
+	case pa == Shard0 && pb == Replicate:
+		gemmT = sys.Dev.GemmTime(ceil(m, p), n, k)
+	case pa == Replicate && pb == Shard1:
+		gemmT = sys.Dev.GemmTime(m, ceil(n, p), k)
+	case pa == Shard1 && pb == Shard0:
+		// Outer product: Partial output, completed with an all-reduce of C.
+		gemmT = sys.Dev.GemmTime(m, n, ceil(k, p))
+		commBytes = 4 * float64(m) * float64(n)
+		commT = allReduce(commBytes)
+	case pa == Replicate && pb == Shard0:
+		gemmT = sys.Dev.GemmTime(m, n, ceil(k, p))
+		commBytes = 4 * float64(m) * float64(n)
+		commT = allReduce(commBytes)
+	case pa == Shard1 && pb == Replicate:
+		gemmT = sys.Dev.GemmTime(m, n, ceil(k, p))
+		commBytes = 4 * float64(m) * float64(n)
+		commT = allReduce(commBytes)
+	case pa == Replicate && pb == Replicate:
+		gemmT = sys.Dev.GemmTime(m, n, k)
+	case pa == Shard0 && (pb == Shard0 || pb == Shard1):
+		// Reshard B to Replicate (all-gather), then row-parallel GEMM.
+		commBytes = 4 * float64(k) * float64(n)
+		commT = allGather(commBytes)
+		gemmT = sys.Dev.GemmTime(ceil(m, p), n, k)
+	case pa == Shard1 && pb == Shard1:
+		commBytes = 4 * float64(m) * float64(k)
+		commT = allGather(commBytes)
+		gemmT = sys.Dev.GemmTime(m, ceil(n, p), k)
+	default:
+		supported = false
+	}
+
+	res := SimResult{Supported: supported}
+	if !supported {
+		return res
+	}
+	res.Seconds = gemmT + commT + sys.Dev.LaunchOverhead
+	res.CommBytes = commBytes
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	res.PercentOfPeak = flops / (fp * sys.Dev.PeakFlops * res.Seconds) * 100
+	return res
+}
+
+// SimulateRowPartitioning is the "DT - Row" series of Figures 2-3: the
+// weight matrix row-sharded (over k), the activation column-sharded to
+// match, producing a Partial output completed by an all-reduce.
+func SimulateRowPartitioning(sys universal.SimSystem, m, n, k int) SimResult {
+	return SimulateMatmul(sys, m, n, k, Shard1, Shard0)
+}
+
+// SimulateColPartitioning is the "DT - Column" series: the weight matrix
+// column-sharded with the activation replicated (Megatron-style), which
+// needs no communication inside the matmul.
+func SimulateColPartitioning(sys universal.SimSystem, m, n, k int) SimResult {
+	return SimulateMatmul(sys, m, n, k, Replicate, Shard1)
+}

@@ -1,0 +1,207 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// ResourceID names an exclusive resource in the discrete-event engine: a
+// device's compute engine, a PE's network egress or ingress port, a copy
+// engine. An op occupies all its resources for its whole duration.
+type ResourceID int
+
+// OpID names a scheduled operation.
+type OpID int
+
+// OpKind classifies operations for reporting.
+type OpKind int
+
+const (
+	OpCompute OpKind = iota
+	OpComm
+	OpAccum
+	OpOther
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpComm:
+		return "comm"
+	case OpAccum:
+		return "accum"
+	default:
+		return "other"
+	}
+}
+
+type op struct {
+	id        OpID
+	label     string
+	kind      OpKind
+	duration  float64
+	deps      []OpID
+	resources []ResourceID
+}
+
+// OpTiming reports when an op ran in the simulated schedule and which
+// resources it occupied.
+type OpTiming struct {
+	ID         OpID
+	Label      string
+	Kind       OpKind
+	Start, End float64
+	Resources  []ResourceID
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Makespan is the simulated end-to-end time in seconds.
+	Makespan float64
+	// Timings holds per-op start/end times, indexed by OpID.
+	Timings []OpTiming
+	// BusyTime maps each resource to its total occupied seconds.
+	BusyTime []float64
+}
+
+// Utilization returns the fraction of the makespan a resource was busy.
+func (r Result) Utilization(res ResourceID) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.BusyTime[res] / r.Makespan
+}
+
+// Engine is a discrete-event simulator over exclusive resources. Build a
+// DAG of ops with AddOp, then Run computes a list schedule: each op starts
+// at the earliest time all its dependencies have finished and all its
+// resources are free, with ties broken by insertion (program) order.
+type Engine struct {
+	ops       []op
+	resources []string
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// AddResource registers an exclusive resource and returns its ID.
+func (e *Engine) AddResource(name string) ResourceID {
+	e.resources = append(e.resources, name)
+	return ResourceID(len(e.resources) - 1)
+}
+
+// NumResources returns the number of registered resources.
+func (e *Engine) NumResources() int { return len(e.resources) }
+
+// ResourceName returns the name a resource was registered with.
+func (e *Engine) ResourceName(r ResourceID) string { return e.resources[r] }
+
+// AddOp appends an operation. Dependencies must reference ops already
+// added, which guarantees the graph is acyclic by construction.
+func (e *Engine) AddOp(label string, kind OpKind, duration float64, deps []OpID, resources []ResourceID) OpID {
+	id := OpID(len(e.ops))
+	if duration < 0 || math.IsNaN(duration) {
+		panic(fmt.Sprintf("gpusim: op %q has invalid duration %g", label, duration))
+	}
+	for _, d := range deps {
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("gpusim: op %q depends on unknown op %d", label, d))
+		}
+	}
+	for _, r := range resources {
+		if int(r) < 0 || int(r) >= len(e.resources) {
+			panic(fmt.Sprintf("gpusim: op %q uses unknown resource %d", label, r))
+		}
+	}
+	e.ops = append(e.ops, op{
+		id: id, label: label, kind: kind, duration: duration,
+		deps: append([]OpID(nil), deps...), resources: append([]ResourceID(nil), resources...),
+	})
+	return id
+}
+
+// NumOps returns the number of ops added so far.
+func (e *Engine) NumOps() int { return len(e.ops) }
+
+// Run simulates the DAG and returns the schedule. The engine may be Run
+// multiple times; each Run recomputes from scratch.
+func (e *Engine) Run() Result {
+	n := len(e.ops)
+	res := Result{
+		Timings:  make([]OpTiming, n),
+		BusyTime: make([]float64, len(e.resources)),
+	}
+	if n == 0 {
+		return res
+	}
+
+	depEnd := make([]float64, n)    // latest finish among scheduled deps
+	remaining := make([]int, n)     // unscheduled dep count
+	dependents := make([][]OpID, n) // reverse edges
+	for _, o := range e.ops {
+		remaining[o.id] = len(o.deps)
+		for _, d := range o.deps {
+			dependents[d] = append(dependents[d], o.id)
+		}
+	}
+	resAvail := make([]float64, len(e.resources))
+
+	// ready holds ops whose deps are all scheduled, in program order.
+	ready := make([]OpID, 0, n)
+	inReady := make([]bool, n)
+	for _, o := range e.ops {
+		if remaining[o.id] == 0 {
+			ready = append(ready, o.id)
+			inReady[o.id] = true
+		}
+	}
+
+	scheduled := 0
+	for scheduled < n {
+		if len(ready) == 0 {
+			panic("gpusim: no ready ops but schedule incomplete (dependency cycle?)")
+		}
+		// Pick the ready op with the earliest feasible start; ties go to the
+		// op added first (program order), matching in-order issue per stream.
+		bestIdx := -1
+		bestStart := math.Inf(1)
+		for idx, id := range ready {
+			o := &e.ops[id]
+			start := depEnd[id]
+			for _, r := range o.resources {
+				if resAvail[r] > start {
+					start = resAvail[r]
+				}
+			}
+			if start < bestStart || (start == bestStart && (bestIdx == -1 || id < ready[bestIdx])) {
+				bestStart = start
+				bestIdx = idx
+			}
+		}
+		id := ready[bestIdx]
+		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
+		o := &e.ops[id]
+		end := bestStart + o.duration
+		res.Timings[id] = OpTiming{ID: id, Label: o.label, Kind: o.kind, Start: bestStart, End: end, Resources: o.resources}
+		for _, r := range o.resources {
+			resAvail[r] = end
+			res.BusyTime[r] += o.duration
+		}
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		for _, dep := range dependents[id] {
+			if depEnd[dep] < end {
+				depEnd[dep] = end
+			}
+			remaining[dep]--
+			if remaining[dep] == 0 && !inReady[dep] {
+				ready = append(ready, dep)
+				inReady[dep] = true
+			}
+		}
+		scheduled++
+	}
+	return res
+}

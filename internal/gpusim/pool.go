@@ -1,0 +1,125 @@
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Pool is a size-bucketed float32 buffer pool modelling the GPU memory pool
+// of §4.2: the paper performs one large device allocation up front and then
+// sub-allocates from the host to avoid device-wide synchronization on every
+// cudaMalloc/zeMemAlloc. Here the pool additionally removes Go allocator /
+// GC churn from the real-execution hot path and tracks a high-water mark so
+// tests can assert on memory behaviour.
+type Pool struct {
+	mu        sync.Mutex
+	buckets   map[int][][]float32
+	live      int   // elements currently handed out
+	highWater int   // max live elements ever
+	allocs    int64 // fresh allocations (pool misses)
+	hits      int64 // reuses (pool hits)
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{buckets: map[int][][]float32{}}
+}
+
+// roundSize buckets requests to limit fragmentation: sizes round up to the
+// next power-of-two-ish bucket (1.5x steps above 4096).
+func roundSize(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	size := 64
+	for size < n {
+		if size < 4096 {
+			size *= 2
+		} else {
+			size += size / 2
+		}
+	}
+	return size
+}
+
+// Get returns a zeroed buffer of at least n elements (len == n).
+func (p *Pool) Get(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	bucket := roundSize(n)
+	p.mu.Lock()
+	var buf []float32
+	if stack := p.buckets[bucket]; len(stack) > 0 {
+		buf = stack[len(stack)-1]
+		p.buckets[bucket] = stack[:len(stack)-1]
+		p.hits++
+	} else {
+		p.allocs++
+	}
+	p.live += bucket
+	if p.live > p.highWater {
+		p.highWater = p.live
+	}
+	p.mu.Unlock()
+	if buf == nil {
+		buf = make([]float32, bucket)
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return buf[:n]
+}
+
+// Put returns a buffer obtained from Get to the pool. Passing a foreign
+// slice is allowed as long as its capacity matches a bucket size; otherwise
+// it is dropped.
+func (p *Pool) Put(buf []float32) {
+	if buf == nil {
+		return
+	}
+	bucket := cap(buf)
+	if roundSize(bucket) != bucket {
+		return // not one of ours; let the GC have it
+	}
+	p.mu.Lock()
+	p.buckets[bucket] = append(p.buckets[bucket], buf[:bucket])
+	p.live -= bucket
+	p.mu.Unlock()
+}
+
+// Stats reports pool behaviour.
+type PoolStats struct {
+	Live      int
+	HighWater int
+	Allocs    int64
+	Hits      int64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Live: p.live, HighWater: p.highWater, Allocs: p.allocs, Hits: p.hits}
+}
+
+func (s PoolStats) String() string {
+	return fmt.Sprintf("pool{live %d, highwater %d, allocs %d, hits %d}", s.Live, s.HighWater, s.Allocs, s.Hits)
+}
+
+// BucketSizes returns the distinct bucket sizes currently cached, sorted.
+// Exposed for tests.
+func (p *Pool) BucketSizes() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.buckets))
+	for s, stack := range p.buckets {
+		if len(stack) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

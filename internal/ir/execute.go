@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"fmt"
+	"sync"
+
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+	"slicing/internal/universal"
+)
+
+// Execute runs a lowered program with real arithmetic over the PGAS world:
+// each output IR op launches its communications asynchronously, runs its
+// computes concurrently, and then waits for both before advancing — the
+// explicit overlap structure of §4.3. It performs no collective
+// synchronization; callers barrier afterwards (and reduce replicas of C if
+// replicated).
+func Execute(pe *shmem.PE, prob universal.Problem, prog Program, pool *gpusim.Pool) {
+	if prog.PE != pe.Rank() {
+		panic(fmt.Sprintf("ir: program for rank %d executed by rank %d", prog.PE, pe.Rank()))
+	}
+	if pool == nil {
+		pool = gpusim.NewPool()
+	}
+	tiles := map[DataKey]*tile.Matrix{}
+	localTile := func(key DataKey) *tile.Matrix {
+		switch key.Mat {
+		case 'A':
+			return prob.A.Tile(pe, key.Idx, distmat.LocalReplica)
+		case 'B':
+			return prob.B.Tile(pe, key.Idx, distmat.LocalReplica)
+		default:
+			panic(fmt.Sprintf("ir: unknown matrix %c", key.Mat))
+		}
+	}
+	for _, op := range prog.Ops {
+		// Launch communications for this op.
+		type inflight struct {
+			key DataKey
+			fut *distmat.TileFuture
+		}
+		fetches := make([]inflight, 0, len(op.Comms))
+		for _, c := range op.Comms {
+			var f *distmat.TileFuture
+			switch c.Key.Mat {
+			case 'A':
+				f = prob.A.GetTileAsync(pe, c.Key.Idx, distmat.LocalReplica)
+			case 'B':
+				f = prob.B.GetTileAsync(pe, c.Key.Idx, distmat.LocalReplica)
+			default:
+				panic(fmt.Sprintf("ir: unknown matrix %c", c.Key.Mat))
+			}
+			fetches = append(fetches, inflight{c.Key, f})
+		}
+		// Run this op's computes concurrently; their dependencies were
+		// satisfied by earlier ops.
+		var wg sync.WaitGroup
+		for _, stepIdx := range op.Computes {
+			s := prog.Plan.Steps[stepIdx]
+			var aTile, bTile *tile.Matrix
+			if s.ALocal {
+				aTile = localTile(DataKey{'A', s.Op.AIdx})
+			} else {
+				var ok bool
+				if aTile, ok = tiles[DataKey{'A', s.Op.AIdx}]; !ok {
+					panic(fmt.Sprintf("ir: step %d runs before A%v fetched (invalid program)", stepIdx, s.Op.AIdx))
+				}
+			}
+			if s.BLocal {
+				bTile = localTile(DataKey{'B', s.Op.BIdx})
+			} else {
+				var ok bool
+				if bTile, ok = tiles[DataKey{'B', s.Op.BIdx}]; !ok {
+					panic(fmt.Sprintf("ir: step %d runs before B%v fetched (invalid program)", stepIdx, s.Op.BIdx))
+				}
+			}
+			wg.Add(1)
+			go func(s universal.Step, aTile, bTile *tile.Matrix) {
+				defer wg.Done()
+				universal.RunStep(pe, prob, s, aTile, bTile, pool)
+			}(s, aTile, bTile)
+		}
+		wg.Wait()
+		// Communications complete at the end of the op; their tiles become
+		// available to subsequent ops.
+		for _, f := range fetches {
+			tiles[f.key] = f.fut.Wait()
+		}
+	}
+}
+
+// MultiplyIR computes C = A·B by lowering each rank's plan with the given
+// generator and executing the resulting programs. Collective. It returns
+// the resolved stationary strategy.
+func MultiplyIR(pe *shmem.PE, c, a, b *distmat.Matrix, stat universal.Stationary,
+	lower func(universal.Plan) Program) universal.Stationary {
+	prob := universal.NewProblem(c, a, b)
+	c.Zero(pe)
+	plan := universal.BuildPlan(pe.Rank(), prob, stat, universal.DefaultCacheTiles)
+	prog := lower(plan)
+	if err := prog.Validate(); err != nil {
+		panic(err)
+	}
+	Execute(pe, prob, prog, nil)
+	pe.Barrier()
+	if c.Replication() > 1 {
+		c.ReduceReplicas(pe, 0)
+		c.BroadcastReplica(pe, 0)
+	}
+	return plan.Stationary
+}

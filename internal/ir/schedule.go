@@ -1,0 +1,220 @@
+package ir
+
+import (
+	"sort"
+
+	"slicing/internal/costmodel"
+	"slicing/internal/universal"
+)
+
+// Cost prices a program under the cost model: each output IR op costs the
+// maximum of its total communication time and total computation time (§4.3
+// — overlapped execution within an op), and ops run back to back.
+func Cost(md *costmodel.Model, p Program) float64 {
+	var total float64
+	for _, op := range p.Ops {
+		var comm, compute float64
+		for _, c := range op.Comms {
+			comm += md.FetchCost(c.Src, p.PE, c.Bytes)
+		}
+		for _, i := range op.Computes {
+			s := p.Plan.Steps[i]
+			compute += md.GemmCost(s.Op.M.Len(), s.Op.N.Len(), s.Op.K.Len())
+			if s.CLocal {
+				compute += md.AccumCost(p.PE, p.PE, s.AccumBytes)
+			} else {
+				comm += md.AccumCost(p.PE, s.CDst, s.AccumBytes)
+			}
+		}
+		if comm > compute {
+			total += comm
+		} else {
+			total += compute
+		}
+	}
+	return total
+}
+
+// CostGreedy lowers a plan with cost-model-guided selection: the most
+// expensive eligible computes are scheduled first (so long poles overlap
+// with as much communication as possible), and communications that unblock
+// the most expensive pending computes are preferred.
+func CostGreedy(md *costmodel.Model, plan universal.Plan, lim Limits) Program {
+	lim = lim.withDefaults()
+	g := buildGraph(plan)
+
+	stepCost := make([]float64, len(plan.Steps))
+	for i, s := range plan.Steps {
+		stepCost[i] = md.GemmCost(s.Op.M.Len(), s.Op.N.Len(), s.Op.K.Len())
+	}
+	// unblockValue[d] is the cost of the most expensive compute needing d.
+	unblockValue := map[DataKey]float64{}
+	for i, deps := range g.deps {
+		for _, d := range deps {
+			if stepCost[i] > unblockValue[d] {
+				unblockValue[d] = stepCost[i]
+			}
+		}
+	}
+
+	prog := traverse(g, lim,
+		func(cands []int) []int {
+			sort.SliceStable(cands, func(a, b int) bool { return stepCost[cands[a]] > stepCost[cands[b]] })
+			return cands
+		},
+		func(cands []DataKey) []DataKey {
+			sort.SliceStable(cands, func(a, b int) bool {
+				return unblockValue[cands[a]] > unblockValue[cands[b]]
+			})
+			return cands
+		})
+	prog.Rank = "cost-greedy"
+	return prog
+}
+
+// ExhaustiveLimit is the largest op count Exhaustive will search; beyond
+// it the search space (all orderings) is infeasible and callers should use
+// CostGreedy. The paper reaches the same conclusion: after the §4.2
+// optimizations, direct execution is almost always as good as the optimal
+// schedule, so the exhaustive search is a verification tool for small
+// problems, not a production path.
+const ExhaustiveLimit = 8
+
+// Exhaustive searches every schedulable ordering of the plan's steps (up
+// to ExhaustiveLimit steps), greedily packing each ordering into IR ops and
+// scoring with the cost model; it returns the cheapest program found.
+func Exhaustive(md *costmodel.Model, plan universal.Plan, lim Limits) Program {
+	lim = lim.withDefaults()
+	if len(plan.Steps) > ExhaustiveLimit {
+		return CostGreedy(md, plan, lim)
+	}
+	n := len(plan.Steps)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := Program{}
+	bestCost := -1.0
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			prog := packOrdering(plan, perm, lim)
+			if c := Cost(md, prog); bestCost < 0 || c < bestCost {
+				bestCost = c
+				best = prog
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	best.Rank = "exhaustive"
+	return best
+}
+
+// packOrdering greedily packs steps in the given order into IR ops,
+// inserting each step's communications in the op before its compute.
+func packOrdering(plan universal.Plan, order []int, lim Limits) Program {
+	g := buildGraph(plan)
+	satisfied := map[DataKey]bool{}
+	fetched := map[DataKey]bool{}
+	var ops []IROp
+	var cur IROp
+	flush := func() {
+		if len(cur.Computes) > 0 || len(cur.Comms) > 0 {
+			for _, c := range cur.Comms {
+				satisfied[c.Key] = true
+			}
+			ops = append(ops, cur)
+			cur = IROp{}
+		}
+	}
+	for _, i := range order {
+		// Fetch missing deps first; they land at the end of the op carrying
+		// them, so the compute goes into a later op.
+		needed := false
+		for _, d := range g.deps[i] {
+			if satisfied[d] {
+				continue
+			}
+			needed = true
+			if !fetched[d] {
+				if len(cur.Comms) >= lim.MaxComm {
+					flush()
+				}
+				cur.Comms = append(cur.Comms, g.comm[d])
+				fetched[d] = true
+			}
+		}
+		if needed {
+			flush()
+		}
+		if len(cur.Computes) >= lim.MaxCompute {
+			flush()
+		}
+		cur.Computes = append(cur.Computes, i)
+	}
+	flush()
+	return Program{PE: plan.Rank, Plan: plan, Ops: ops}
+}
+
+// Direct lowers a plan into the IR the way direct execution behaves: one
+// compute per op with its fetches issued PrefetchDepth ops earlier. Used as
+// the baseline in the E8 schedule ablation.
+func Direct(plan universal.Plan, prefetchDepth int) Program {
+	if prefetchDepth < 0 {
+		prefetchDepth = 2
+	}
+	fetched := map[DataKey]bool{}
+	n := len(plan.Steps)
+	ops := make([]IROp, n)
+	place := func(stepIdx int, key DataKey, src, bytes int) {
+		if fetched[key] {
+			return
+		}
+		fetched[key] = true
+		at := stepIdx - prefetchDepth - 1
+		if at < 0 {
+			at = 0
+		}
+		// A fetch in op t is satisfied for op t+1; clamp so the data is
+		// ready before its compute.
+		if at >= stepIdx && stepIdx > 0 {
+			at = stepIdx - 1
+		}
+		ops[at].Comms = append(ops[at].Comms, Comm{Key: key, Src: src, Bytes: bytes})
+	}
+	for i, s := range plan.Steps {
+		if s.FetchA {
+			place(i, DataKey{'A', s.Op.AIdx}, s.ASrc, s.ABytes)
+		}
+		if s.FetchB {
+			place(i, DataKey{'B', s.Op.BIdx}, s.BSrc, s.BBytes)
+		}
+	}
+	for i := range plan.Steps {
+		ops[i].Computes = append(ops[i].Computes, i)
+	}
+	// Steps whose fetch lands in the same op as the compute (step 0 with
+	// prefetch 0) violate the end-of-op rule; prepend a fetch-only op.
+	if n > 0 && len(ops[0].Comms) > 0 && len(ops[0].Computes) > 0 {
+		needs := false
+		for _, c := range ops[0].Comms {
+			key := c.Key
+			s := plan.Steps[0]
+			if (key == DataKey{'A', s.Op.AIdx}) || (key == DataKey{'B', s.Op.BIdx}) {
+				needs = true
+			}
+		}
+		if needs {
+			head := IROp{Comms: ops[0].Comms}
+			ops[0].Comms = nil
+			ops = append([]IROp{head}, ops...)
+		}
+	}
+	return Program{Rank: "direct", PE: plan.Rank, Plan: plan, Ops: ops}
+}

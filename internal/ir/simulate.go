@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"slicing/internal/gpusim"
+	"slicing/internal/simnet"
+	"slicing/internal/universal"
+)
+
+// Simulate runs per-rank IR programs through the discrete-event
+// performance model, with an IR-op boundary acting as a per-rank
+// synchronization point: everything in output op t+1 waits for everything
+// in output op t. This gives an apples-to-apples simulated-time comparison
+// between direct execution and the lowered schedules (experiment E8).
+func Simulate(prob universal.Problem, progs []Program, sys universal.SimSystem) universal.SimResult {
+	p := prob.A.World().NumPE()
+	if len(progs) != p {
+		panic("ir: need one program per rank")
+	}
+	eng := gpusim.NewEngine()
+	compute := make([]gpusim.ResourceID, p)
+	egress := make([]gpusim.ResourceID, p)
+	ingress := make([]gpusim.ResourceID, p)
+	for pe := 0; pe < p; pe++ {
+		compute[pe] = eng.AddResource("compute")
+		egress[pe] = eng.AddResource("egress")
+		ingress[pe] = eng.AddResource("ingress")
+	}
+
+	res := universal.SimResult{}
+	var lastPerRank []gpusim.OpID
+	for rank, prog := range progs {
+		res.Ops += len(prog.Plan.Steps)
+		var prevOpIDs []gpusim.OpID
+		for _, op := range prog.Ops {
+			var cur []gpusim.OpID
+			for _, c := range op.Comms {
+				dur := simnet.TransferTime(sys.Topo, c.Src, rank, float64(c.Bytes)) + sys.Dev.LaunchOverhead
+				id := eng.AddOp("get", gpusim.OpComm, dur, prevOpIDs,
+					[]gpusim.ResourceID{egress[c.Src], ingress[rank]})
+				cur = append(cur, id)
+				res.RemoteGetBytes += c.Bytes
+			}
+			for _, stepIdx := range op.Computes {
+				s := prog.Plan.Steps[stepIdx]
+				gemmDur := sys.Dev.GemmTime(s.Op.M.Len(), s.Op.N.Len(), s.Op.K.Len()) + sys.Dev.LaunchOverhead
+				gemmID := eng.AddOp("gemm", gpusim.OpCompute, gemmDur, prevOpIDs,
+					[]gpusim.ResourceID{compute[rank]})
+				last := gemmID
+				if s.AccumBytes > 0 {
+					var dur float64
+					var rs []gpusim.ResourceID
+					if s.CLocal {
+						dur = 2 * float64(s.AccumBytes) / sys.Dev.MemBW
+					} else {
+						bw := sys.Topo.Bandwidth(rank, s.CDst)
+						dur = sys.Dev.AccumTime(float64(s.AccumBytes), bw) + sys.Topo.Latency(rank, s.CDst)
+						rs = []gpusim.ResourceID{egress[rank], ingress[s.CDst]}
+						if sys.Dev.AccumComputeInterference {
+							rs = append(rs, compute[rank])
+						}
+						res.RemoteAccumBytes += s.AccumBytes
+					}
+					dur += sys.Dev.LaunchOverhead
+					last = eng.AddOp("accum", gpusim.OpAccum, dur, []gpusim.OpID{gemmID}, rs)
+				}
+				cur = append(cur, last)
+			}
+			prevOpIDs = cur
+		}
+		res.Stationary = prog.Plan.Stationary
+		lastPerRank = append(lastPerRank, prevOpIDs...)
+	}
+
+	// reduce_replicas when C is replicated, gated on every rank finishing.
+	if prob.C.Replication() > 1 {
+		for rank := 0; rank < p; rank++ {
+			if prob.C.ReplicaOf(rank) == 0 {
+				continue
+			}
+			dst := prob.C.RankFor(prob.C.SlotOf(rank), 0)
+			for _, idx := range prob.C.OwnedTiles(rank) {
+				bytes := prob.C.TileBounds(idx).Area() * 4
+				bw := sys.Topo.Bandwidth(rank, dst)
+				dur := sys.Dev.AccumTime(float64(bytes), bw) + sys.Topo.Latency(rank, dst) + sys.Dev.LaunchOverhead
+				rs := []gpusim.ResourceID{egress[rank], ingress[dst]}
+				if sys.Dev.AccumComputeInterference {
+					rs = append(rs, compute[rank])
+				}
+				eng.AddOp("reduce", gpusim.OpAccum, dur, lastPerRank, rs)
+				res.RemoteAccumBytes += bytes
+			}
+		}
+	}
+
+	run := eng.Run()
+	res.Makespan = run.Makespan
+	m, n, k := prob.Dims()
+	if run.Makespan > 0 {
+		flops := 2 * float64(m) * float64(n) * float64(k)
+		res.PercentOfPeak = flops / (float64(p) * sys.Dev.PeakFlops * run.Makespan) * 100
+	}
+	return res
+}

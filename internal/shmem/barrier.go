@@ -1,0 +1,55 @@
+package shmem
+
+import "sync"
+
+// barrier is a reusable sense-reversing barrier for a fixed party count.
+// poison releases all current and future waiters, which Run uses to unblock
+// peers when one PE panics so the panic can propagate instead of
+// deadlocking the test binary.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parties  int
+	waiting  int
+	phase    uint64
+	poisoned bool
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		return
+	}
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for b.phase == phase && !b.poisoned {
+		b.cond.Wait()
+	}
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.poisoned = true
+	b.cond.Broadcast()
+}
+
+func (b *barrier) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.poisoned = false
+	b.waiting = 0
+}

@@ -1,0 +1,68 @@
+package shmem
+
+import "sync"
+
+// Future represents an asynchronous one-sided operation in flight. Wait
+// blocks until the operation (and the operations of any chained futures)
+// has completed. Futures model the future objects returned by
+// get_tile_async in Table 1 of the paper.
+type Future struct {
+	once sync.Once
+	done chan struct{}
+}
+
+func newFuture(op func()) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		op()
+	}()
+	return f
+}
+
+// CompletedFuture returns a Future that is already done. It is used when a
+// tile happens to be local and no communication is necessary, so the
+// prefetch pipeline can treat local and remote tiles uniformly.
+func CompletedFuture() *Future {
+	f := &Future{done: make(chan struct{})}
+	close(f.done)
+	return f
+}
+
+// After returns a Future that runs op once prev completes. A nil prev is
+// treated as already satisfied. This expresses the GEMM→accumulate
+// dependency chain of §4.2 (accumulate kernel dependent on the local GEMM).
+func After(prev *Future, op func()) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		if prev != nil {
+			prev.Wait()
+		}
+		op()
+	}()
+	return f
+}
+
+// Wait blocks until the future's operation has completed. It is safe to call
+// from multiple goroutines and more than once.
+func (f *Future) Wait() { <-f.done }
+
+// Done reports whether the future has completed without blocking.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitAll waits for every non-nil future in fs.
+func WaitAll(fs []*Future) {
+	for _, f := range fs {
+		if f != nil {
+			f.Wait()
+		}
+	}
+}

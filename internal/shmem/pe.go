@@ -1,0 +1,184 @@
+package shmem
+
+import "fmt"
+
+// PE is a processing element's handle to the world. A PE value is only valid
+// inside the World.Run body that created it and must not be shared across
+// ranks.
+type PE struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this PE's rank in [0, NumPE).
+func (pe *PE) Rank() int { return pe.rank }
+
+// NumPE returns the world size.
+func (pe *PE) NumPE() int { return pe.world.numPE }
+
+// World returns the world this PE belongs to.
+func (pe *PE) World() *World { return pe.world }
+
+// Local returns this PE's local storage for a segment. The returned slice
+// aliases symmetric memory; other PEs may read or accumulate into it at any
+// time, so callers must coordinate with barriers before assuming quiescence.
+func (pe *PE) Local(seg SegmentID) []float32 {
+	return pe.world.storage(seg, pe.rank)
+}
+
+// Get copies n = len(dst) elements starting at offset from the segment on
+// the remote rank into dst. This is the one-sided remote read primitive.
+func (pe *PE) Get(dst []float32, seg SegmentID, remote, offset int) {
+	src := pe.world.storage(seg, remote)
+	checkRange("Get", seg, remote, offset, len(dst), len(src))
+	copy(dst, src[offset:offset+len(dst)])
+	pe.world.count(remote != pe.rank, opGet, len(dst))
+}
+
+// Put copies src into the segment on the remote rank starting at offset.
+// This is the one-sided remote write primitive.
+func (pe *PE) Put(src []float32, seg SegmentID, remote, offset int) {
+	dst := pe.world.storage(seg, remote)
+	checkRange("Put", seg, remote, offset, len(src), len(dst))
+	copy(dst[offset:offset+len(src)], src)
+	pe.world.count(remote != pe.rank, opPut, len(src))
+}
+
+// AccumulateAdd atomically adds src element-wise into the segment on the
+// remote rank starting at offset. Concurrent accumulates into overlapping
+// regions are serialized; accumulates into disjoint stripe blocks proceed in
+// parallel, mirroring the paper's atomic accumulate kernel.
+func (pe *PE) AccumulateAdd(src []float32, seg SegmentID, remote, offset int) {
+	dst := pe.world.storage(seg, remote)
+	checkRange("AccumulateAdd", seg, remote, offset, len(src), len(dst))
+	pe.world.segLocks[seg].lockRange(offset, len(src), func() {
+		region := dst[offset : offset+len(src)]
+		for i, v := range src {
+			region[i] += v
+		}
+	})
+	pe.world.count(remote != pe.rank, opAccum, len(src))
+}
+
+// AccumulateAddGetPut accumulates src into a remote region using the
+// paper's inter-node scheme (§3): take a coarse-grained lock over the
+// target range, remote-get the current values, add locally, and remote-put
+// the result — the path used when the interconnect offers RDMA get/put but
+// no remote atomics. Semantically identical to AccumulateAdd (both
+// serialize through the same striped locks, so the two paths can be mixed
+// safely); the performance model charges it a full round trip.
+func (pe *PE) AccumulateAddGetPut(src []float32, seg SegmentID, remote, offset int) {
+	dst := pe.world.storage(seg, remote)
+	checkRange("AccumulateAddGetPut", seg, remote, offset, len(src), len(dst))
+	pe.world.segLocks[seg].lockRange(offset, len(src), func() {
+		tmp := make([]float32, len(src))
+		copy(tmp, dst[offset:offset+len(src)]) // remote get
+		for i, v := range src {
+			tmp[i] += v // local add
+		}
+		copy(dst[offset:offset+len(src)], tmp) // remote put
+	})
+	pe.world.count(remote != pe.rank, opGet, len(src))
+	pe.world.count(remote != pe.rank, opAccum, len(src))
+}
+
+// GetStrided copies a rows×cols block with the given row strides between a
+// remote segment region and dst. It is the 2-D variant of Get used when a
+// sub-tile (not a full tile) must be fetched.
+func (pe *PE) GetStrided(dst []float32, dstStride int, seg SegmentID, remote, offset, srcStride, rows, cols int) {
+	src := pe.world.storage(seg, remote)
+	checkStrided("GetStrided", seg, remote, offset, srcStride, rows, cols, len(src))
+	for r := 0; r < rows; r++ {
+		copy(dst[r*dstStride:r*dstStride+cols], src[offset+r*srcStride:offset+r*srcStride+cols])
+	}
+	pe.world.count(remote != pe.rank, opGet, rows*cols)
+}
+
+// PutStrided writes a rows×cols block from src into a remote segment region.
+func (pe *PE) PutStrided(src []float32, srcStride int, seg SegmentID, remote, offset, dstStride, rows, cols int) {
+	dst := pe.world.storage(seg, remote)
+	checkStrided("PutStrided", seg, remote, offset, dstStride, rows, cols, len(dst))
+	for r := 0; r < rows; r++ {
+		copy(dst[offset+r*dstStride:offset+r*dstStride+cols], src[r*srcStride:r*srcStride+cols])
+	}
+	pe.world.count(remote != pe.rank, opPut, rows*cols)
+}
+
+// AccumulateAddStrided atomically adds a rows×cols block from src into a
+// remote segment region. The whole block is guarded as one critical section
+// per stripe range.
+func (pe *PE) AccumulateAddStrided(src []float32, srcStride int, seg SegmentID, remote, offset, dstStride, rows, cols int) {
+	dst := pe.world.storage(seg, remote)
+	checkStrided("AccumulateAddStrided", seg, remote, offset, dstStride, rows, cols, len(dst))
+	span := 0
+	if rows > 0 {
+		span = (rows-1)*dstStride + cols
+	}
+	pe.world.segLocks[seg].lockRange(offset, span, func() {
+		for r := 0; r < rows; r++ {
+			d := dst[offset+r*dstStride : offset+r*dstStride+cols]
+			s := src[r*srcStride : r*srcStride+cols]
+			for i, v := range s {
+				d[i] += v
+			}
+		}
+	})
+	pe.world.count(remote != pe.rank, opAccum, rows*cols)
+}
+
+// GetAsync starts a one-sided read and returns a Future that completes when
+// dst has been filled. It models the host-initiated asynchronous tile copy
+// (get_tile_async in Table 1).
+func (pe *PE) GetAsync(dst []float32, seg SegmentID, remote, offset int) *Future {
+	return newFuture(func() { pe.Get(dst, seg, remote, offset) })
+}
+
+// AccumulateAddAsync starts a one-sided accumulate and returns a Future.
+func (pe *PE) AccumulateAddAsync(src []float32, seg SegmentID, remote, offset int) *Future {
+	return newFuture(func() { pe.AccumulateAdd(src, seg, remote, offset) })
+}
+
+// Barrier blocks until every PE in the world has entered the barrier.
+func (pe *PE) Barrier() { pe.world.barrier.await() }
+
+// AllocSymmetric performs a collective symmetric allocation from inside a
+// PE body, with OpenSHMEM shmem_malloc semantics: every PE must call it in
+// the same order with the same size, and the k-th call on every rank
+// returns the same world-wide SegmentID. The first rank to reach call k
+// creates the segment; the others adopt it.
+func (pe *PE) AllocSymmetric(n int) SegmentID {
+	w := pe.world
+	w.collMu.Lock()
+	defer w.collMu.Unlock()
+	seq := w.peAllocSeq[pe.rank]
+	w.peAllocSeq[pe.rank]++
+	if seq == len(w.collSegs) {
+		w.collSegs = append(w.collSegs, w.AllocSymmetric(n))
+	} else if seq > len(w.collSegs) {
+		panic(fmt.Sprintf("shmem: rank %d collective allocation %d ahead of world (%d created)",
+			pe.rank, seq, len(w.collSegs)))
+	}
+	seg := w.collSegs[seq]
+	if got := w.SegmentLen(seg); got != n {
+		panic(fmt.Sprintf("shmem: mismatched collective allocation %d: rank %d wants %d elements, world created %d",
+			seq, pe.rank, n, got))
+	}
+	return seg
+}
+
+func checkRange(op string, seg SegmentID, remote, offset, n, segLen int) {
+	if offset < 0 || n < 0 || offset+n > segLen {
+		panic(fmt.Sprintf("shmem: %s out of range: seg %d pe %d offset %d len %d (segment holds %d)",
+			op, seg, remote, offset, n, segLen))
+	}
+}
+
+func checkStrided(op string, seg SegmentID, remote, offset, stride, rows, cols, segLen int) {
+	if rows < 0 || cols < 0 || offset < 0 || stride < cols {
+		panic(fmt.Sprintf("shmem: %s invalid block: offset %d stride %d rows %d cols %d", op, offset, stride, rows, cols))
+	}
+	if rows > 0 && offset+(rows-1)*stride+cols > segLen {
+		panic(fmt.Sprintf("shmem: %s out of range: seg %d pe %d offset %d stride %d rows %d cols %d (segment holds %d)",
+			op, seg, remote, offset, stride, rows, cols, segLen))
+	}
+}

@@ -1,0 +1,274 @@
+// Package shmem implements an in-process PGAS (partitioned global address
+// space) runtime that stands in for Intel SHMEM / NVSHMEM in the paper.
+//
+// A World holds p processing elements (PEs). Each PE runs as its own
+// goroutine inside World.Run. Symmetric memory is allocated collectively:
+// AllocSymmetric reserves a segment of the same size on every PE, returning
+// a SegmentID valid world-wide, exactly like a symmetric-heap allocation in
+// OpenSHMEM. PEs then communicate only through one-sided operations — Get,
+// Put, and AccumulateAdd — addressed by (segment, remote rank, offset),
+// never by message passing. This reproduces the communication model the
+// universal algorithm requires: remote get and remote accumulate (§1, §3 of
+// the paper).
+//
+// AccumulateAdd is atomic with respect to other accumulates to the same
+// segment (striped locks play the role of the paper's atomic-add kernel /
+// coarse-grained inter-node locking), so concurrent partial-result updates
+// from many PEs are safe, as required by Stationary A/B data movement.
+package shmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SegmentID names a symmetric allocation: the same logical segment exists on
+// every PE in the world.
+type SegmentID int
+
+// Stats aggregates one-sided traffic counters for a world. Remote counts
+// cover operations whose target rank differs from the initiating PE; local
+// operations are also tracked since algorithms often read their own replica
+// through the same primitives.
+type Stats struct {
+	RemoteGetBytes   int64
+	RemotePutBytes   int64
+	RemoteAccumBytes int64
+	LocalGetBytes    int64
+	LocalPutBytes    int64
+	LocalAccumBytes  int64
+	RemoteOps        int64
+	LocalOps         int64
+}
+
+// World is a collection of PEs sharing a symmetric heap.
+type World struct {
+	numPE int
+
+	mu       sync.Mutex
+	segments [][][]float32 // segments[seg][pe] -> storage, allocated lazily
+	segSizes []int
+	segLocks []*stripedLock
+
+	barrier *barrier
+
+	// Collective-allocation bookkeeping: the k-th PE.AllocSymmetric call on
+	// every rank resolves to the same segment (collSegs[k]); peAllocSeq
+	// tracks each rank's next call index.
+	collMu     sync.Mutex
+	collSegs   []SegmentID
+	peAllocSeq []int
+
+	remoteGetBytes   atomic.Int64
+	remotePutBytes   atomic.Int64
+	remoteAccumBytes atomic.Int64
+	localGetBytes    atomic.Int64
+	localPutBytes    atomic.Int64
+	localAccumBytes  atomic.Int64
+	remoteOps        atomic.Int64
+	localOps         atomic.Int64
+}
+
+// NewWorld creates a world with numPE processing elements.
+func NewWorld(numPE int) *World {
+	if numPE <= 0 {
+		panic(fmt.Sprintf("shmem: invalid world size %d", numPE))
+	}
+	return &World{numPE: numPE, barrier: newBarrier(numPE), peAllocSeq: make([]int, numPE)}
+}
+
+// Allocator abstracts symmetric-heap allocation so data structures can be
+// built either ahead of Run (from the *World, host-side) or collectively
+// from inside PE bodies (from a *PE, OpenSHMEM shmem_malloc-style). Both
+// *World and *PE implement it.
+type Allocator interface {
+	// AllocSymmetric reserves a segment of n float32 on every PE.
+	AllocSymmetric(n int) SegmentID
+	// World returns the world the allocation lives in.
+	World() *World
+}
+
+// World returns the world itself, satisfying Allocator.
+func (w *World) World() *World { return w }
+
+// NumPE returns the number of processing elements in the world.
+func (w *World) NumPE() int { return w.numPE }
+
+// AllocSymmetric reserves a segment of n float32 elements on every PE and
+// returns its world-wide ID. It may be called before Run or from inside a PE
+// body; in the latter case the caller is responsible for ensuring all PEs
+// agree on allocation order (typically by allocating before Run, as the
+// distributed-matrix layer does).
+func (w *World) AllocSymmetric(n int) SegmentID {
+	if n < 0 {
+		panic(fmt.Sprintf("shmem: invalid segment size %d", n))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := SegmentID(len(w.segments))
+	// Backing arrays are allocated lazily on first access so that
+	// metadata-only uses (the simulated-time backends, which never touch
+	// element data) do not pay for multi-gigabyte matrices.
+	w.segments = append(w.segments, make([][]float32, w.numPE))
+	w.segSizes = append(w.segSizes, n)
+	w.segLocks = append(w.segLocks, newStripedLock())
+	return id
+}
+
+// SegmentStorage returns rank's backing array for a segment, for
+// host-side initialization before the world runs (e.g. populating sparse
+// tile buffers at construction). Using it while PEs are running bypasses
+// the one-sided discipline and its traffic accounting; inside Run, use PE
+// operations instead.
+func (w *World) SegmentStorage(seg SegmentID, rank int) []float32 {
+	return w.storage(seg, rank)
+}
+
+// SegmentLen returns the per-PE length of a segment.
+func (w *World) SegmentLen(seg SegmentID) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.segSizes[seg]
+}
+
+// Run spawns one goroutine per PE, invokes body with each PE handle, and
+// waits for all of them to return. Panics inside a PE body are re-raised on
+// the caller after all other PEs have been allowed to finish or deadlock is
+// avoided by the panic propagating first.
+func (w *World) Run(body func(pe *PE)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.numPE)
+	for rank := 0; rank < w.numPE; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[rank] = r
+					// Release peers that may be stuck in a barrier.
+					w.barrier.poison()
+				}
+			}()
+			body(&PE{world: w, rank: rank})
+		}(rank)
+	}
+	wg.Wait()
+	w.barrier.reset()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Stats returns a snapshot of the world's traffic counters.
+func (w *World) Stats() Stats {
+	return Stats{
+		RemoteGetBytes:   w.remoteGetBytes.Load(),
+		RemotePutBytes:   w.remotePutBytes.Load(),
+		RemoteAccumBytes: w.remoteAccumBytes.Load(),
+		LocalGetBytes:    w.localGetBytes.Load(),
+		LocalPutBytes:    w.localPutBytes.Load(),
+		LocalAccumBytes:  w.localAccumBytes.Load(),
+		RemoteOps:        w.remoteOps.Load(),
+		LocalOps:         w.localOps.Load(),
+	}
+}
+
+// ResetStats zeroes the world's traffic counters.
+func (w *World) ResetStats() {
+	w.remoteGetBytes.Store(0)
+	w.remotePutBytes.Store(0)
+	w.remoteAccumBytes.Store(0)
+	w.localGetBytes.Store(0)
+	w.localPutBytes.Store(0)
+	w.localAccumBytes.Store(0)
+	w.remoteOps.Store(0)
+	w.localOps.Store(0)
+}
+
+func (w *World) storage(seg SegmentID, pe int) []float32 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if int(seg) < 0 || int(seg) >= len(w.segments) {
+		panic(fmt.Sprintf("shmem: unknown segment %d", seg))
+	}
+	if pe < 0 || pe >= w.numPE {
+		panic(fmt.Sprintf("shmem: rank %d out of world of %d PEs", pe, w.numPE))
+	}
+	if w.segments[seg][pe] == nil && w.segSizes[seg] > 0 {
+		w.segments[seg][pe] = make([]float32, w.segSizes[seg])
+	}
+	return w.segments[seg][pe]
+}
+
+func (w *World) count(remote bool, kind opKind, n int) {
+	bytes := int64(n) * 4
+	if remote {
+		w.remoteOps.Add(1)
+		switch kind {
+		case opGet:
+			w.remoteGetBytes.Add(bytes)
+		case opPut:
+			w.remotePutBytes.Add(bytes)
+		case opAccum:
+			w.remoteAccumBytes.Add(bytes)
+		}
+	} else {
+		w.localOps.Add(1)
+		switch kind {
+		case opGet:
+			w.localGetBytes.Add(bytes)
+		case opPut:
+			w.localPutBytes.Add(bytes)
+		case opAccum:
+			w.localAccumBytes.Add(bytes)
+		}
+	}
+}
+
+type opKind int
+
+const (
+	opGet opKind = iota
+	opPut
+	opAccum
+)
+
+// stripedLock guards concurrent accumulates into a segment. Striping by
+// offset block lets accumulates into disjoint regions of a large tile
+// proceed in parallel, approximating the fine-grained atomics of the paper's
+// GPU accumulate kernel.
+type stripedLock struct {
+	stripes [16]sync.Mutex
+}
+
+func newStripedLock() *stripedLock { return &stripedLock{} }
+
+const stripeBlock = 4096 // float32s per stripe block
+
+func (s *stripedLock) lockRange(offset, n int, f func()) {
+	first := offset / stripeBlock % len(s.stripes)
+	last := (offset + n - 1) / stripeBlock % len(s.stripes)
+	if n <= 0 {
+		f()
+		return
+	}
+	if first == last {
+		s.stripes[first].Lock()
+		defer s.stripes[first].Unlock()
+		f()
+		return
+	}
+	// Range spans stripes: take the whole set in order to avoid deadlock.
+	for i := range s.stripes {
+		s.stripes[i].Lock()
+	}
+	defer func() {
+		for i := range s.stripes {
+			s.stripes[i].Unlock()
+		}
+	}()
+	f()
+}

@@ -1,0 +1,454 @@
+package shmem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorldBasics(t *testing.T) {
+	w := NewWorld(4)
+	if w.NumPE() != 4 {
+		t.Fatalf("NumPE = %d", w.NumPE())
+	}
+	seg := w.AllocSymmetric(16)
+	if w.SegmentLen(seg) != 16 {
+		t.Fatalf("SegmentLen = %d", w.SegmentLen(seg))
+	}
+}
+
+func TestNewWorldPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) should panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestRunAllRanksExecute(t *testing.T) {
+	w := NewWorld(8)
+	var seen [8]atomic.Bool
+	w.Run(func(pe *PE) {
+		if pe.NumPE() != 8 {
+			t.Errorf("NumPE inside body = %d", pe.NumPE())
+		}
+		seen[pe.Rank()].Store(true)
+	})
+	for r := range seen {
+		if !seen[r].Load() {
+			t.Fatalf("rank %d did not run", r)
+		}
+	}
+}
+
+func TestPutThenGet(t *testing.T) {
+	w := NewWorld(2)
+	seg := w.AllocSymmetric(4)
+	w.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			pe.Put([]float32{1, 2, 3, 4}, seg, 1, 0)
+		}
+		pe.Barrier()
+		if pe.Rank() == 1 {
+			local := pe.Local(seg)
+			if local[0] != 1 || local[3] != 4 {
+				t.Errorf("remote put not visible: %v", local)
+			}
+		}
+		got := make([]float32, 4)
+		pe.Get(got, seg, 1, 0)
+		if got[2] != 3 {
+			t.Errorf("get from rank 1 wrong: %v", got)
+		}
+	})
+}
+
+func TestGetOffsetWindow(t *testing.T) {
+	w := NewWorld(2)
+	seg := w.AllocSymmetric(8)
+	w.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			pe.Put([]float32{10, 11, 12}, seg, 1, 4)
+		}
+		pe.Barrier()
+		dst := make([]float32, 2)
+		pe.Get(dst, seg, 1, 5)
+		if dst[0] != 11 || dst[1] != 12 {
+			t.Errorf("offset get wrong: %v", dst)
+		}
+	})
+}
+
+func TestAccumulateAddConcurrent(t *testing.T) {
+	const p = 8
+	const iters = 50
+	w := NewWorld(p)
+	seg := w.AllocSymmetric(4)
+	w.Run(func(pe *PE) {
+		for i := 0; i < iters; i++ {
+			pe.AccumulateAdd([]float32{1, 1, 1, 1}, seg, 0, 0)
+		}
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			local := pe.Local(seg)
+			for i, v := range local {
+				if v != p*iters {
+					t.Errorf("element %d = %v, want %d", i, v, p*iters)
+				}
+			}
+		}
+	})
+}
+
+func TestAccumulateAddStridedConcurrent(t *testing.T) {
+	const p = 6
+	w := NewWorld(p)
+	seg := w.AllocSymmetric(16)  // 4x4 tile
+	src := []float32{1, 2, 3, 4} // 2x2 block
+	w.Run(func(pe *PE) {
+		// All PEs accumulate the same 2x2 block at (1,1) of rank 0's tile.
+		pe.AccumulateAddStrided(src, 2, seg, 0, 1*4+1, 4, 2, 2)
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			local := pe.Local(seg)
+			want := map[int]float32{5: p * 1, 6: p * 2, 9: p * 3, 10: p * 4}
+			for i, v := range local {
+				if v != want[i] {
+					t.Errorf("offset %d = %v, want %v", i, v, want[i])
+				}
+			}
+		}
+	})
+}
+
+func TestStridedGetPut(t *testing.T) {
+	w := NewWorld(2)
+	seg := w.AllocSymmetric(12) // 3x4
+	w.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			// Write a 2x2 block into (1,1)..(2,2) of rank 1's 3x4 tile.
+			pe.PutStrided([]float32{1, 2, 3, 4}, 2, seg, 1, 1*4+1, 4, 2, 2)
+		}
+		pe.Barrier()
+		dst := make([]float32, 4)
+		pe.GetStrided(dst, 2, seg, 1, 1*4+1, 4, 2, 2)
+		if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 || dst[3] != 4 {
+			t.Errorf("strided round trip wrong: %v", dst)
+		}
+	})
+}
+
+func TestGetAsyncFuture(t *testing.T) {
+	w := NewWorld(2)
+	seg := w.AllocSymmetric(4)
+	w.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			pe.Put([]float32{7, 8, 9, 10}, seg, 1, 0)
+		}
+		pe.Barrier()
+		dst := make([]float32, 4)
+		f := pe.GetAsync(dst, seg, 1, 0)
+		f.Wait()
+		if dst[3] != 10 {
+			t.Errorf("async get wrong: %v", dst)
+		}
+		if !f.Done() {
+			t.Error("future should report done after Wait")
+		}
+	})
+}
+
+func TestFutureChaining(t *testing.T) {
+	var order []int
+	var mu sync.Mutex
+	record := func(i int) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	}
+	f1 := newFuture(func() { record(1) })
+	f2 := After(f1, func() { record(2) })
+	f3 := After(f2, func() { record(3) })
+	f3.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("chained execution order = %v", order)
+	}
+}
+
+func TestAfterNilPrev(t *testing.T) {
+	ran := false
+	After(nil, func() { ran = true }).Wait()
+	if !ran {
+		t.Fatal("After(nil, op) should run op")
+	}
+}
+
+func TestCompletedFuture(t *testing.T) {
+	f := CompletedFuture()
+	if !f.Done() {
+		t.Fatal("CompletedFuture should be done immediately")
+	}
+	f.Wait() // must not block
+}
+
+func TestWaitAllWithNils(t *testing.T) {
+	fs := []*Future{nil, CompletedFuture(), newFuture(func() {})}
+	WaitAll(fs) // must not panic or hang
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const p = 6
+	w := NewWorld(p)
+	seg := w.AllocSymmetric(1)
+	w.Run(func(pe *PE) {
+		pe.Put([]float32{float32(pe.Rank() + 1)}, seg, (pe.Rank()+1)%p, 0)
+		pe.Barrier()
+		// After the barrier, every PE must observe its neighbor's write.
+		local := pe.Local(seg)
+		want := float32((pe.Rank()-1+p)%p) + 1
+		if local[0] != want {
+			t.Errorf("rank %d saw %v, want %v", pe.Rank(), local[0], want)
+		}
+		pe.Barrier()
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	seg := w.AllocSymmetric(1)
+	w.Run(func(pe *PE) {
+		for round := 0; round < 10; round++ {
+			if pe.Rank() == 0 {
+				pe.Put([]float32{float32(round)}, seg, p-1, 0)
+			}
+			pe.Barrier()
+			got := make([]float32, 1)
+			pe.Get(got, seg, p-1, 0)
+			if got[0] != float32(round) {
+				t.Errorf("round %d: saw %v", round, got[0])
+			}
+			pe.Barrier()
+		}
+	})
+}
+
+func TestStatsCounting(t *testing.T) {
+	w := NewWorld(2)
+	seg := w.AllocSymmetric(8)
+	w.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			dst := make([]float32, 8)
+			pe.Get(dst, seg, 1, 0)               // remote: 32 bytes
+			pe.Get(dst[:2], seg, 0, 0)           // local: 8 bytes
+			pe.AccumulateAdd(dst[:4], seg, 1, 0) // remote accum: 16 bytes
+		}
+	})
+	s := w.Stats()
+	if s.RemoteGetBytes != 32 {
+		t.Errorf("RemoteGetBytes = %d", s.RemoteGetBytes)
+	}
+	if s.LocalGetBytes != 8 {
+		t.Errorf("LocalGetBytes = %d", s.LocalGetBytes)
+	}
+	if s.RemoteAccumBytes != 16 {
+		t.Errorf("RemoteAccumBytes = %d", s.RemoteAccumBytes)
+	}
+	if s.RemoteOps != 2 || s.LocalOps != 1 {
+		t.Errorf("ops = %d remote, %d local", s.RemoteOps, s.LocalOps)
+	}
+	w.ResetStats()
+	if w.Stats().RemoteGetBytes != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	w := NewWorld(1)
+	seg := w.AllocSymmetric(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Get should panic")
+		}
+	}()
+	w.Run(func(pe *PE) {
+		dst := make([]float32, 8)
+		pe.Get(dst, seg, 0, 0)
+	})
+}
+
+func TestAccumulateOutOfRangePanics(t *testing.T) {
+	w := NewWorld(1)
+	seg := w.AllocSymmetric(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AccumulateAdd should panic")
+		}
+	}()
+	w.Run(func(pe *PE) {
+		pe.AccumulateAdd(make([]float32, 2), seg, 0, 3)
+	})
+}
+
+func TestUnknownSegmentPanics(t *testing.T) {
+	w := NewWorld(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown segment should panic")
+		}
+	}()
+	w.Run(func(pe *PE) {
+		pe.Get(make([]float32, 1), SegmentID(99), 0, 0)
+	})
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	w := NewWorld(2)
+	seg := w.AllocSymmetric(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid rank should panic")
+		}
+	}()
+	w.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			pe.Get(make([]float32, 1), seg, 5, 0)
+		}
+	})
+}
+
+func TestPanicInOneRankPropagatesWithoutDeadlock(t *testing.T) {
+	w := NewWorld(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in PE body should propagate from Run")
+		}
+	}()
+	w.Run(func(pe *PE) {
+		if pe.Rank() == 2 {
+			panic("boom")
+		}
+		pe.Barrier() // would deadlock without barrier poisoning
+	})
+}
+
+func TestWorldReusableAfterPanic(t *testing.T) {
+	w := NewWorld(3)
+	func() {
+		defer func() { recover() }()
+		w.Run(func(pe *PE) {
+			if pe.Rank() == 0 {
+				panic("first run dies")
+			}
+			pe.Barrier()
+		})
+	}()
+	// The barrier must be reset so a subsequent Run works.
+	var ran atomic.Int32
+	w.Run(func(pe *PE) {
+		pe.Barrier()
+		ran.Add(1)
+	})
+	if ran.Load() != 3 {
+		t.Fatalf("second Run executed %d ranks", ran.Load())
+	}
+}
+
+func TestSymmetricSegmentsIndependentPerPE(t *testing.T) {
+	w := NewWorld(3)
+	seg := w.AllocSymmetric(2)
+	w.Run(func(pe *PE) {
+		local := pe.Local(seg)
+		local[0] = float32(pe.Rank())
+		pe.Barrier()
+		for r := 0; r < pe.NumPE(); r++ {
+			got := make([]float32, 1)
+			pe.Get(got, seg, r, 0)
+			if got[0] != float32(r) {
+				t.Errorf("segment on rank %d holds %v", r, got[0])
+			}
+		}
+	})
+}
+
+func TestCollectiveAllocSameSegment(t *testing.T) {
+	w := NewWorld(4)
+	segs := make([]SegmentID, 4)
+	w.Run(func(pe *PE) {
+		// Two collective allocations per PE, in the same order everywhere.
+		s1 := pe.AllocSymmetric(8)
+		s2 := pe.AllocSymmetric(16)
+		segs[pe.Rank()] = s1
+		if s1 == s2 {
+			t.Errorf("distinct collective allocations must differ")
+		}
+		// Data written through the collective segment is visible world-wide.
+		local := pe.Local(s2)
+		local[0] = float32(pe.Rank())
+		pe.Barrier()
+		got := make([]float32, 1)
+		pe.Get(got, s2, (pe.Rank()+1)%4, 0)
+		if got[0] != float32((pe.Rank()+1)%4) {
+			t.Errorf("rank %d read %v from neighbor", pe.Rank(), got[0])
+		}
+	})
+	for r := 1; r < 4; r++ {
+		if segs[r] != segs[0] {
+			t.Fatalf("collective allocation differs across ranks: %v", segs)
+		}
+	}
+}
+
+func TestCollectiveAllocSizeMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched collective sizes should panic")
+		}
+	}()
+	w.Run(func(pe *PE) {
+		pe.AllocSymmetric(4 + pe.Rank()) // ranks disagree on size
+	})
+}
+
+// The get+put accumulate (inter-node path, §3) must be exactly equivalent
+// to the atomic-add path, including when both are used concurrently on the
+// same region.
+func TestAccumulateGetPutEquivalent(t *testing.T) {
+	const p = 8
+	const iters = 25
+	w := NewWorld(p)
+	seg := w.AllocSymmetric(4)
+	w.Run(func(pe *PE) {
+		for i := 0; i < iters; i++ {
+			if (pe.Rank()+i)%2 == 0 {
+				pe.AccumulateAdd([]float32{1, 1, 1, 1}, seg, 0, 0)
+			} else {
+				pe.AccumulateAddGetPut([]float32{1, 1, 1, 1}, seg, 0, 0)
+			}
+		}
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			for i, v := range pe.Local(seg) {
+				if v != p*iters {
+					t.Errorf("element %d = %v, want %d", i, v, p*iters)
+				}
+			}
+		}
+	})
+}
+
+func TestAccumulateGetPutCountsBothDirections(t *testing.T) {
+	w := NewWorld(2)
+	seg := w.AllocSymmetric(8)
+	w.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			pe.AccumulateAddGetPut(make([]float32, 8), seg, 1, 0)
+		}
+	})
+	s := w.Stats()
+	if s.RemoteGetBytes != 32 || s.RemoteAccumBytes != 32 {
+		t.Fatalf("get+put accumulate traffic: get=%d accum=%d, want 32/32", s.RemoteGetBytes, s.RemoteAccumBytes)
+	}
+}

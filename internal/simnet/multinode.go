@@ -1,0 +1,79 @@
+package simnet
+
+import "fmt"
+
+// MultiNode models a cluster of identical GPU nodes: PEs within one node
+// communicate over the intra-node interconnect (NVLink/Xe Link class),
+// PEs on different nodes over the inter-node fabric through each node's
+// NIC (RDMA class). The paper's data structure explicitly supports this
+// regime — accumulate_tile falls back to coarse-grained locking with
+// remote get/put across nodes (§3) — and this topology lets the benchmark
+// harness explore it.
+type MultiNode struct {
+	Nodes, PerNode int
+	IntraBW        float64 // bytes/s within a node
+	InterBW        float64 // bytes/s across nodes (per-pair share of the NIC)
+	LocalBW        float64 // bytes/s for src == dst
+	IntraLat       float64
+	InterLat       float64
+	TopoName       string
+}
+
+// NewMultiNode builds a cluster topology of nodes × perNode PEs.
+func NewMultiNode(nodes, perNode int, intraBW, interBW, localBW, intraLat, interLat float64, name string) *MultiNode {
+	if nodes <= 0 || perNode <= 0 {
+		panic(fmt.Sprintf("simnet: invalid cluster %dx%d", nodes, perNode))
+	}
+	return &MultiNode{
+		Nodes: nodes, PerNode: perNode,
+		IntraBW: intraBW, InterBW: interBW, LocalBW: localBW,
+		IntraLat: intraLat, InterLat: interLat, TopoName: name,
+	}
+}
+
+// PresetH100Cluster returns a cluster of H100 nodes: 450 GB/s NVLink
+// inside a node, a 400 Gb/s-class RDMA NIC (50 GB/s) between nodes, with
+// microsecond-scale inter-node latency.
+func PresetH100Cluster(nodes int) *MultiNode {
+	return NewMultiNode(nodes, 8,
+		450*gb, 50*gb, 2000*gb,
+		3*us, 10*us, fmt.Sprintf("%dx8xH100 cluster", nodes))
+}
+
+func (t *MultiNode) NumPE() int { return t.Nodes * t.PerNode }
+
+// NodeOf returns the node index hosting a PE.
+func (t *MultiNode) NodeOf(pe int) int { return pe / t.PerNode }
+
+func (t *MultiNode) Bandwidth(src, dst int) float64 {
+	t.check(src, dst)
+	switch {
+	case src == dst:
+		return t.LocalBW
+	case t.NodeOf(src) == t.NodeOf(dst):
+		return t.IntraBW
+	default:
+		return t.InterBW
+	}
+}
+
+func (t *MultiNode) Latency(src, dst int) float64 {
+	t.check(src, dst)
+	switch {
+	case src == dst:
+		return 0
+	case t.NodeOf(src) == t.NodeOf(dst):
+		return t.IntraLat
+	default:
+		return t.InterLat
+	}
+}
+
+func (t *MultiNode) Name() string { return t.TopoName }
+
+func (t *MultiNode) check(src, dst int) {
+	p := t.NumPE()
+	if src < 0 || src >= p || dst < 0 || dst >= p {
+		panic(fmt.Sprintf("simnet: pe pair (%d,%d) out of %d-PE cluster", src, dst, p))
+	}
+}

@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformBandwidth(t *testing.T) {
+	u := NewUniform(4, 100e9, 1000e9, 1e-6, "test")
+	if u.NumPE() != 4 {
+		t.Fatalf("NumPE = %d", u.NumPE())
+	}
+	if bw := u.Bandwidth(0, 1); bw != 100e9 {
+		t.Fatalf("remote BW = %g", bw)
+	}
+	if bw := u.Bandwidth(2, 2); bw != 1000e9 {
+		t.Fatalf("local BW = %g", bw)
+	}
+	if lat := u.Latency(0, 1); lat != 1e-6 {
+		t.Fatalf("remote latency = %g", lat)
+	}
+	if lat := u.Latency(3, 3); lat != 0 {
+		t.Fatalf("local latency = %g", lat)
+	}
+}
+
+func TestUniformPanicsOutOfRange(t *testing.T) {
+	u := NewUniform(2, 1e9, 1e9, 0, "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range pair should panic")
+		}
+	}()
+	u.Bandwidth(0, 2)
+}
+
+func TestTwoLevelTiers(t *testing.T) {
+	tl := NewTwoLevel(12, 2, 230e9, 26.5e9, 1000e9, 2e-6, 5e-6, "pvc")
+	// Same package (0,1), cross package (0,2), local (5,5).
+	if bw := tl.Bandwidth(0, 1); bw != 230e9 {
+		t.Fatalf("intra-group BW = %g", bw)
+	}
+	if bw := tl.Bandwidth(0, 2); bw != 26.5e9 {
+		t.Fatalf("inter-group BW = %g", bw)
+	}
+	if bw := tl.Bandwidth(5, 5); bw != 1000e9 {
+		t.Fatalf("local BW = %g", bw)
+	}
+	if lat := tl.Latency(10, 11); lat != 2e-6 {
+		t.Fatalf("intra latency = %g", lat)
+	}
+	if lat := tl.Latency(0, 11); lat != 5e-6 {
+		t.Fatalf("inter latency = %g", lat)
+	}
+}
+
+func TestTwoLevelRequiresDivisibleGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p %% groupSize != 0 should panic")
+		}
+	}()
+	NewTwoLevel(10, 3, 1e9, 1e9, 1e9, 0, 0, "bad")
+}
+
+func TestTransferTime(t *testing.T) {
+	u := NewUniform(2, 100e9, 1000e9, 1e-6, "t")
+	// 1 GB over 100 GB/s = 10 ms, plus 1 us latency.
+	got := TransferTime(u, 0, 1, 1e9)
+	want := 1e-6 + 1e9/100e9
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TransferTime = %g, want %g", got, want)
+	}
+	if TransferTime(u, 0, 1, 0) != 0 {
+		t.Fatal("zero-byte transfer should take no time")
+	}
+}
+
+// E2: the Table 2 presets must match the paper's published system numbers.
+func TestPresetPVCMatchesTable2(t *testing.T) {
+	p := PresetPVC()
+	if p.NumPE() != 12 {
+		t.Fatalf("PVC devices = %d, want 12", p.NumPE())
+	}
+	if bw := p.Bandwidth(0, 4); bw != 26.5e9 {
+		t.Fatalf("PVC Xe Link BW = %g, want 26.5 GB/s", bw)
+	}
+	if bw := p.Bandwidth(0, 1); bw != 230e9 {
+		t.Fatalf("PVC inter-tile BW = %g, want 230 GB/s", bw)
+	}
+	// Tiles 2k and 2k+1 form one package.
+	if p.Bandwidth(2, 3) != 230e9 || p.Bandwidth(3, 4) != 26.5e9 {
+		t.Fatal("PVC package grouping wrong")
+	}
+}
+
+func TestPresetH100MatchesTable2(t *testing.T) {
+	h := PresetH100()
+	if h.NumPE() != 8 {
+		t.Fatalf("H100 devices = %d, want 8", h.NumPE())
+	}
+	if bw := h.Bandwidth(0, 7); bw != 450e9 {
+		t.Fatalf("H100 NVLink BW = %g, want 450 GB/s", bw)
+	}
+}
+
+func TestBandwidthSymmetricForPresets(t *testing.T) {
+	for _, topo := range []Topology{PresetPVC(), PresetH100()} {
+		p := topo.NumPE()
+		for src := 0; src < p; src++ {
+			for dst := 0; dst < p; dst++ {
+				if topo.Bandwidth(src, dst) != topo.Bandwidth(dst, src) {
+					t.Fatalf("%s: asymmetric BW (%d,%d)", topo.Name(), src, dst)
+				}
+				if topo.Latency(src, dst) != topo.Latency(dst, src) {
+					t.Fatalf("%s: asymmetric latency (%d,%d)", topo.Name(), src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiNodeTiers(t *testing.T) {
+	c := NewMultiNode(2, 4, 450e9, 50e9, 2000e9, 3e-6, 10e-6, "cluster")
+	if c.NumPE() != 8 {
+		t.Fatalf("NumPE = %d", c.NumPE())
+	}
+	if c.NodeOf(3) != 0 || c.NodeOf(4) != 1 {
+		t.Fatal("NodeOf wrong")
+	}
+	if bw := c.Bandwidth(0, 3); bw != 450e9 {
+		t.Fatalf("intra-node BW = %g", bw)
+	}
+	if bw := c.Bandwidth(0, 4); bw != 50e9 {
+		t.Fatalf("inter-node BW = %g", bw)
+	}
+	if bw := c.Bandwidth(5, 5); bw != 2000e9 {
+		t.Fatalf("local BW = %g", bw)
+	}
+	if lat := c.Latency(0, 7); lat != 10e-6 {
+		t.Fatalf("inter latency = %g", lat)
+	}
+}
+
+func TestPresetH100Cluster(t *testing.T) {
+	c := PresetH100Cluster(4)
+	if c.NumPE() != 32 {
+		t.Fatalf("4-node cluster has %d PEs", c.NumPE())
+	}
+	if c.Bandwidth(0, 8) >= c.Bandwidth(0, 1) {
+		t.Fatal("inter-node must be slower than intra-node")
+	}
+}
+
+func TestMultiNodeInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid cluster should panic")
+		}
+	}()
+	NewMultiNode(0, 4, 1, 1, 1, 0, 0, "bad")
+}

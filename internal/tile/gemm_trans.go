@@ -1,0 +1,103 @@
+package tile
+
+import "fmt"
+
+// Transpose flags for the general GEMM entry points. They follow BLAS
+// conventions: with TransA, the A operand is stored as its transpose
+// (k×m) and the multiplication uses Aᵀ.
+type TransFlag bool
+
+const (
+	NoTrans TransFlag = false
+	Trans   TransFlag = true
+)
+
+// GemmT computes C += op(A)·op(B) where op(X) is X or Xᵀ according to the
+// flags. A is stored m×k when transA is NoTrans and k×m otherwise;
+// likewise for B. These kernels exist for the backward pass of a linear
+// layer (dX = dY·Wᵀ, dW = Xᵀ·dY), which the paper's sequence-parallelism
+// discussion (§2.2) identifies as the moment weights must be communicated.
+func GemmT(c, a, b *Matrix, transA, transB TransFlag) {
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		Gemm(c, a, b)
+	case transA == Trans && transB == NoTrans:
+		gemmTN(c, a, b)
+	case transA == NoTrans && transB == Trans:
+		gemmNT(c, a, b)
+	default:
+		gemmTT(c, a, b)
+	}
+}
+
+// gemmTN computes C += Aᵀ·B with A stored k×m. The loop order keeps B and
+// C accesses row-contiguous; A is walked down columns, which the blocked
+// outer loop keeps cache-resident.
+func gemmTN(c, a, b *Matrix) {
+	k, m := a.Rows, a.Cols
+	if b.Rows != k || c.Rows != m || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tile: gemmTN shape mismatch C %dx%d = A^T(%dx%d) * B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for l0 := 0; l0 < k; l0 += blockSize {
+		lMax := min(l0+blockSize, k)
+		for i := 0; i < m; i++ {
+			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			for l := l0; l < lMax; l++ {
+				av := a.Data[l*a.Stride+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[l*b.Stride : l*b.Stride+b.Cols]
+				for j := range crow {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// gemmNT computes C += A·Bᵀ with B stored n×k. Inner products of
+// contiguous rows: both A and B rows stream sequentially.
+func gemmNT(c, a, b *Matrix) {
+	m, k := a.Rows, a.Cols
+	n := b.Rows
+	if b.Cols != k || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("tile: gemmNT shape mismatch C %dx%d = A %dx%d * B^T(%dx%d)",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+k]
+		crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*b.Stride : j*b.Stride+k]
+			var sum float32
+			for l := range arow {
+				sum += arow[l] * brow[l]
+			}
+			crow[j] += sum
+		}
+	}
+}
+
+// gemmTT computes C += Aᵀ·Bᵀ (A stored k×m, B stored n×k) via the identity
+// (Aᵀ·Bᵀ)ᵢⱼ = Σ A[l,i]·B[j,l].
+func gemmTT(c, a, b *Matrix) {
+	k, m := a.Rows, a.Cols
+	n := b.Rows
+	if b.Cols != k || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("tile: gemmTT shape mismatch C %dx%d = A^T(%dx%d) * B^T(%dx%d)",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := 0; i < m; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*b.Stride : j*b.Stride+k]
+			var sum float32
+			for l := 0; l < k; l++ {
+				sum += a.Data[l*a.Stride+i] * brow[l]
+			}
+			crow[j] += sum
+		}
+	}
+}

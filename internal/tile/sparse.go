@@ -1,0 +1,159 @@
+package tile
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix, the local format for the
+// sparse-times-dense (SpMM) extension. The paper's lineage includes
+// one-sided algorithms for sparse matrix multiplication (Brock et al.,
+// ICS'24 [5]; Koanantakool et al., IPDPS'16 [16]); the universal
+// algorithm's slicing pass is format-agnostic, so supporting a sparse A
+// only requires a sparse local kernel and sparse tile storage.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32 // len Rows+1; RowPtr[i]..RowPtr[i+1] index row i's entries
+	ColIdx     []int32 // len NNZ
+	Values     []float32
+}
+
+// NNZ returns the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.Values) }
+
+// NewCSRFromDense converts a dense matrix to CSR, keeping entries with
+// absolute value above threshold (0 keeps exact non-zeros).
+func NewCSRFromDense(m *Matrix, threshold float32) *CSR {
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int32, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			if v > threshold || v < -threshold || (threshold == 0 && v != 0) {
+				out.ColIdx = append(out.ColIdx, int32(j))
+				out.Values = append(out.Values, v)
+			}
+		}
+		out.RowPtr[i+1] = int32(len(out.Values))
+	}
+	return out
+}
+
+// ToDense expands the CSR matrix to dense form.
+func (c *CSR) ToDense() *Matrix {
+	out := New(c.Rows, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			out.Set(i, int(c.ColIdx[p]), c.Values[p])
+		}
+	}
+	return out
+}
+
+// RandomCSR builds a uniformly sparse rows×cols matrix with approximately
+// density fraction of entries set, values uniform in [-1, 1).
+func RandomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("tile: invalid density %g", density))
+	}
+	out := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		nnz := 0
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				nnz++
+				out.ColIdx = append(out.ColIdx, int32(j))
+				out.Values = append(out.Values, rng.Float32()*2-1)
+			}
+		}
+		out.RowPtr[i+1] = out.RowPtr[i] + int32(nnz)
+	}
+	return out
+}
+
+// Window extracts the sub-matrix [r0:r1) × [c0:c1) as a fresh CSR with
+// local (shifted) indices — the slicing operation of the universal
+// algorithm applied to a sparse tile.
+func (c *CSR) Window(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 > c.Rows || c0 < 0 || c1 > c.Cols || r1 < r0 || c1 < c0 {
+		panic(fmt.Sprintf("tile: CSR window [%d:%d)x[%d:%d) out of %dx%d", r0, r1, c0, c1, c.Rows, c.Cols))
+	}
+	out := &CSR{Rows: r1 - r0, Cols: c1 - c0, RowPtr: make([]int32, r1-r0+1)}
+	for i := r0; i < r1; i++ {
+		lo := int(c.RowPtr[i])
+		hi := int(c.RowPtr[i+1])
+		// Column indices within a row are sorted; binary search the window.
+		start := lo + sort.Search(hi-lo, func(k int) bool { return c.ColIdx[lo+k] >= int32(c0) })
+		end := lo + sort.Search(hi-lo, func(k int) bool { return c.ColIdx[lo+k] >= int32(c1) })
+		for p := start; p < end; p++ {
+			out.ColIdx = append(out.ColIdx, c.ColIdx[p]-int32(c0))
+			out.Values = append(out.Values, c.Values[p])
+		}
+		out.RowPtr[i-r0+1] = int32(len(out.Values))
+	}
+	return out
+}
+
+// SpMM computes C += A·B with sparse A and dense B.
+func SpMM(c *Matrix, a *CSR, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tile: spmm shape mismatch C %dx%d = A %dx%d * B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			av := a.Values[p]
+			brow := b.Data[int(a.ColIdx[p])*b.Stride : int(a.ColIdx[p])*b.Stride+b.Cols]
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// EncodeCSR serializes a CSR tile into a float32 buffer for symmetric
+// memory: [nnz, rowPtr..., colIdx..., values...], with the integer fields
+// stored as exact float32 values (tile dimensions and nnz stay far below
+// 2^24, the float32 exact-integer limit, for any realistic tile).
+func EncodeCSR(c *CSR) []float32 {
+	out := make([]float32, 0, 1+len(c.RowPtr)+2*c.NNZ())
+	out = append(out, float32(c.NNZ()))
+	for _, v := range c.RowPtr {
+		out = append(out, float32(v))
+	}
+	for _, v := range c.ColIdx {
+		out = append(out, float32(v))
+	}
+	out = append(out, c.Values...)
+	return out
+}
+
+// EncodedCSRLen returns the buffer length EncodeCSR produces for a tile of
+// the given shape and nnz.
+func EncodedCSRLen(rows, nnz int) int { return 1 + rows + 1 + 2*nnz }
+
+// DecodeCSR deserializes a buffer written by EncodeCSR into a rows×cols
+// CSR tile.
+func DecodeCSR(buf []float32, rows, cols int) *CSR {
+	if len(buf) < 1+rows+1 {
+		panic(fmt.Sprintf("tile: CSR buffer of %d too short for %d rows", len(buf), rows))
+	}
+	nnz := int(buf[0])
+	if len(buf) < EncodedCSRLen(rows, nnz) {
+		panic(fmt.Sprintf("tile: CSR buffer of %d too short for %d rows, %d nnz", len(buf), rows, nnz))
+	}
+	out := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1),
+		ColIdx: make([]int32, nnz), Values: make([]float32, nnz)}
+	pos := 1
+	for i := range out.RowPtr {
+		out.RowPtr[i] = int32(buf[pos])
+		pos++
+	}
+	for i := range out.ColIdx {
+		out.ColIdx[i] = int32(buf[pos])
+		pos++
+	}
+	copy(out.Values, buf[pos:pos+nnz])
+	return out
+}

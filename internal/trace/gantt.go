@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"slicing/internal/gpusim"
+)
+
+// WriteGantt renders a discrete-event schedule as an ASCII timeline: one
+// row per resource, time flowing right, each op drawn as a run of its kind
+// marker (C = compute, G = get, A = accumulate, o = other). It makes the
+// overlap structure of §4.2/§4.3 schedules visible: a healthy
+// direct-execution schedule shows the compute rows densely packed while
+// the comm rows work in the background. A per-resource utilization figure
+// is printed at the end of each row.
+func WriteGantt(w io.Writer, eng *gpusim.Engine, res gpusim.Result, width int) {
+	if width <= 0 {
+		width = 80
+	}
+	if res.Makespan <= 0 {
+		fmt.Fprintln(w, "(empty schedule)")
+		return
+	}
+	rows := make([][]byte, eng.NumResources())
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, tm := range res.Timings {
+		if tm.End <= tm.Start {
+			continue
+		}
+		from := int(tm.Start / res.Makespan * float64(width))
+		to := int(tm.End / res.Makespan * float64(width))
+		if to <= from {
+			to = from + 1
+		}
+		if to > width {
+			to = width
+		}
+		mark := markerFor(tm.Kind)
+		for _, r := range tm.Resources {
+			row := rows[r]
+			for c := from; c < to; c++ {
+				row[c] = mark
+			}
+		}
+	}
+	fmt.Fprintf(w, "makespan %.6fs  (C=compute G=get A=accum)\n", res.Makespan)
+	for r := 0; r < eng.NumResources(); r++ {
+		fmt.Fprintf(w, "%2d %-8s |%s| %5.1f%%\n",
+			r, eng.ResourceName(gpusim.ResourceID(r)), rows[r],
+			res.Utilization(gpusim.ResourceID(r))*100)
+	}
+}
+
+func markerFor(k gpusim.OpKind) byte {
+	switch k {
+	case gpusim.OpCompute:
+		return 'C'
+	case gpusim.OpComm:
+		return 'G'
+	case gpusim.OpAccum:
+		return 'A'
+	default:
+		return 'o'
+	}
+}

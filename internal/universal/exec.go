@@ -1,0 +1,227 @@
+package universal
+
+import (
+	"sync"
+
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	"slicing/internal/index"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+)
+
+// Config tunes the direct-execution engine of §4.2.
+type Config struct {
+	// Stationary selects the data movement strategy; StationaryAuto picks
+	// the largest matrix.
+	Stationary Stationary
+	// PrefetchDepth is how many steps ahead tile fetches are issued
+	// (get_tile_async). The paper prefetches the next two tiles.
+	PrefetchDepth int
+	// MaxInflight bounds concurrent GEMM+accumulate chains, the paper's
+	// configurable concurrency limit trading asynchrony for memory.
+	MaxInflight int
+	// CacheTiles bounds the recently-fetched tile cache used for reuse
+	// across consecutive ops.
+	CacheTiles int
+	// SubTileFetch switches to the bandwidth-optimal fetch mode: each op
+	// pulls only its exact (M,K)/(K,N) slices instead of whole tiles. It
+	// saves bytes for misaligned tilings and replicated stationary
+	// matrices, but gives up cross-op tile reuse (see the fetch-mode
+	// ablation benchmark).
+	SubTileFetch bool
+	// Pool supplies scratch buffers for partial results; nil allocates one
+	// internally.
+	Pool *gpusim.Pool
+	// ReduceOrigin is the replica partial C results are reduced into when C
+	// is replicated.
+	ReduceOrigin int
+	// SyncReplicas re-broadcasts the reduced C so every replica holds the
+	// final result. The paper's algorithm only reduces; enabling this adds
+	// a broadcast_replica for API convenience.
+	SyncReplicas bool
+}
+
+// DefaultConfig mirrors the paper's direct-execution settings: prefetch
+// depth 2 and a small bounded accumulate/GEMM concurrency.
+func DefaultConfig() Config {
+	return Config{
+		Stationary:    StationaryAuto,
+		PrefetchDepth: 2,
+		MaxInflight:   4,
+		CacheTiles:    DefaultCacheTiles,
+	}
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.PrefetchDepth <= 0 {
+		cfg.PrefetchDepth = 2
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.CacheTiles <= 0 {
+		cfg.CacheTiles = DefaultCacheTiles
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = gpusim.NewPool()
+	}
+	return cfg
+}
+
+// Multiply computes C = A·B with the universal one-sided algorithm,
+// zeroing C first. Collective: every PE of the world must call it with the
+// same arguments. It returns the resolved stationary strategy.
+func Multiply(pe *shmem.PE, c, a, b *distmat.Matrix, cfg Config) Stationary {
+	prob := NewProblem(c, a, b)
+	c.Zero(pe) // includes a barrier
+	return MultiplyAccumulate(pe, prob, cfg)
+}
+
+// MultiplyAccumulate computes C += A·B assuming C already holds the values
+// to accumulate onto (zeroed for a plain product). Collective.
+func MultiplyAccumulate(pe *shmem.PE, prob Problem, cfg Config) Stationary {
+	cfg = cfg.withDefaults()
+	plan := BuildPlanMode(pe.Rank(), prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
+	ExecutePlan(pe, prob, plan, cfg)
+	pe.Barrier() // all one-sided updates must land before replica reduction
+	if prob.C.Replication() > 1 {
+		prob.C.ReduceReplicas(pe, cfg.ReduceOrigin)
+		if cfg.SyncReplicas {
+			prob.C.BroadcastReplica(pe, cfg.ReduceOrigin)
+		}
+	}
+	return plan.Stationary
+}
+
+// ExecutePlan runs a per-rank plan with the §4.2 optimizations: iteration
+// offset (already baked into the op order), prefetching via
+// get_tile_async, asynchronous GEMM→accumulate chains with bounded
+// concurrency, and pooled scratch memory. It performs no collective
+// synchronization; callers barrier afterwards.
+func ExecutePlan(pe *shmem.PE, prob Problem, plan Plan, cfg Config) {
+	cfg = cfg.withDefaults()
+	fetched := map[cacheKey]*distmat.TileFuture{}
+	subA := map[int]*distmat.TileFuture{}
+	subB := map[int]*distmat.TileFuture{}
+
+	// issueFetches starts the async copies needed by steps [from, to).
+	issueFetches := func(from, to int) {
+		for i := from; i < to && i < len(plan.Steps); i++ {
+			s := plan.Steps[i]
+			if s.SubTile {
+				if s.FetchA {
+					subA[i] = prob.A.GetSubTileAsync(pe, s.Op.AIdx, distmat.LocalReplica,
+						index.Rect{Rows: s.Op.M, Cols: s.Op.K})
+				}
+				if s.FetchB {
+					subB[i] = prob.B.GetSubTileAsync(pe, s.Op.BIdx, distmat.LocalReplica,
+						index.Rect{Rows: s.Op.K, Cols: s.Op.N})
+				}
+				continue
+			}
+			if s.FetchA {
+				key := cacheKey{'A', s.Op.AIdx}
+				fetched[key] = prob.A.GetTileAsync(pe, s.Op.AIdx, distmat.LocalReplica)
+			}
+			if s.FetchB {
+				key := cacheKey{'B', s.Op.BIdx}
+				fetched[key] = prob.B.GetTileAsync(pe, s.Op.BIdx, distmat.LocalReplica)
+			}
+		}
+	}
+
+	acquire := func(m *distmat.Matrix, local bool, key cacheKey) *tile.Matrix {
+		if local {
+			return m.Tile(pe, key.idx, distmat.LocalReplica)
+		}
+		f, ok := fetched[key]
+		if !ok {
+			// The plan marked this a cache hit of an earlier fetch; the
+			// future map retains completed fetches, so absence means the
+			// fetch was never issued — fall back to a synchronous get.
+			return m.GetTile(pe, key.idx, distmat.LocalReplica)
+		}
+		return f.Wait()
+	}
+
+	sem := make(chan struct{}, cfg.MaxInflight)
+	var wg sync.WaitGroup
+
+	issueFetches(0, 1+cfg.PrefetchDepth)
+	for i, s := range plan.Steps {
+		issueFetches(i+1+cfg.PrefetchDepth, i+2+cfg.PrefetchDepth)
+
+		var aSlice, bSlice *tile.Matrix
+		if s.SubTile {
+			aSlice = acquireSub(pe, prob.A, s.ALocal, s.Op.AIdx, index.Rect{Rows: s.Op.M, Cols: s.Op.K}, subA, i)
+			bSlice = acquireSub(pe, prob.B, s.BLocal, s.Op.BIdx, index.Rect{Rows: s.Op.K, Cols: s.Op.N}, subB, i)
+		} else {
+			aTile := acquire(prob.A, s.ALocal, cacheKey{'A', s.Op.AIdx})
+			bTile := acquire(prob.B, s.BLocal, cacheKey{'B', s.Op.BIdx})
+			// Slice the tiles down to the op's global (M, K, N) bounds.
+			ab := prob.A.TileBounds(s.Op.AIdx)
+			bb := prob.B.TileBounds(s.Op.BIdx)
+			aSlice = aTile.View(s.Op.M.Begin-ab.Rows.Begin, s.Op.K.Begin-ab.Cols.Begin, s.Op.M.Len(), s.Op.K.Len())
+			bSlice = bTile.View(s.Op.K.Begin-bb.Rows.Begin, s.Op.N.Begin-bb.Cols.Begin, s.Op.K.Len(), s.Op.N.Len())
+		}
+
+		op := s.Op
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			gemmAccumulate(pe, prob, op, aSlice, bSlice, cfg.Pool)
+		}()
+	}
+	wg.Wait()
+}
+
+// acquireSub resolves one operand in sub-tile mode: a strided view of the
+// local tile, or the per-step prefetched slice (falling back to a
+// synchronous sub-tile get if the prefetch was never issued).
+func acquireSub(pe *shmem.PE, m *distmat.Matrix, local bool, idx index.TileIdx,
+	sub index.Rect, prefetched map[int]*distmat.TileFuture, step int) *tile.Matrix {
+	if local {
+		b := m.TileBounds(idx)
+		t := m.Tile(pe, idx, distmat.LocalReplica)
+		loc := sub.Localize(b.Rows.Begin, b.Cols.Begin)
+		return t.View(loc.Rows.Begin, loc.Cols.Begin, sub.Rows.Len(), sub.Cols.Len())
+	}
+	if f, ok := prefetched[step]; ok {
+		delete(prefetched, step)
+		return f.Wait()
+	}
+	return m.GetSubTile(pe, idx, distmat.LocalReplica, sub)
+}
+
+// gemmAccumulate multiplies the sliced tiles into a pooled scratch buffer
+// and atomically accumulates the result into C — the GEMM→accumulate chain
+// of §4.2. aSlice and bSlice must already be sliced to the op's (M,K) and
+// (K,N) bounds.
+func gemmAccumulate(pe *shmem.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Matrix, pool *gpusim.Pool) {
+	rows, cols := op.M.Len(), op.N.Len()
+	buf := pool.Get(rows * cols)
+	partial := tile.FromSlice(rows, cols, buf)
+	tile.Gemm(partial, aSlice, bSlice)
+	prob.C.AccumulateSubTile(pe, op.CIdx, distmat.LocalReplica, subRect(op), partial)
+	pool.Put(buf)
+}
+
+// RunStep executes one plan step given its (full) A and B tiles: it slices
+// the tiles to the op's bounds, multiplies, and accumulates into C. It is
+// shared by the direct executor and the IR executor.
+func RunStep(pe *shmem.PE, prob Problem, s Step, aTile, bTile *tile.Matrix, pool *gpusim.Pool) {
+	ab := prob.A.TileBounds(s.Op.AIdx)
+	bb := prob.B.TileBounds(s.Op.BIdx)
+	aSlice := aTile.View(s.Op.M.Begin-ab.Rows.Begin, s.Op.K.Begin-ab.Cols.Begin, s.Op.M.Len(), s.Op.K.Len())
+	bSlice := bTile.View(s.Op.K.Begin-bb.Rows.Begin, s.Op.N.Begin-bb.Cols.Begin, s.Op.K.Len(), s.Op.N.Len())
+	gemmAccumulate(pe, prob, s.Op, aSlice, bSlice, pool)
+}
+
+func subRect(op LocalOp) (r index.Rect) {
+	r.Rows = op.M
+	r.Cols = op.N
+	return r
+}

@@ -1,0 +1,165 @@
+package universal
+
+import (
+	"slicing/internal/distmat"
+	"slicing/internal/index"
+)
+
+// Step is one scheduled local operation in an execution plan: the op plus
+// the communication it requires, with tile-cache hits already resolved so
+// the real executor and the simulated-time executor make identical
+// fetch decisions.
+type Step struct {
+	Op LocalOp
+	// FetchA / FetchB indicate the tile must be copied over the network
+	// (it is neither local to the rank nor present in the tile cache).
+	FetchA, FetchB bool
+	// ALocal / BLocal / CLocal indicate the tile lives in this rank's own
+	// replica slot (zero-copy access).
+	ALocal, BLocal, CLocal bool
+	// ASrc, BSrc, CDst are the resolved owner ranks within the executing
+	// rank's local replicas.
+	ASrc, BSrc, CDst int
+	// ABytes / BBytes are the transfer sizes when fetched: whole tiles in
+	// the default mode, exact op slices in sub-tile mode.
+	ABytes, BBytes int
+	// AccumBytes is the size of the C update the op produces (M×N floats).
+	AccumBytes int
+	// SubTile marks the bandwidth-optimal fetch mode: only the op's (M,K)
+	// and (K,N) slices move, at the cost of losing cross-op tile reuse.
+	SubTile bool
+}
+
+// Plan is the per-rank execution plan for one distributed multiply.
+type Plan struct {
+	Rank       int
+	Stationary Stationary
+	Steps      []Step
+}
+
+// TotalFlops sums the floating-point work of all steps.
+func (pl Plan) TotalFlops() float64 {
+	var f float64
+	for _, s := range pl.Steps {
+		f += s.Op.Flops()
+	}
+	return f
+}
+
+// RemoteFetchBytes sums the bytes of remote get traffic the plan issues.
+func (pl Plan) RemoteFetchBytes() int {
+	var b int
+	for _, s := range pl.Steps {
+		if s.FetchA {
+			b += s.ABytes
+		}
+		if s.FetchB {
+			b += s.BBytes
+		}
+	}
+	return b
+}
+
+// RemoteAccumBytes sums the bytes of remote accumulate traffic.
+func (pl Plan) RemoteAccumBytes() int {
+	var b int
+	for _, s := range pl.Steps {
+		if !s.CLocal {
+			b += s.AccumBytes
+		}
+	}
+	return b
+}
+
+// DefaultCacheTiles is how many recently fetched tiles a process keeps
+// for reuse across consecutive ops, bounding the memory-pool footprint the
+// same way the paper's configurable concurrency limits do.
+const DefaultCacheTiles = 8
+
+type cacheKey struct {
+	mat byte // 'A' or 'B'
+	idx index.TileIdx
+}
+
+// tileLRU tracks which fetched tiles are still resident. Both the plan
+// builder (for fetch decisions) and the real executor (for the actual tile
+// buffers) use it, so their behaviour matches by construction.
+type tileLRU struct {
+	cap  int
+	keys []cacheKey
+}
+
+func newTileLRU(capacity int) *tileLRU {
+	if capacity <= 0 {
+		capacity = DefaultCacheTiles
+	}
+	return &tileLRU{cap: capacity}
+}
+
+// touch marks key as most recently used. It returns whether the key was
+// already resident and, when an insertion overflows capacity, the evicted
+// key.
+func (l *tileLRU) touch(k cacheKey) (hit bool, evicted cacheKey, didEvict bool) {
+	for i, existing := range l.keys {
+		if existing == k {
+			copy(l.keys[i:], l.keys[i+1:])
+			l.keys[len(l.keys)-1] = k
+			return true, cacheKey{}, false
+		}
+	}
+	l.keys = append(l.keys, k)
+	if len(l.keys) > l.cap {
+		evicted = l.keys[0]
+		l.keys = append(l.keys[:0], l.keys[1:]...)
+		return false, evicted, true
+	}
+	return false, cacheKey{}, false
+}
+
+// BuildPlan resolves the ops rank must execute into a Step sequence:
+// which tiles are local, which fetches hit the tile cache, where updates
+// go, and how many bytes move.
+func BuildPlan(rank int, p Problem, stat Stationary, cacheTiles int) Plan {
+	return BuildPlanMode(rank, p, stat, cacheTiles, false)
+}
+
+// BuildPlanMode is BuildPlan with an explicit fetch-mode choice. With
+// subTile true the plan fetches only each op's exact (M,K) and (K,N)
+// slices — minimal bytes, no cross-op reuse; with subTile false it fetches
+// whole tiles through the LRU cache — more bytes, amortized across the ops
+// sharing a tile. The tradeoff is benchmarked in BenchmarkFetchModeAblation.
+func BuildPlanMode(rank int, p Problem, stat Stationary, cacheTiles int, subTile bool) Plan {
+	resolved := p.ResolveStationary(stat)
+	ops := GenerateOps(rank, p, resolved)
+	cache := newTileLRU(cacheTiles)
+	steps := make([]Step, 0, len(ops))
+	for _, op := range ops {
+		s := Step{Op: op, SubTile: subTile}
+		s.ASrc = p.A.OwnerRank(op.AIdx, distmat.LocalReplica, rank)
+		s.BSrc = p.B.OwnerRank(op.BIdx, distmat.LocalReplica, rank)
+		s.CDst = p.C.OwnerRank(op.CIdx, distmat.LocalReplica, rank)
+		s.ALocal = s.ASrc == rank
+		s.BLocal = s.BSrc == rank
+		s.CLocal = s.CDst == rank
+		s.AccumBytes = op.M.Len() * op.N.Len() * 4
+		if subTile {
+			s.ABytes = op.M.Len() * op.K.Len() * 4
+			s.BBytes = op.K.Len() * op.N.Len() * 4
+			s.FetchA = !s.ALocal
+			s.FetchB = !s.BLocal
+		} else {
+			s.ABytes = p.A.TileBounds(op.AIdx).Area() * 4
+			s.BBytes = p.B.TileBounds(op.BIdx).Area() * 4
+			if !s.ALocal {
+				hit, _, _ := cache.touch(cacheKey{'A', op.AIdx})
+				s.FetchA = !hit
+			}
+			if !s.BLocal {
+				hit, _, _ := cache.touch(cacheKey{'B', op.BIdx})
+				s.FetchB = !hit
+			}
+		}
+		steps = append(steps, s)
+	}
+	return Plan{Rank: rank, Stationary: resolved, Steps: steps}
+}

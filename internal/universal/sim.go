@@ -1,0 +1,186 @@
+package universal
+
+import (
+	"slicing/internal/gpusim"
+	"slicing/internal/simnet"
+)
+
+// SimSystem bundles the interconnect and device models of one evaluation
+// system (Table 2).
+type SimSystem struct {
+	Topo simnet.Topology
+	Dev  gpusim.Device
+}
+
+// PVCSystem returns the 12-tile Intel PVC node of Table 2.
+func PVCSystem() SimSystem {
+	return SimSystem{Topo: simnet.PresetPVC(), Dev: gpusim.PresetPVCDevice()}
+}
+
+// H100System returns the 8-GPU Nvidia H100 node of Table 2.
+func H100System() SimSystem {
+	return SimSystem{Topo: simnet.PresetH100(), Dev: gpusim.PresetH100Device()}
+}
+
+// SimResult reports one simulated distributed multiply.
+type SimResult struct {
+	// Makespan is the simulated wall-clock in seconds.
+	Makespan float64
+	// PercentOfPeak is 2mnk / (p · peak · makespan) · 100, the metric of
+	// Figures 2-3.
+	PercentOfPeak float64
+	// RemoteGetBytes / RemoteAccumBytes total the one-sided traffic.
+	RemoteGetBytes, RemoteAccumBytes int
+	// Stationary is the resolved data movement strategy.
+	Stationary Stationary
+	// Ops is the total number of local GEMM operations executed.
+	Ops int
+	// AvgComputeUtil is the mean per-PE compute engine utilization.
+	AvgComputeUtil float64
+}
+
+// SimulateMultiply runs the universal algorithm's direct execution (§4.2)
+// through the discrete-event performance model instead of real arithmetic:
+// the same per-rank plans (iteration offset, tile cache, prefetch depth,
+// bounded GEMM/accumulate concurrency) drive a schedule over compute
+// engines and network ports, reproducing the overlap behaviour that
+// determines percent-of-peak in Figures 2-3.
+func SimulateMultiply(prob Problem, cfg Config, sys SimSystem) SimResult {
+	res, _, _ := SimulateMultiplyTrace(prob, cfg, sys)
+	return res
+}
+
+// SimulateMultiplyTrace is SimulateMultiply but additionally returns the
+// discrete-event engine and raw schedule, so callers can render the
+// timeline (trace.WriteGantt) or inspect per-op timings.
+func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, *gpusim.Engine, gpusim.Result) {
+	cfg = cfg.withDefaults()
+	p := prob.A.World().NumPE()
+	if p != sys.Topo.NumPE() {
+		panic("universal: world size does not match topology")
+	}
+	eng := gpusim.NewEngine()
+	compute := make([]gpusim.ResourceID, p)
+	egress := make([]gpusim.ResourceID, p)
+	ingress := make([]gpusim.ResourceID, p)
+	for pe := 0; pe < p; pe++ {
+		compute[pe] = eng.AddResource("compute")
+		egress[pe] = eng.AddResource("egress")
+		ingress[pe] = eng.AddResource("ingress")
+	}
+
+	result := SimResult{}
+	lastOpPerRank := make([]gpusim.OpID, 0, p)
+	var resolved Stationary
+
+	for rank := 0; rank < p; rank++ {
+		plan := BuildPlanMode(rank, prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
+		resolved = plan.Stationary
+		result.Ops += len(plan.Steps)
+		result.RemoteGetBytes += plan.RemoteFetchBytes()
+		result.RemoteAccumBytes += plan.RemoteAccumBytes()
+
+		gemmIDs := make([]gpusim.OpID, len(plan.Steps))
+		chainEnd := make([]gpusim.OpID, len(plan.Steps)) // gemm or accum, whichever finishes the chain
+		fetchFor := make([][]gpusim.OpID, len(plan.Steps))
+
+		// Fetches are issued in program order with a lookahead window of
+		// PrefetchDepth: the fetch for step i may not start before the GEMM
+		// of step i-1-PrefetchDepth has been issued (§4.2 prefetches the
+		// next two tiles while computing the current one).
+		addFetch := func(i int, src, bytes int) gpusim.OpID {
+			var deps []gpusim.OpID
+			if gate := i - 1 - cfg.PrefetchDepth; gate >= 0 {
+				deps = append(deps, gemmIDs[gate])
+			}
+			dur := simnet.TransferTime(sys.Topo, src, rank, float64(bytes)) + sys.Dev.LaunchOverhead
+			return eng.AddOp("get", gpusim.OpComm, dur, deps,
+				[]gpusim.ResourceID{egress[src], ingress[rank]})
+		}
+
+		for i, s := range plan.Steps {
+			if s.FetchA {
+				fetchFor[i] = append(fetchFor[i], addFetch(i, s.ASrc, s.ABytes))
+			}
+			if s.FetchB {
+				fetchFor[i] = append(fetchFor[i], addFetch(i, s.BSrc, s.BBytes))
+			}
+			deps := append([]gpusim.OpID(nil), fetchFor[i]...)
+			// Tile-cache hits must still wait for the step that fetched the
+			// tile; the engine's per-resource serialization of fetches on
+			// ingress[rank] plus program order makes that fetch precede this
+			// GEMM's other dependencies in practice, so an explicit edge to
+			// the earlier fetch is redundant for timing.
+			// Bounded chain concurrency: the semaphore of §4.2.
+			if gate := i - cfg.MaxInflight; gate >= 0 {
+				deps = append(deps, chainEnd[gate])
+			}
+			op := s.Op
+			gemmDur := sys.Dev.GemmTime(op.M.Len(), op.N.Len(), op.K.Len()) + sys.Dev.LaunchOverhead
+			gemmIDs[i] = eng.AddOp("gemm", gpusim.OpCompute, gemmDur, deps,
+				[]gpusim.ResourceID{compute[rank]})
+			chainEnd[i] = gemmIDs[i]
+
+			if s.AccumBytes > 0 {
+				var accDur float64
+				var accRes []gpusim.ResourceID
+				if s.CLocal {
+					// Local accumulate: read-modify-write in HBM.
+					accDur = 2 * float64(s.AccumBytes) / sys.Dev.MemBW
+				} else {
+					bw := sys.Topo.Bandwidth(rank, s.CDst)
+					accDur = sys.Dev.AccumTime(float64(s.AccumBytes), bw) + sys.Topo.Latency(rank, s.CDst)
+					accRes = []gpusim.ResourceID{egress[rank], ingress[s.CDst]}
+					if sys.Dev.AccumComputeInterference {
+						accRes = append(accRes, compute[rank])
+					}
+				}
+				accDur += sys.Dev.LaunchOverhead
+				chainEnd[i] = eng.AddOp("accum", gpusim.OpAccum, accDur,
+					[]gpusim.OpID{gemmIDs[i]}, accRes)
+			}
+		}
+		if n := len(plan.Steps); n > 0 {
+			lastOpPerRank = append(lastOpPerRank, chainEnd[n-1])
+		}
+	}
+
+	// reduce_replicas for a replicated C: after a barrier (modelled as a
+	// dependency on every rank's last chain), each non-origin rank
+	// accumulates its owned C tiles into the origin replica.
+	if prob.C.Replication() > 1 {
+		origin := cfg.ReduceOrigin
+		for rank := 0; rank < p; rank++ {
+			if prob.C.ReplicaOf(rank) == origin {
+				continue
+			}
+			dst := prob.C.RankFor(prob.C.SlotOf(rank), origin)
+			for _, idx := range prob.C.OwnedTiles(rank) {
+				bytes := prob.C.TileBounds(idx).Area() * 4
+				bw := sys.Topo.Bandwidth(rank, dst)
+				dur := sys.Dev.AccumTime(float64(bytes), bw) + sys.Topo.Latency(rank, dst) + sys.Dev.LaunchOverhead
+				res := []gpusim.ResourceID{egress[rank], ingress[dst]}
+				if sys.Dev.AccumComputeInterference {
+					res = append(res, compute[rank])
+				}
+				eng.AddOp("reduce", gpusim.OpAccum, dur, lastOpPerRank, res)
+				result.RemoteAccumBytes += bytes
+			}
+		}
+	}
+
+	run := eng.Run()
+	result.Makespan = run.Makespan
+	result.Stationary = resolved
+	m, n, k := prob.Dims()
+	if run.Makespan > 0 {
+		flops := 2 * float64(m) * float64(n) * float64(k)
+		result.PercentOfPeak = flops / (float64(p) * sys.Dev.PeakFlops * run.Makespan) * 100
+	}
+	var util float64
+	for pe := 0; pe < p; pe++ {
+		util += run.Utilization(compute[pe])
+	}
+	result.AvgComputeUtil = util / float64(p)
+	return result, eng, run
+}

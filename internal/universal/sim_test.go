@@ -1,0 +1,178 @@
+package universal
+
+import (
+	"fmt"
+	"testing"
+
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	"slicing/internal/shmem"
+	"slicing/internal/simnet"
+)
+
+// uniformTopo builds an all-to-all test topology with the given link BW.
+func uniformTopo(p int, linkBW float64) simnet.Topology {
+	return simnet.NewUniform(p, linkBW, 2000e9, 3e-6, "test")
+}
+
+// simProblem builds a problem over a p-PE world without running real
+// compute (the sim backend only reads metadata).
+func simProblem(p, m, n, k int, pa, pb, pc distmat.Partition, cA, cB, cC int) Problem {
+	w := shmem.NewWorld(p)
+	a := distmat.New(w, m, k, pa, cA)
+	b := distmat.New(w, k, n, pb, cB)
+	c := distmat.New(w, m, n, pc, cC)
+	return NewProblem(c, a, b)
+}
+
+func TestSimulateMultiplyBasic(t *testing.T) {
+	prob := simProblem(8, 4096, 4096, 4096, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}, 1, 1, 1)
+	res := SimulateMultiply(prob, DefaultConfig(), H100System())
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %g", res.Makespan)
+	}
+	if res.PercentOfPeak <= 0 || res.PercentOfPeak > 100 {
+		t.Fatalf("percent of peak = %g, must be in (0, 100]", res.PercentOfPeak)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops simulated")
+	}
+}
+
+func TestSimulateMakespanAtLeastComputeBound(t *testing.T) {
+	prob := simProblem(8, 2048, 2048, 2048, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}, 1, 1, 1)
+	sys := H100System()
+	res := SimulateMultiply(prob, DefaultConfig(), sys)
+	flops := 2.0 * 2048 * 2048 * 2048
+	bound := flops / (8 * sys.Dev.PeakFlops)
+	if res.Makespan < bound {
+		t.Fatalf("makespan %g below perfect-peak bound %g", res.Makespan, bound)
+	}
+}
+
+func TestSimulateWorldMismatchPanics(t *testing.T) {
+	prob := simProblem(4, 64, 64, 64, distmat.RowBlock{}, distmat.RowBlock{}, distmat.RowBlock{}, 1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("4-PE problem on 8-PE topology should panic")
+		}
+	}()
+	SimulateMultiply(prob, DefaultConfig(), H100System())
+}
+
+// Higher link bandwidth must never make the simulated multiply slower:
+// H100-class links beat PVC-class links for the same problem and device.
+func TestSimulateFasterLinksHelp(t *testing.T) {
+	mk := func() Problem {
+		return simProblem(8, 1024, 12288, 49152, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}, 1, 1, 1)
+	}
+	dev := gpusim.PresetPVCDevice()
+	slow := SimulateMultiply(mk(), DefaultConfig(), SimSystem{Topo: uniformTopo(8, 26.5e9), Dev: dev})
+	fast := SimulateMultiply(mk(), DefaultConfig(), SimSystem{Topo: uniformTopo(8, 450e9), Dev: dev})
+	if fast.Makespan > slow.Makespan {
+		t.Fatalf("faster links slower: %g vs %g", fast.Makespan, slow.Makespan)
+	}
+}
+
+// The iteration offset must improve (or at least not hurt) simulated time
+// versus a deliberately hot-spotted schedule. We approximate the ablation
+// by comparing a column-block schedule (all PEs want A tiles from the same
+// few owners) against itself — covered more directly in the engine test —
+// so here we check stationary-choice consistency instead: moving the
+// biggest matrix is worse.
+func TestSimulateStationaryChoiceMatters(t *testing.T) {
+	// MLP-2 shape: m=1024, n=12K, k=48K. B (48K x 12K) is the largest
+	// matrix; keeping it stationary should beat keeping C stationary when C
+	// is small, for a partitioning that forces B movement otherwise.
+	mk := func() Problem {
+		return simProblem(12, 1024, 12288, 49152,
+			distmat.ColBlock{}, distmat.RowBlock{}, distmat.Block2D{}, 1, 1, 1)
+	}
+	cfgB := DefaultConfig()
+	cfgB.Stationary = StationaryB
+	resB := SimulateMultiply(mk(), cfgB, PVCSystem())
+	cfgC := DefaultConfig()
+	cfgC.Stationary = StationaryC
+	resC := SimulateMultiply(mk(), cfgC, PVCSystem())
+	if resB.Makespan > resC.Makespan {
+		t.Fatalf("stationary-B (%.4gs) should beat stationary-C (%.4gs) when B is the giant matrix",
+			resB.Makespan, resC.Makespan)
+	}
+}
+
+// Replication of a heavily-moved matrix must reduce remote get traffic.
+func TestSimulateReplicationCutsTraffic(t *testing.T) {
+	base := simProblem(12, 1024, 49152, 12288, distmat.RowBlock{}, distmat.RowBlock{}, distmat.RowBlock{}, 1, 1, 1)
+	repl := simProblem(12, 1024, 49152, 12288, distmat.RowBlock{}, distmat.RowBlock{}, distmat.RowBlock{}, 1, 3, 1)
+	cfg := DefaultConfig()
+	cfg.Stationary = StationaryB
+	resBase := SimulateMultiply(base, cfg, PVCSystem())
+	resRepl := SimulateMultiply(repl, cfg, PVCSystem())
+	if resRepl.RemoteGetBytes >= resBase.RemoteGetBytes {
+		t.Fatalf("replication did not cut get traffic: %d vs %d",
+			resRepl.RemoteGetBytes, resBase.RemoteGetBytes)
+	}
+}
+
+// Fully replicating every matrix eliminates remote traffic entirely.
+func TestSimulateFullReplicationNoTraffic(t *testing.T) {
+	prob := simProblem(4, 256, 256, 256, distmat.RowBlock{}, distmat.RowBlock{}, distmat.RowBlock{}, 4, 4, 1)
+	res := SimulateMultiply(prob, DefaultConfig(), SimSystem{Topo: uniformTopo(4, 100e9), Dev: PVCSystem().Dev})
+	if res.RemoteGetBytes != 0 {
+		t.Fatalf("fully replicated inputs still fetched %d bytes", res.RemoteGetBytes)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	mk := func() Problem {
+		return simProblem(8, 512, 512, 512, distmat.Block2D{}, distmat.Block2D{}, distmat.Block2D{}, 1, 1, 1)
+	}
+	r1 := SimulateMultiply(mk(), DefaultConfig(), H100System())
+	r2 := SimulateMultiply(mk(), DefaultConfig(), H100System())
+	if r1.Makespan != r2.Makespan {
+		t.Fatalf("simulation not deterministic: %g vs %g", r1.Makespan, r2.Makespan)
+	}
+}
+
+func TestSimulateReplicatedCPaysReduction(t *testing.T) {
+	noRep := simProblem(8, 2048, 2048, 2048, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}, 1, 1, 1)
+	rep := simProblem(8, 2048, 2048, 2048, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}, 1, 1, 2)
+	cfg := DefaultConfig()
+	cfg.Stationary = StationaryC
+	resNo := SimulateMultiply(noRep, cfg, H100System())
+	resRep := SimulateMultiply(rep, cfg, H100System())
+	if resRep.RemoteAccumBytes <= resNo.RemoteAccumBytes {
+		t.Fatalf("replicated C should add reduce_replicas accumulate traffic: %d vs %d",
+			resRep.RemoteAccumBytes, resNo.RemoteAccumBytes)
+	}
+}
+
+func ExampleSimulateMultiply() {
+	prob := simProblem(8, 1024, 1024, 1024, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}, 1, 1, 1)
+	res := SimulateMultiply(prob, DefaultConfig(), H100System())
+	fmt.Println(res.Stationary, res.Ops > 0)
+	// Output: S-C true
+}
+
+// Multi-node scaling: on a cluster, a partitioning that keeps traffic
+// inside nodes (2D block aligned with node boundaries via replication)
+// beats one that sprays traffic across the slow inter-node fabric. Also a
+// basic sanity check: more nodes with the same per-PE work must not make
+// the percent of peak negative or above 100.
+func TestSimulateMultiNodeCluster(t *testing.T) {
+	topo := simnet.PresetH100Cluster(2) // 16 PEs
+	sys := SimSystem{Topo: topo, Dev: gpusim.PresetH100Device()}
+	prob := simProblem(16, 4096, 12288, 12288, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}, 1, 1, 1)
+	res := SimulateMultiply(prob, DefaultConfig(), sys)
+	if res.PercentOfPeak <= 0 || res.PercentOfPeak > 100 {
+		t.Fatalf("cluster percent of peak = %g", res.PercentOfPeak)
+	}
+	// Replicating the moved matrix once per node eliminates inter-node
+	// fetch traffic and should not be slower.
+	probRepl := simProblem(16, 4096, 12288, 12288, distmat.RowBlock{}, distmat.ColBlock{}, distmat.Block2D{}, 2, 2, 1)
+	resRepl := SimulateMultiply(probRepl, DefaultConfig(), sys)
+	if resRepl.RemoteGetBytes >= res.RemoteGetBytes {
+		t.Fatalf("per-node replication did not cut fetch traffic: %d vs %d",
+			resRepl.RemoteGetBytes, res.RemoteGetBytes)
+	}
+}

@@ -1,0 +1,175 @@
+// Package slicing is a Go reproduction of "Slicing Is All You Need:
+// Towards A Universal One-Sided Algorithm for Distributed Matrix
+// Multiplication" (Brock & Golin, SC 2025).
+//
+// It provides a single distributed matrix multiplication algorithm that
+// supports every combination of partitionings (1D row/column block, 2D
+// block, ScaLAPACK-style block-cyclic, deliberately misaligned tilings)
+// and replication factors for all three operands of C = A·B, using only
+// one-sided communication primitives (remote get and remote accumulate)
+// over an in-process PGAS runtime.
+//
+// Quick start:
+//
+//	world := slicing.NewWorld(4)
+//	a := slicing.NewMatrix(world, m, k, slicing.RowBlock{}, 1)
+//	b := slicing.NewMatrix(world, k, n, slicing.ColBlock{}, 1)
+//	c := slicing.NewMatrix(world, m, n, slicing.Block2D{}, 1)
+//	world.Run(func(pe *slicing.PE) {
+//	    a.FillRandom(pe, 1)
+//	    b.FillRandom(pe, 2)
+//	    slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
+//	})
+//
+// The package is a façade: the implementation lives in internal/ packages
+// (index arithmetic, local GEMM kernels, the PGAS runtime, the distributed
+// matrix data structure, the universal algorithm, IR lowering, cost model,
+// baselines, and the benchmark harness that regenerates the paper's
+// figures).
+package slicing
+
+import (
+	"slicing/internal/costmodel"
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+	"slicing/internal/universal"
+)
+
+// World is a collection of processing elements sharing a symmetric heap.
+type World = shmem.World
+
+// PE is one processing element's handle, valid inside World.Run.
+type PE = shmem.PE
+
+// NewWorld creates a world of p processing elements (goroutine-backed, one
+// per simulated GPU).
+func NewWorld(p int) *World { return shmem.NewWorld(p) }
+
+// Matrix is a distributed dense matrix: shape × partition × replication.
+type Matrix = distmat.Matrix
+
+// Partition defines how a matrix is tiled and which slot owns each tile.
+type Partition = distmat.Partition
+
+// The partitioning vocabulary of the paper: 1D row/column block, 2D block,
+// and ScaLAPACK-style custom descriptors (tile shape + process grid,
+// block-cyclic), which also express misaligned tilings.
+type (
+	RowBlock  = distmat.RowBlock
+	ColBlock  = distmat.ColBlock
+	Block2D   = distmat.Block2D
+	Custom    = distmat.Custom
+	RowCyclic = distmat.RowCyclic
+	ColCyclic = distmat.ColCyclic
+)
+
+// LocalReplica selects the calling PE's own replica in tile primitives.
+const LocalReplica = distmat.LocalReplica
+
+// NewMatrix allocates a distributed rows×cols matrix. The replication
+// factor must divide the world size. Pass the *World before Run, or the
+// *PE for a collective allocation inside Run.
+func NewMatrix(alloc shmem.Allocator, rows, cols int, part Partition, replication int) *Matrix {
+	return distmat.New(alloc, rows, cols, part, replication)
+}
+
+// Stationary selects the data movement strategy (Stationary A, B, or C).
+type Stationary = universal.Stationary
+
+// Stationary strategy constants; StationaryAuto keeps the largest matrix
+// in place, the heuristic the paper recommends.
+const (
+	StationaryAuto = universal.StationaryAuto
+	StationaryA    = universal.StationaryA
+	StationaryB    = universal.StationaryB
+	StationaryC    = universal.StationaryC
+)
+
+// Config tunes direct execution (§4.2): prefetch depth, bounded
+// GEMM/accumulate concurrency, tile cache, memory pool.
+type Config = universal.Config
+
+// DefaultConfig returns the paper's direct-execution settings.
+func DefaultConfig() Config {
+	cfg := universal.DefaultConfig()
+	cfg.SyncReplicas = true
+	return cfg
+}
+
+// Multiply computes C = A·B with the universal one-sided algorithm for any
+// combination of partitionings and replication factors. Collective: every
+// PE must call it. Returns the resolved stationary strategy.
+func Multiply(pe *PE, c, a, b *Matrix, cfg Config) Stationary {
+	return universal.Multiply(pe, c, a, b, cfg)
+}
+
+// Problem bundles validated operands for advanced entry points
+// (op generation, plans, simulation).
+type Problem = universal.Problem
+
+// NewProblem validates shapes and world-sharing for C = A·B.
+func NewProblem(c, a, b *Matrix) Problem { return universal.NewProblem(c, a, b) }
+
+// LocalOp is one generated local multiply: C(CIdx)[M×N] += A(AIdx)[M×K] ·
+// B(BIdx)[K×N].
+type LocalOp = universal.LocalOp
+
+// GenerateOps runs the slicing pass of §4.1 for one rank.
+func GenerateOps(rank int, p Problem, stat Stationary) []LocalOp {
+	return universal.GenerateOps(rank, p, stat)
+}
+
+// SimSystem bundles an interconnect topology and a device model for
+// simulated-time execution (the performance model behind Figures 2-3).
+type SimSystem = universal.SimSystem
+
+// SimResult reports a simulated multiply (makespan, percent of peak,
+// traffic).
+type SimResult = universal.SimResult
+
+// PVCSystem returns the 12-tile Intel PVC node of Table 2.
+func PVCSystem() SimSystem { return universal.PVCSystem() }
+
+// H100System returns the 8-GPU Nvidia H100 node of Table 2.
+func H100System() SimSystem { return universal.H100System() }
+
+// SimulateMultiply runs the algorithm through the discrete-event
+// performance model instead of real arithmetic.
+func SimulateMultiply(p Problem, cfg Config, sys SimSystem) SimResult {
+	return universal.SimulateMultiply(p, cfg, sys)
+}
+
+// Pool is a reusable float32 buffer pool (the §4.2 memory pool).
+type Pool = gpusim.Pool
+
+// NewPool returns an empty buffer pool.
+func NewPool() *Pool { return gpusim.NewPool() }
+
+// ChooseStationary prices all three data movement strategies with the
+// §4.3 cost model on the given system and returns the cheapest together
+// with its estimated runtime — the "straightforward to verify via a cost
+// model" selection the paper describes. Pass the result as Config.Stationary.
+func ChooseStationary(p Problem, sys SimSystem) (Stationary, float64) {
+	return costmodel.New(sys.Topo, sys.Dev).ChooseStationary(p)
+}
+
+// SparseMatrix is a distributed sparse (tiled CSR) matrix for the
+// sparse-times-dense extension.
+type SparseMatrix = distmat.Sparse
+
+// CSR is a local compressed-sparse-row matrix.
+type CSR = tile.CSR
+
+// NewSparseMatrix distributes a global CSR matrix with the given partition
+// and replication factor.
+func NewSparseMatrix(alloc shmem.Allocator, global *CSR, part Partition, replication int) *SparseMatrix {
+	return distmat.NewSparse(alloc, global, part, replication)
+}
+
+// MultiplySparse computes C = A·B with a distributed sparse A and dense B
+// and C, under any partitioning/replication combination. Collective.
+func MultiplySparse(pe *PE, c *Matrix, a *SparseMatrix, b *Matrix, cfg Config) Stationary {
+	return universal.MultiplySparse(pe, c, a, b, cfg)
+}

@@ -1,0 +1,112 @@
+package slicing_test
+
+import (
+	"fmt"
+	"testing"
+
+	"slicing"
+	"slicing/internal/tile"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow end to
+// end through the façade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	const p, m, n, k = 4, 32, 28, 36
+	world := slicing.NewWorld(p)
+	a := slicing.NewMatrix(world, m, k, slicing.RowBlock{}, 1)
+	b := slicing.NewMatrix(world, k, n, slicing.ColBlock{}, 1)
+	c := slicing.NewMatrix(world, m, n, slicing.Block2D{}, 2)
+
+	var ref, got *tile.Matrix
+	world.Run(func(pe *slicing.PE) {
+		a.FillRandom(pe, 1)
+		b.FillRandom(pe, 2)
+	})
+	world.Run(func(pe *slicing.PE) {
+		if pe.Rank() == 0 {
+			fa := a.Gather(pe, 0)
+			fb := b.Gather(pe, 0)
+			ref = tile.New(m, n)
+			tile.GemmNaive(ref, fa, fb)
+		}
+	})
+	world.Run(func(pe *slicing.PE) {
+		stat := slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
+		if stat != slicing.StationaryC && stat != slicing.StationaryA && stat != slicing.StationaryB {
+			t.Errorf("unexpected stationary %v", stat)
+		}
+	})
+	world.Run(func(pe *slicing.PE) {
+		if pe.Rank() == 0 {
+			got = c.Gather(pe, 0)
+		}
+	})
+	if !got.AllClose(ref, 1e-3) {
+		t.Fatalf("quickstart result mismatch: %g", got.MaxAbsDiff(ref))
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	world := slicing.NewWorld(8)
+	a := slicing.NewMatrix(world, 1024, 1024, slicing.RowBlock{}, 1)
+	b := slicing.NewMatrix(world, 1024, 1024, slicing.ColBlock{}, 1)
+	c := slicing.NewMatrix(world, 1024, 1024, slicing.Block2D{}, 1)
+	prob := slicing.NewProblem(c, a, b)
+	res := slicing.SimulateMultiply(prob, slicing.DefaultConfig(), slicing.H100System())
+	if res.PercentOfPeak <= 0 {
+		t.Fatalf("simulation produced %v", res)
+	}
+}
+
+func TestPublicAPIOpGeneration(t *testing.T) {
+	world := slicing.NewWorld(4)
+	a := slicing.NewMatrix(world, 16, 16, slicing.RowBlock{}, 1)
+	b := slicing.NewMatrix(world, 16, 16, slicing.ColBlock{}, 1)
+	c := slicing.NewMatrix(world, 16, 16, slicing.Block2D{}, 1)
+	prob := slicing.NewProblem(c, a, b)
+	total := 0
+	for rank := 0; rank < 4; rank++ {
+		total += len(slicing.GenerateOps(rank, prob, slicing.StationaryC))
+	}
+	if total == 0 {
+		t.Fatal("no ops generated through public API")
+	}
+}
+
+func ExampleMultiply() {
+	world := slicing.NewWorld(4)
+	a := slicing.NewMatrix(world, 8, 8, slicing.RowBlock{}, 1)
+	b := slicing.NewMatrix(world, 8, 8, slicing.ColBlock{}, 1)
+	c := slicing.NewMatrix(world, 8, 8, slicing.Block2D{}, 1)
+	world.Run(func(pe *slicing.PE) {
+		a.FillRandom(pe, 1)
+		b.FillRandom(pe, 2)
+		slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
+	})
+	fmt.Println("done")
+	// Output: done
+}
+
+func TestChooseStationaryAdvisor(t *testing.T) {
+	world := slicing.NewWorld(12)
+	// MLP-2-like: B is the giant matrix; the advisor must not move it.
+	a := slicing.NewMatrix(world, 1024, 49152, slicing.ColBlock{}, 1)
+	b := slicing.NewMatrix(world, 49152, 12288, slicing.RowBlock{}, 1)
+	c := slicing.NewMatrix(world, 1024, 12288, slicing.Block2D{}, 1)
+	prob := slicing.NewProblem(c, a, b)
+	stat, cost := slicing.ChooseStationary(prob, slicing.PVCSystem())
+	if cost <= 0 {
+		t.Fatalf("advisor cost = %g", cost)
+	}
+	if stat == slicing.StationaryC {
+		t.Fatalf("advisor picked StationaryC despite a giant B")
+	}
+}
+
+func TestPublicAPICyclicPartitions(t *testing.T) {
+	world := slicing.NewWorld(3)
+	m := slicing.NewMatrix(world, 9, 9, slicing.RowCyclic{}, 1)
+	if m.Grid().NumTiles() != 9 {
+		t.Fatalf("pure cyclic should have 9 row blocks, got %d", m.Grid().NumTiles())
+	}
+}
