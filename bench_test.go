@@ -24,6 +24,7 @@ import (
 	"slicing/internal/distmat"
 	"slicing/internal/gpusim"
 	"slicing/internal/ir"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
@@ -129,7 +130,7 @@ func BenchmarkAccumulateVsGet(b *testing.B) {
 	b.SetBytes(elems * 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			if pe.Rank() == 0 {
 				pe.Get(buf, seg, 1, 0)
 				pe.AccumulateAdd(buf, seg, 1, 0)
@@ -172,7 +173,7 @@ func BenchmarkUniversalRealExecution(b *testing.B) {
 	a := distmat.New(w, m, k, distmat.RowBlock{}, 1)
 	bm := distmat.New(w, k, n, distmat.ColBlock{}, 1)
 	c := distmat.New(w, m, n, distmat.Block2D{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 1)
 		bm.FillRandom(pe, 2)
 	})
@@ -180,7 +181,7 @@ func BenchmarkUniversalRealExecution(b *testing.B) {
 	b.SetBytes(int64(2 * m * n * k))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			universal.Multiply(pe, c, a, bm, cfg)
 		})
 	}
@@ -228,14 +229,14 @@ func BenchmarkSparseDenseMultiply(b *testing.B) {
 	a := distmat.NewSparse(w, global, distmat.RowBlock{}, 1)
 	bm := distmat.New(w, k, n, distmat.RowBlock{}, 1)
 	c := distmat.New(w, m, n, distmat.RowBlock{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		bm.FillRandom(pe, 1)
 	})
 	cfg := universal.DefaultConfig()
 	b.SetBytes(int64(2 * global.NNZ() * n))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			universal.MultiplySparse(pe, c, a, bm, cfg)
 		})
 	}

@@ -36,6 +36,7 @@ import (
 	"slicing/internal/costmodel"
 	"slicing/internal/distmat"
 	"slicing/internal/ir"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 	"slicing/internal/trace"
@@ -125,13 +126,13 @@ func main() {
 	}
 }
 
-func runReal(w *shmem.World, prob universal.Problem, cfg universal.Config) {
-	w.Run(func(pe *shmem.PE) {
+func runReal(w rt.World, prob universal.Problem, cfg universal.Config) {
+	w.Run(func(pe rt.PE) {
 		prob.A.FillRandom(pe, 1)
 		prob.B.FillRandom(pe, 2)
 	})
 	var ref *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			fa := prob.A.Gather(pe, 0)
 			fb := prob.B.Gather(pe, 0)
@@ -141,12 +142,12 @@ func runReal(w *shmem.World, prob universal.Problem, cfg universal.Config) {
 	})
 	start := time.Now()
 	var stat universal.Stationary
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		stat = universal.Multiply(pe, prob.C, prob.A, prob.B, cfg)
 	})
 	elapsed := time.Since(start)
 	var ok bool
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			ok = prob.C.Gather(pe, 0).AllClose(ref, 1e-3)
 		}

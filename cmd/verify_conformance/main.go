@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"slicing/internal/distmat"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
@@ -87,12 +88,12 @@ func verifyOne(p, m, n, k int, pa, pb, pc distmat.Partition, cAB, cC int,
 	a := distmat.New(w, m, k, pa, cAB)
 	b := distmat.New(w, k, n, pb, cAB)
 	c := distmat.New(w, m, n, pc, cC)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 7)
 		b.FillRandom(pe, 8)
 	})
 	var ref, got *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			ref = tile.New(m, n)
 			tile.GemmNaive(ref, a.Gather(pe, 0), b.Gather(pe, 0))
@@ -102,10 +103,10 @@ func verifyOne(p, m, n, k int, pa, pb, pc distmat.Partition, cAB, cC int,
 	cfg.Stationary = stat
 	cfg.SubTileFetch = subTile
 	cfg.SyncReplicas = true
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		universal.Multiply(pe, c, a, b, cfg)
 	})
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			got = c.Gather(pe, 0)
 		}

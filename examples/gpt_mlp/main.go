@@ -36,19 +36,19 @@ func runBlock(name string, px, pw1, ph, pw2, py slicing.Partition, cX, cW1, cH, 
 	w2 := slicing.NewMatrix(world, 4*hidden, hidden, pw2, cW2)
 	y := slicing.NewMatrix(world, batch, hidden, py, cY)
 
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		x.FillRandom(pe, 21)
 		w1.FillRandom(pe, 22)
 		w2.FillRandom(pe, 23)
 	})
 	cfg := slicing.DefaultConfig()
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		slicing.Multiply(pe, h, x, w1, cfg) // MLP-1
 		slicing.Multiply(pe, y, h, w2, cfg) // MLP-2, consumes H in place
 	})
 
 	var ok bool
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		if pe.Rank() != 0 {
 			return
 		}
@@ -111,13 +111,13 @@ func runBackward() {
 	dx := slicing.NewMatrix(world, batch, hidden, slicing.RowBlock{}, 1)
 	dw := slicing.NewMatrix(world, hidden, 4*hidden, slicing.ColBlock{}, 1)
 
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		x.FillRandom(pe, 41)
 		w.FillRandom(pe, 42)
 		dy.FillRandom(pe, 43)
 	})
 	cfg := slicing.DefaultConfig()
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		w.TransposeInto(pe, wT)
 		x.TransposeInto(pe, xT)
 		slicing.Multiply(pe, dx, dy, wT, cfg) // dX = dY · Wᵀ
@@ -125,7 +125,7 @@ func runBackward() {
 	})
 
 	var ok bool
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		if pe.Rank() != 0 {
 			return
 		}

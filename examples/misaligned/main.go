@@ -41,17 +41,17 @@ func main() {
 	}
 
 	// Execute and verify: misalignment changes nothing for the caller.
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		a.FillRandom(pe, 11)
 		b.FillRandom(pe, 12)
 	})
 	cfg := slicing.DefaultConfig()
 	cfg.Stationary = slicing.StationaryC
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		slicing.Multiply(pe, c, a, b, cfg)
 	})
 	var ok bool
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		if pe.Rank() != 0 {
 			return
 		}

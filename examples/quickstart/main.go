@@ -25,20 +25,20 @@ func main() {
 	b := slicing.NewMatrix(world, k, n, slicing.ColBlock{}, 1)
 	c := slicing.NewMatrix(world, m, n, slicing.Block2D{}, 2)
 
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		a.FillRandom(pe, 1)
 		b.FillRandom(pe, 2)
 	})
 
 	var stat slicing.Stationary
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		stat = slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
 	})
 	fmt.Printf("multiplied %dx%dx%d over %d PEs (data movement: %v)\n", m, n, k, p, stat)
 
 	// Verify against the serial reference.
 	var ok bool
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		if pe.Rank() != 0 {
 			return
 		}

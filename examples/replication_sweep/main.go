@@ -27,15 +27,15 @@ func main() {
 		a := slicing.NewMatrix(world, m, k, slicing.RowBlock{}, c)
 		b := slicing.NewMatrix(world, k, n, slicing.ColBlock{}, c)
 		cm := slicing.NewMatrix(world, m, n, slicing.Block2D{}, c)
-		world.Run(func(pe *slicing.PE) {
+		world.Run(func(pe slicing.PE) {
 			a.FillRandom(pe, 31)
 			b.FillRandom(pe, 32)
 		})
-		world.Run(func(pe *slicing.PE) {
+		world.Run(func(pe slicing.PE) {
 			slicing.Multiply(pe, cm, a, b, slicing.DefaultConfig())
 		})
 		var ok bool
-		world.Run(func(pe *slicing.PE) {
+		world.Run(func(pe slicing.PE) {
 			if pe.Rank() != 0 {
 				return
 			}

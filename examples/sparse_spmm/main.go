@@ -41,15 +41,15 @@ func main() {
 		b := slicing.NewMatrix(world, k, n, slicing.RowBlock{}, 1)
 		c := slicing.NewMatrix(world, m, n, slicing.RowBlock{}, 1)
 
-		world.Run(func(pe *slicing.PE) {
+		world.Run(func(pe slicing.PE) {
 			b.FillRandom(pe, 11)
 		})
-		world.Run(func(pe *slicing.PE) {
+		world.Run(func(pe slicing.PE) {
 			slicing.MultiplySparse(pe, c, a, b, slicing.DefaultConfig())
 		})
 
 		var ok bool
-		world.Run(func(pe *slicing.PE) {
+		world.Run(func(pe slicing.PE) {
 			if pe.Rank() != 0 {
 				return
 			}

@@ -1,0 +1,3 @@
+module slicing
+
+go 1.24

@@ -17,6 +17,7 @@ import (
 	"slicing/internal/bench"
 	"slicing/internal/costmodel"
 	"slicing/internal/distmat"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/universal"
 )
@@ -132,7 +133,7 @@ func Best(sys universal.SimSystem, m, n, k int, opt Options) Candidate {
 // Instantiate allocates the candidate's three matrices over a world of the
 // system's size, ready for universal.Multiply with the candidate's
 // stationary strategy.
-func (c Candidate) Instantiate(alloc shmem.Allocator, m, n, k int) (a, b, cm *distmat.Matrix) {
+func (c Candidate) Instantiate(alloc rt.Allocator, m, n, k int) (a, b, cm *distmat.Matrix) {
 	pa, pb, pc := c.Part.Parts()
 	a = distmat.New(alloc, m, k, pa, c.ReplAB)
 	b = distmat.New(alloc, k, n, pb, c.ReplAB)

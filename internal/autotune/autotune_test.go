@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
@@ -99,21 +100,21 @@ func TestBestInstantiateAndMultiply(t *testing.T) {
 	best := Best(sys, 48, 40, 56, Options{SimulateTop: 2})
 	w := shmem.NewWorld(4)
 	a, b, c := best.Instantiate(w, 48, 40, 56)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 1)
 		b.FillRandom(pe, 2)
 	})
 	var ref, got *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			ref = tile.New(48, 40)
 			tile.GemmNaive(ref, a.Gather(pe, 0), b.Gather(pe, 0))
 		}
 	})
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		universal.Multiply(pe, c, a, b, best.Config())
 	})
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			got = c.Gather(pe, 0)
 		}

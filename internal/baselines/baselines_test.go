@@ -5,18 +5,19 @@ import (
 	"testing"
 
 	"slicing/internal/distmat"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 )
 
 // fillAndReference fills A and B and returns the serial product.
-func fillAndReference(w *shmem.World, a, b *distmat.Matrix, m, n int) *tile.Matrix {
+func fillAndReference(w rt.World, a, b *distmat.Matrix, m, n int) *tile.Matrix {
 	var ref *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 31)
 		b.FillRandom(pe, 32)
 	})
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			fullA := a.Gather(pe, 0)
 			fullB := b.Gather(pe, 0)
@@ -27,9 +28,9 @@ func fillAndReference(w *shmem.World, a, b *distmat.Matrix, m, n int) *tile.Matr
 	return ref
 }
 
-func gatherC(w *shmem.World, c *distmat.Matrix) *tile.Matrix {
+func gatherC(w rt.World, c *distmat.Matrix) *tile.Matrix {
 	var got *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			got = c.Gather(pe, 0)
 		}
@@ -149,7 +150,7 @@ func TestTwoPointFiveDReducesGets(t *testing.T) {
 	run := func(p, c int) int64 {
 		w := shmem.NewWorld(p)
 		td := NewTwoPointFiveD(w, 64, 64, 64, c)
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			td.A.FillRandom(pe, 1)
 			td.B.FillRandom(pe, 2)
 		})

@@ -6,7 +6,7 @@ import (
 
 	"slicing/internal/distmat"
 	"slicing/internal/index"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -19,7 +19,7 @@ type CannonProblem struct {
 
 // NewCannon allocates operands for an m×n×k Cannon multiply. The world
 // size must be a perfect square.
-func NewCannon(w *shmem.World, m, n, k int) CannonProblem {
+func NewCannon(w rt.World, m, n, k int) CannonProblem {
 	q := int(math.Sqrt(float64(w.NumPE())))
 	if q*q != w.NumPE() {
 		panic(fmt.Sprintf("baselines: Cannon needs a square PE count, got %d", w.NumPE()))
@@ -37,7 +37,7 @@ func NewCannon(w *shmem.World, m, n, k int) CannonProblem {
 // read A(i, i+j+t mod q) and B(i+j+t mod q, j) directly from their owners —
 // the initial skew i+j is Cannon's alignment shuffle expressed as index
 // arithmetic, and it doubles as the network load balancer. Collective.
-func (cp CannonProblem) Multiply(pe *shmem.PE) {
+func (cp CannonProblem) Multiply(pe rt.PE) {
 	cp.C.Zero(pe)
 	q := cp.Q
 	i := pe.Rank() / q
@@ -49,6 +49,7 @@ func (cp CannonProblem) Multiply(pe *shmem.PE) {
 		aTile := cp.A.GetTile(pe, index.TileIdx{Row: i, Col: s}, distmat.LocalReplica)
 		bTile := cp.B.GetTile(pe, index.TileIdx{Row: s, Col: j}, distmat.LocalReplica)
 		tile.Gemm(cTile, aTile, bTile)
+		rt.ChargeGemm(pe, cTile.Rows, cTile.Cols, aTile.Cols)
 	}
 	pe.Barrier()
 }

@@ -6,7 +6,7 @@ import (
 
 	"slicing/internal/distmat"
 	"slicing/internal/index"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -22,7 +22,7 @@ type OneDotFiveD struct {
 
 // NewOneDotFiveD allocates operands for an m×n×k 1.5D multiply with
 // replication factor c (which must divide the PE count).
-func NewOneDotFiveD(w *shmem.World, m, n, k, c int) OneDotFiveD {
+func NewOneDotFiveD(w rt.World, m, n, k, c int) OneDotFiveD {
 	return OneDotFiveD{
 		A:    distmat.New(w, m, k, distmat.RowBlock{}, c),
 		B:    distmat.New(w, k, n, distmat.RowBlock{}, 1),
@@ -36,7 +36,7 @@ func NewOneDotFiveD(w *shmem.World, m, n, k, c int) OneDotFiveD {
 // with a one-sided get, multiplies it against the matching column slice of
 // its local A band, and accumulates into its local C band; replicas are
 // then reduced. Collective.
-func (od OneDotFiveD) Multiply(pe *shmem.PE) {
+func (od OneDotFiveD) Multiply(pe rt.PE) {
 	od.C.Zero(pe)
 	rep := od.C.ReplicaOf(pe.Rank())
 	aIdx := od.A.OwnedTiles(pe.Rank())
@@ -55,6 +55,7 @@ func (od OneDotFiveD) Multiply(pe *shmem.PE) {
 			bb := od.B.TileBounds(bIdx)
 			aSlice := aTile.View(0, bb.Rows.Begin, aTile.Rows, bb.Rows.Len())
 			tile.Gemm(cTile, aSlice, bTile)
+			rt.ChargeGemm(pe, cTile.Rows, cTile.Cols, aSlice.Cols)
 		}
 	}
 	pe.Barrier()
@@ -75,7 +76,7 @@ type TwoPointFiveD struct {
 
 // NewTwoPointFiveD allocates operands for an m×n×k 2.5D multiply with
 // replication c. p/c must be a perfect square.
-func NewTwoPointFiveD(w *shmem.World, m, n, k, c int) TwoPointFiveD {
+func NewTwoPointFiveD(w rt.World, m, n, k, c int) TwoPointFiveD {
 	p := w.NumPE()
 	if c <= 0 || p%c != 0 {
 		panic(fmt.Sprintf("baselines: 2.5D replication %d does not divide %d PEs", c, p))
@@ -97,7 +98,7 @@ func NewTwoPointFiveD(w *shmem.World, m, n, k, c int) TwoPointFiveD {
 
 // Multiply runs the 2.5D algorithm with one-sided pulls inside each
 // replica and a replica reduction at the end. Collective.
-func (td TwoPointFiveD) Multiply(pe *shmem.PE) {
+func (td TwoPointFiveD) Multiply(pe rt.PE) {
 	td.C.Zero(pe)
 	q := td.Q
 	rep := td.C.ReplicaOf(pe.Rank())
@@ -117,6 +118,7 @@ func (td TwoPointFiveD) Multiply(pe *shmem.PE) {
 		aTile := td.A.GetTile(pe, index.TileIdx{Row: i, Col: s}, distmat.LocalReplica)
 		bTile := td.B.GetTile(pe, index.TileIdx{Row: s, Col: j}, distmat.LocalReplica)
 		tile.Gemm(cTile, aTile, bTile)
+		rt.ChargeGemm(pe, cTile.Rows, cTile.Cols, aTile.Cols)
 	}
 	pe.Barrier()
 	if td.Repl > 1 {

@@ -15,7 +15,7 @@ import (
 
 	"slicing/internal/distmat"
 	"slicing/internal/index"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -31,7 +31,7 @@ type SUMMAProblem struct {
 // NewSUMMA allocates operands for an m×n×k SUMMA multiply on a pr×pc
 // process grid with k-blocking factor kb. The world must have exactly
 // pr*pc PEs.
-func NewSUMMA(w *shmem.World, m, n, k, pr, pc, kb int) SUMMAProblem {
+func NewSUMMA(w rt.World, m, n, k, pr, pc, kb int) SUMMAProblem {
 	if pr*pc != w.NumPE() {
 		panic(fmt.Sprintf("baselines: SUMMA grid %dx%d over %d PEs", pr, pc, w.NumPE()))
 	}
@@ -50,7 +50,7 @@ func NewSUMMA(w *shmem.World, m, n, k, pr, pc, kb int) SUMMAProblem {
 // broadcasts, every PE pulls the stage-t panel of A from its row peer and
 // of B from its column peer with remote gets, then multiplies into its
 // stationary local C tile. Collective.
-func (sp SUMMAProblem) Multiply(pe *shmem.PE) {
+func (sp SUMMAProblem) Multiply(pe rt.PE) {
 	sp.C.Zero(pe)
 	slot := pe.Rank()
 	myRow := slot / sp.ProcCols
@@ -79,6 +79,7 @@ func (sp SUMMAProblem) Multiply(pe *shmem.PE) {
 			panic(fmt.Sprintf("baselines: SUMMA misalignment A%v B%v C%v", ab, bb, cb))
 		}
 		tile.Gemm(cTile, aTile, bTile)
+		rt.ChargeGemm(pe, cTile.Rows, cTile.Cols, aTile.Cols)
 	}
 	pe.Barrier()
 }

@@ -14,7 +14,9 @@ import (
 	"slicing/internal/cosma"
 	"slicing/internal/distmat"
 	"slicing/internal/dtensor"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
+	"slicing/internal/simbackend"
 	"slicing/internal/universal"
 )
 
@@ -186,6 +188,44 @@ func RunUA(sys universal.SimSystem, m, n, k int, pk Partitioning, cAB, cC int, s
 	cfg := universal.DefaultConfig()
 	cfg.Stationary = stat
 	return universal.SimulateMultiply(prob, cfg, sys)
+}
+
+// RunUATimed executes one universal-algorithm configuration for real on
+// the simnet-timed backend and reports the modeled wall-clock of the
+// execution the runtime actually performed (dynamic prefetch, bounded
+// chains, port contention), as opposed to RunUA's plan-replay estimate.
+// Real arithmetic makes this far more expensive than RunUA, so the figure
+// sweeps use it selectively for validation points.
+func RunUATimed(sys universal.SimSystem, m, n, k int, pk Partitioning, cAB, cC int, stat universal.Stationary) universal.SimResult {
+	p := sys.Topo.NumPE()
+	w := simbackend.New(sys.Topo, sys.Dev).NewWorld(p).(*simbackend.World)
+	pa, pb, pc := pk.Parts()
+	a := distmat.New(w, m, k, pa, cAB)
+	b := distmat.New(w, k, n, pb, cAB)
+	c := distmat.New(w, m, n, pc, cC)
+	cfg := universal.DefaultConfig()
+	cfg.Stationary = stat
+	var resolved universal.Stationary
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 1)
+		b.FillRandom(pe, 2)
+		s := universal.Multiply(pe, c, a, b, cfg)
+		if pe.Rank() == 0 {
+			resolved = s
+		}
+	})
+	stats := w.Stats()
+	res := universal.SimResult{
+		Makespan:         w.PredictedSeconds(),
+		Stationary:       resolved,
+		RemoteGetBytes:   int(stats.RemoteGetBytes),
+		RemoteAccumBytes: int(stats.RemoteAccumBytes),
+	}
+	if res.Makespan > 0 {
+		flops := 2 * float64(m) * float64(n) * float64(k)
+		res.PercentOfPeak = flops / (float64(p) * sys.Dev.PeakFlops * res.Makespan) * 100
+	}
+	return res
 }
 
 // BestUA sweeps replication factors and stationary strategies for one

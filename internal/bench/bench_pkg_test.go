@@ -223,3 +223,23 @@ func TestStrongScaling(t *testing.T) {
 		t.Errorf("4-node efficiency %.3f suspiciously perfect despite slow inter-node links", pts[2].Efficiency)
 	}
 }
+
+func TestRunUATimedAgreesWithEstimate(t *testing.T) {
+	// A small problem where real timed execution is cheap: the timed
+	// backend's observed makespan and the plan-replay estimator must land
+	// within an order of magnitude (they price the same plans over the same
+	// topology/device, but the estimator idealizes scheduling).
+	sys := universal.H100System()
+	timed := RunUATimed(sys, 128, 96, 64, PartBlock, 1, 1, universal.StationaryC)
+	est := RunUA(sys, 128, 96, 64, PartBlock, 1, 1, universal.StationaryC)
+	if timed.Makespan <= 0 || est.Makespan <= 0 {
+		t.Fatalf("non-positive makespans: timed %g, estimate %g", timed.Makespan, est.Makespan)
+	}
+	ratio := timed.Makespan / est.Makespan
+	if ratio < 0.1 || ratio > 10 {
+		t.Fatalf("timed %g vs estimated %g makespan (ratio %.2f)", timed.Makespan, est.Makespan, ratio)
+	}
+	if timed.RemoteGetBytes == 0 {
+		t.Fatal("timed run recorded no remote traffic")
+	}
+}

@@ -13,8 +13,7 @@ package collectives
 
 import (
 	"fmt"
-
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 )
 
 // Group identifies a subset of world ranks that participate in a
@@ -62,7 +61,7 @@ func (g Group) Contains(rank int) bool { return g.IndexOf(rank) >= 0 }
 // non-root member gets the data directly from the root after a barrier.
 // Collective over the whole world (the barrier is global, which is the
 // only synchronization primitive the PGAS layer exposes).
-func Broadcast(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int, rootIdx int) {
+func Broadcast(pe rt.PE, g Group, seg rt.SegmentID, offset, n int, rootIdx int) {
 	checkRoot(g, rootIdx)
 	pe.Barrier() // root data complete
 	if idx := g.IndexOf(pe.Rank()); idx >= 0 && idx != rootIdx {
@@ -75,7 +74,7 @@ func Broadcast(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int, rootId
 // Reduce sums every member's region of seg into the root member's region.
 // Non-root contributions are accumulated with one-sided atomic adds; the
 // non-root regions keep their original values.
-func Reduce(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int, rootIdx int) {
+func Reduce(pe rt.PE, g Group, seg rt.SegmentID, offset, n int, rootIdx int) {
 	checkRoot(g, rootIdx)
 	pe.Barrier() // all contributions in place
 	if idx := g.IndexOf(pe.Rank()); idx >= 0 && idx != rootIdx {
@@ -87,7 +86,7 @@ func Reduce(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int, rootIdx i
 
 // AllReduce sums every member's region and leaves the result on all
 // members (reduce to member 0, then broadcast).
-func AllReduce(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int) {
+func AllReduce(pe rt.PE, g Group, seg rt.SegmentID, offset, n int) {
 	Reduce(pe, g, seg, offset, n, 0)
 	Broadcast(pe, g, seg, offset, n, 0)
 }
@@ -96,7 +95,7 @@ func AllReduce(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int) {
 // i-th of Size() equal chunks of the sum (the remainder goes to the last
 // member). Each member pulls and sums its own chunk from all peers, which
 // spreads network load the way a ring reduce-scatter does.
-func ReduceScatter(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int, scratch []float32) {
+func ReduceScatter(pe rt.PE, g Group, seg rt.SegmentID, offset, n int, scratch []float32) {
 	p := g.Size()
 	pe.Barrier()
 	if idx := g.IndexOf(pe.Rank()); idx >= 0 {
@@ -125,7 +124,7 @@ func ReduceScatter(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int, sc
 // AllGather concatenates each member's chunk into every member's full
 // region: member i owns chunk i of n/Size() elements (remainder on the
 // last member); afterwards all members hold all chunks. Pull-based.
-func AllGather(pe *shmem.PE, g Group, seg shmem.SegmentID, offset, n int) {
+func AllGather(pe rt.PE, g Group, seg rt.SegmentID, offset, n int) {
 	p := g.Size()
 	pe.Barrier()
 	if idx := g.IndexOf(pe.Rank()); idx >= 0 {

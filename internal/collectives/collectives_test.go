@@ -3,6 +3,7 @@ package collectives
 import (
 	"testing"
 
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 )
 
@@ -30,7 +31,7 @@ func TestBroadcastWorld(t *testing.T) {
 	w := shmem.NewWorld(4)
 	seg := w.AllocSymmetric(8)
 	g := WorldGroup(4)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			local := pe.Local(seg)
 			for i := range local {
@@ -51,7 +52,7 @@ func TestBroadcastSubgroupAndOffset(t *testing.T) {
 	w := shmem.NewWorld(4)
 	seg := w.AllocSymmetric(8)
 	g := NewGroup(1, 3) // root is member 0 == rank 1
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 1 {
 			pe.Local(seg)[4] = 42
 		}
@@ -76,7 +77,7 @@ func TestReduceSumsToRoot(t *testing.T) {
 	w := shmem.NewWorld(6)
 	seg := w.AllocSymmetric(4)
 	g := WorldGroup(6)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		local := pe.Local(seg)
 		for i := range local {
 			local[i] = float32(pe.Rank() + 1)
@@ -96,7 +97,7 @@ func TestAllReduce(t *testing.T) {
 	w := shmem.NewWorld(4)
 	seg := w.AllocSymmetric(3)
 	g := WorldGroup(4)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		local := pe.Local(seg)
 		for i := range local {
 			local[i] = 1
@@ -116,7 +117,7 @@ func TestReduceScatter(t *testing.T) {
 	w := shmem.NewWorld(p)
 	seg := w.AllocSymmetric(n)
 	g := WorldGroup(p)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		local := pe.Local(seg)
 		for i := range local {
 			local[i] = float32(i)
@@ -143,7 +144,7 @@ func TestAllGather(t *testing.T) {
 	w := shmem.NewWorld(p)
 	seg := w.AllocSymmetric(n)
 	g := WorldGroup(p)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		idx := g.IndexOf(pe.Rank())
 		chunk := n / p
 		begin := idx * chunk
@@ -179,7 +180,7 @@ func TestReduceInvalidRootPanics(t *testing.T) {
 			t.Fatal("invalid root should panic")
 		}
 	}()
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		Reduce(pe, WorldGroup(2), seg, 0, 2, 5)
 	})
 }
@@ -190,7 +191,7 @@ func TestCollectivesComposable(t *testing.T) {
 	seg := w.AllocSymmetric(2)
 	g0 := NewGroup(0, 1)
 	g1 := NewGroup(2, 3)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		local := pe.Local(seg)
 		local[0] = float32(pe.Rank() + 1)
 		if g0.Contains(pe.Rank()) {

@@ -19,7 +19,7 @@ import (
 	"math"
 
 	"slicing/internal/distmat"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/universal"
 )
 
@@ -101,7 +101,7 @@ func Optimize(m, n, k, p int, memBudget float64) Decomposition {
 
 // Operands instantiates the decomposition's matrices over a world: A, B, C
 // 2D-blocked on the Pm×Pn grid within each of the Pk replicas.
-func (d Decomposition) Operands(alloc shmem.Allocator, m, n, k int) (a, b, c *distmat.Matrix) {
+func (d Decomposition) Operands(alloc rt.Allocator, m, n, k int) (a, b, c *distmat.Matrix) {
 	part := distmat.Block2D{ProcRows: d.Pm, ProcCols: d.Pn}
 	a = distmat.New(alloc, m, k, part, d.Pk)
 	b = distmat.New(alloc, k, n, part, d.Pk)
@@ -112,7 +112,7 @@ func (d Decomposition) Operands(alloc shmem.Allocator, m, n, k int) (a, b, c *di
 // Multiply executes the decomposition with the universal one-sided engine
 // (the replicas split the k-range; reduce_replicas completes C), playing
 // the role of COSMA's own comm-optimal executor. Collective.
-func Multiply(pe *shmem.PE, c, a, b *distmat.Matrix) {
+func Multiply(pe rt.PE, c, a, b *distmat.Matrix) {
 	cfg := universal.DefaultConfig()
 	cfg.Stationary = universal.StationaryC
 	cfg.SyncReplicas = true

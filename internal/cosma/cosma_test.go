@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
@@ -80,11 +81,11 @@ func TestMultiplyMatchesReference(t *testing.T) {
 		w := shmem.NewWorld(tc.p)
 		a, b, c := d.Operands(w, tc.m, tc.n, tc.k)
 		var ref, got *tile.Matrix
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			a.FillRandom(pe, 61)
 			b.FillRandom(pe, 62)
 		})
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			if pe.Rank() == 0 {
 				fa := a.Gather(pe, 0)
 				fb := b.Gather(pe, 0)
@@ -92,10 +93,10 @@ func TestMultiplyMatchesReference(t *testing.T) {
 				tile.GemmNaive(ref, fa, fb)
 			}
 		})
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			Multiply(pe, c, a, b)
 		})
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			if pe.Rank() == 0 {
 				got = c.Gather(pe, 0)
 			}

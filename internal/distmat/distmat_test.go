@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"slicing/internal/index"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 )
@@ -86,7 +87,7 @@ func TestCustomBlockCyclic(t *testing.T) {
 	}
 }
 
-func newTestMatrix(t *testing.T, p int, rows, cols int, part Partition, c int) (*shmem.World, *Matrix) {
+func newTestMatrix(t *testing.T, p int, rows, cols int, part Partition, c int) (rt.World, *Matrix) {
 	t.Helper()
 	w := shmem.NewWorld(p)
 	return w, New(w, rows, cols, part, c)
@@ -142,7 +143,7 @@ func TestReplicaSlotMapping(t *testing.T) {
 
 func TestTileViewAndGetTile(t *testing.T) {
 	w, m := newTestMatrix(t, 4, 40, 40, RowBlock{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		owned := m.OwnedTiles(pe.Rank())
 		if len(owned) != 1 {
 			t.Errorf("rank %d owns %d tiles, want 1", pe.Rank(), len(owned))
@@ -166,7 +167,7 @@ func TestTilePanicsWhenRemote(t *testing.T) {
 			t.Fatal("Tile on remote tile should panic")
 		}
 	}()
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			m.Tile(pe, index.TileIdx{Row: 1, Col: 0}, LocalReplica)
 		}
@@ -175,7 +176,7 @@ func TestTilePanicsWhenRemote(t *testing.T) {
 
 func TestGetTileAsyncLocalFastPath(t *testing.T) {
 	w, m := newTestMatrix(t, 2, 20, 20, RowBlock{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		local := m.OwnedTiles(pe.Rank())[0]
 		f := m.GetTileAsync(pe, local, LocalReplica)
 		if !f.Done() {
@@ -192,7 +193,7 @@ func TestGetTileAsyncLocalFastPath(t *testing.T) {
 
 func TestGetTileAsyncRemote(t *testing.T) {
 	w, m := newTestMatrix(t, 4, 40, 40, ColBlock{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		m.Tile(pe, m.OwnedTiles(pe.Rank())[0], LocalReplica).Fill(float32(pe.Rank()))
 		pe.Barrier()
 		idx := index.TileIdx{Row: 0, Col: (pe.Rank() + 1) % 4}
@@ -207,7 +208,7 @@ func TestGetTileAsyncRemote(t *testing.T) {
 
 func TestAccumulateTileConcurrent(t *testing.T) {
 	w, m := newTestMatrix(t, 4, 8, 8, RowBlock{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		update := tile.New(2, 8)
 		update.Fill(1)
 		// Everyone accumulates into tile (0,0), owned by rank 0.
@@ -229,7 +230,7 @@ func TestAccumulateTileShapeMismatchPanics(t *testing.T) {
 			t.Fatal("wrong-shape accumulate should panic")
 		}
 	}()
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			m.AccumulateTile(pe, index.TileIdx{}, LocalReplica, tile.New(3, 3))
 		}
@@ -238,7 +239,7 @@ func TestAccumulateTileShapeMismatchPanics(t *testing.T) {
 
 func TestSubTileRoundTrip(t *testing.T) {
 	w, m := newTestMatrix(t, 2, 20, 20, RowBlock{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 1 {
 			// Accumulate a 3x4 block into global rect rows 2..5, cols 6..10 of
 			// tile (0,0) (owned by rank 0).
@@ -261,7 +262,7 @@ func TestSubTileRoundTrip(t *testing.T) {
 
 func TestFillRandomReplicasIdentical(t *testing.T) {
 	w, m := newTestMatrix(t, 6, 30, 30, RowBlock{}, 2)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		m.FillRandom(pe, 42)
 		if pe.Rank() == 0 {
 			r0 := m.Gather(pe, 0)
@@ -283,7 +284,7 @@ func TestScatterGatherRoundTrip(t *testing.T) {
 		m := New(w, 37, 41, part, 1)
 		src := tile.New(37, 41)
 		src.FillRandom(rand.New(rand.NewSource(3)))
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			m.ScatterFrom(pe, src)
 			if pe.Rank() == 3 {
 				got := m.Gather(pe, 0)
@@ -300,7 +301,7 @@ func TestScatterGatherWithReplication(t *testing.T) {
 	m := New(w, 24, 24, Block2D{}, 4) // 2 slots per replica
 	src := tile.New(24, 24)
 	src.FillRandom(rand.New(rand.NewSource(5)))
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		m.ScatterFrom(pe, src)
 		for rep := 0; rep < 4; rep++ {
 			got := m.Gather(pe, rep)
@@ -314,7 +315,7 @@ func TestScatterGatherWithReplication(t *testing.T) {
 
 func TestReduceReplicas(t *testing.T) {
 	w, m := newTestMatrix(t, 6, 12, 12, RowBlock{}, 3)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		// Each replica writes its replica number + 1 into all its tiles.
 		rep := m.ReplicaOf(pe.Rank())
 		for _, idx := range m.OwnedTiles(pe.Rank()) {
@@ -340,7 +341,7 @@ func TestReduceReplicas(t *testing.T) {
 
 func TestBroadcastReplica(t *testing.T) {
 	w, m := newTestMatrix(t, 4, 16, 16, ColBlock{}, 2)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		rep := m.ReplicaOf(pe.Rank())
 		for _, idx := range m.OwnedTiles(pe.Rank()) {
 			m.Tile(pe, idx, LocalReplica).Fill(float32(100 * (rep + 1)))
@@ -355,7 +356,7 @@ func TestBroadcastReplica(t *testing.T) {
 
 func TestAllReduceReplicas(t *testing.T) {
 	w, m := newTestMatrix(t, 4, 8, 8, RowBlock{}, 2)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		for _, idx := range m.OwnedTiles(pe.Rank()) {
 			m.Tile(pe, idx, LocalReplica).Fill(1)
 		}
@@ -392,7 +393,7 @@ func TestInvalidReplicaPanics(t *testing.T) {
 			t.Fatal("invalid replica index should panic")
 		}
 	}()
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			m.GetTile(pe, index.TileIdx{}, 3)
 		}
@@ -404,7 +405,7 @@ func TestRaggedEdgeTiles(t *testing.T) {
 	w, m := newTestMatrix(t, 4, 50, 50, RowBlock{}, 1)
 	src := tile.New(50, 50)
 	src.FillRandom(rand.New(rand.NewSource(9)))
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		m.ScatterFrom(pe, src)
 		if pe.Rank() == 0 {
 			last := m.GetTile(pe, index.TileIdx{Row: 3, Col: 0}, LocalReplica)
@@ -428,7 +429,7 @@ func TestTransposeIntoAllPartitionings(t *testing.T) {
 			dst := New(w, 31, 23, dstPart, 1)
 			full := tile.New(23, 31)
 			full.FillRandom(rng)
-			w.Run(func(pe *shmem.PE) {
+			w.Run(func(pe rt.PE) {
 				src.ScatterFrom(pe, full)
 				src.TransposeInto(pe, dst)
 				if pe.Rank() == 0 {
@@ -448,11 +449,11 @@ func TestTransposeIntoWithReplication(t *testing.T) {
 	dst := New(w, 24, 16, ColBlock{}, 4)
 	full := tile.New(16, 24)
 	full.FillRandom(rand.New(rand.NewSource(14)))
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		src.ScatterFrom(pe, full)
 		src.TransposeInto(pe, dst)
 	})
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			for rep := 0; rep < 4; rep++ {
 				if got := dst.Gather(pe, rep); !got.Equal(full.Transpose()) {
@@ -472,7 +473,7 @@ func TestTransposeIntoShapeMismatchPanics(t *testing.T) {
 			t.Fatal("shape mismatch should panic")
 		}
 	}()
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		src.TransposeInto(pe, dst)
 	})
 }
@@ -484,7 +485,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	full := tile.New(19, 27)
 	full.FillRandom(rand.New(rand.NewSource(15)))
 	var buf bytes.Buffer
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		src.ScatterFrom(pe, full)
 		if pe.Rank() == 0 {
 			if _, err := src.WriteTo(pe, &buf); err != nil {
@@ -493,7 +494,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		}
 	})
 	data := buf.Bytes()
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if err := dst.ReadInto(pe, bytes.NewReader(data)); err != nil {
 			t.Errorf("ReadInto: %v", err)
 		}
@@ -519,14 +520,14 @@ func TestReadIntoShapeMismatch(t *testing.T) {
 	src := New(w, 4, 4, RowBlock{}, 1)
 	dst := New(w, 5, 5, RowBlock{}, 1)
 	var buf bytes.Buffer
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			src.WriteTo(pe, &buf)
 		}
 	})
 	data := buf.Bytes()
 	sawErr := make([]bool, 2)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if err := dst.ReadInto(pe, bytes.NewReader(data)); err != nil {
 			sawErr[pe.Rank()] = true
 			pe.Barrier() // match ScatterFrom's barrier on the success path
@@ -570,7 +571,7 @@ func TestCyclicScatterGather(t *testing.T) {
 	m := New(w, 17, 13, RowCyclic{BlockRows: 2}, 1)
 	src := tile.New(17, 13)
 	src.FillRandom(rand.New(rand.NewSource(20)))
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		m.ScatterFrom(pe, src)
 		if pe.Rank() == 1 {
 			if got := m.Gather(pe, 0); !got.Equal(src) {
@@ -582,7 +583,7 @@ func TestCyclicScatterGather(t *testing.T) {
 
 func TestGetTileInto(t *testing.T) {
 	w, m := newTestMatrix(t, 4, 40, 40, RowBlock{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		m.Tile(pe, m.OwnedTiles(pe.Rank())[0], LocalReplica).Fill(float32(pe.Rank()))
 		pe.Barrier()
 		dst := tile.New(10, 40)
@@ -600,7 +601,7 @@ func TestGetTileIntoWrongShapePanics(t *testing.T) {
 			t.Fatal("wrong-shape buffer should panic")
 		}
 	}()
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			m.GetTileInto(pe, tile.New(3, 3), index.TileIdx{}, LocalReplica)
 		}
@@ -632,7 +633,7 @@ func TestSparseReplicasIdentical(t *testing.T) {
 	global := tile.RandomCSR(rng, 16, 16, 0.3)
 	w := shmem.NewWorld(4)
 	s := NewSparse(w, global, RowBlock{}, 2)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			d0 := s.Gather(pe, 0)
 			d1 := s.Gather(pe, 1)

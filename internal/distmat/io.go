@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"io"
 
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -18,7 +18,7 @@ var ioMagic = [8]byte{'S', 'L', 'C', 'M', 0, 0, 0, 1}
 // binary format: magic, shape, then row-major float32 data. Any single PE
 // may call it; it is not collective. The partitioning is deliberately not
 // serialized — a checkpoint can be restored into any distribution.
-func (m *Matrix) WriteTo(pe *shmem.PE, w io.Writer) (int64, error) {
+func (m *Matrix) WriteTo(pe rt.PE, w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
 	if err := binary.Write(bw, binary.LittleEndian, ioMagic); err != nil {
@@ -43,7 +43,7 @@ func (m *Matrix) WriteTo(pe *shmem.PE, w io.Writer) (int64, error) {
 // Collective: every PE must call it with an identical reader's content —
 // in practice each PE opens its own copy — or call it via ScatterFrom
 // after a single-PE ReadMatrix.
-func (m *Matrix) ReadInto(pe *shmem.PE, r io.Reader) error {
+func (m *Matrix) ReadInto(pe rt.PE, r io.Reader) error {
 	full, err := ReadDense(r)
 	if err != nil {
 		return err

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 
 	"slicing/internal/index"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -19,24 +19,24 @@ const LocalReplica = -1
 // partitioned across its slots. Tiles live in symmetric memory and are
 // accessed with one-sided operations only.
 type Matrix struct {
-	world       *shmem.World
+	world       rt.World
 	rows, cols  int
 	part        Partition
 	replication int
 	slots       int
 	grid        index.Grid
 
-	seg        shmem.SegmentID
+	seg        rt.SegmentID
 	tileOffset [][]int // [tileRow][tileCol] -> offset in owner slot's segment
 	ownerSlot  [][]int // [tileRow][tileCol] -> slot
 }
 
 // New allocates a distributed rows×cols matrix with the given partition
 // and replication factor. The replication factor must divide the number of
-// PEs. The allocator is either the *shmem.World (host-side allocation
+// PEs. The allocator is either the rt.World (host-side allocation
 // before World.Run) or a *shmem.PE (collective allocation from inside a PE
 // body, in which case every PE must call New in the same order).
-func New(alloc shmem.Allocator, rows, cols int, part Partition, replication int) *Matrix {
+func New(alloc rt.Allocator, rows, cols int, part Partition, replication int) *Matrix {
 	w := alloc.World()
 	p := w.NumPE()
 	if replication <= 0 || p%replication != 0 {
@@ -95,7 +95,7 @@ func (m *Matrix) Replication() int { return m.replication }
 func (m *Matrix) Slots() int { return m.slots }
 
 // World returns the world the matrix is distributed over.
-func (m *Matrix) World() *shmem.World { return m.world }
+func (m *Matrix) World() rt.World { return m.world }
 
 // GridShape returns the tile-grid shape (the grid_shape() primitive).
 func (m *Matrix) GridShape() (tileRows, tileCols int) { return m.grid.GridShape() }
@@ -162,12 +162,12 @@ func (m *Matrix) TileOffset(idx index.TileIdx) int {
 }
 
 // Segment returns the matrix's symmetric segment ID.
-func (m *Matrix) Segment() shmem.SegmentID { return m.seg }
+func (m *Matrix) Segment() rt.SegmentID { return m.seg }
 
 // Tile returns a zero-copy view of tile idx (the tile() primitive). The
 // tile must be owned by pe within the requested replica; remote tiles need
 // GetTile. Writes through the view modify symmetric memory directly.
-func (m *Matrix) Tile(pe *shmem.PE, idx index.TileIdx, replica int) *tile.Matrix {
+func (m *Matrix) Tile(pe rt.PE, idx index.TileIdx, replica int) *tile.Matrix {
 	owner := m.OwnerRank(idx, replica, pe.Rank())
 	if owner != pe.Rank() {
 		panic(fmt.Sprintf("distmat: Tile(%v) is held by rank %d, not caller %d; use GetTile",
@@ -181,7 +181,7 @@ func (m *Matrix) Tile(pe *shmem.PE, idx index.TileIdx, replica int) *tile.Matrix
 
 // GetTile returns a fresh local copy of tile idx from the given replica
 // (get_tile). Pass LocalReplica to read from the caller's own replica.
-func (m *Matrix) GetTile(pe *shmem.PE, idx index.TileIdx, replica int) *tile.Matrix {
+func (m *Matrix) GetTile(pe rt.PE, idx index.TileIdx, replica int) *tile.Matrix {
 	b := m.grid.TileBounds(idx)
 	rows, cols := b.Shape()
 	dst := tile.New(rows, cols)
@@ -192,7 +192,7 @@ func (m *Matrix) GetTile(pe *shmem.PE, idx index.TileIdx, replica int) *tile.Mat
 
 // GetTileInto copies tile idx into a caller-provided buffer matrix of the
 // right shape, allowing pooled allocation in the hot path.
-func (m *Matrix) GetTileInto(pe *shmem.PE, dst *tile.Matrix, idx index.TileIdx, replica int) {
+func (m *Matrix) GetTileInto(pe rt.PE, dst *tile.Matrix, idx index.TileIdx, replica int) {
 	b := m.grid.TileBounds(idx)
 	rows, cols := b.Shape()
 	if dst.Rows != rows || dst.Cols != cols || !dst.IsDense() {
@@ -205,7 +205,7 @@ func (m *Matrix) GetTileInto(pe *shmem.PE, dst *tile.Matrix, idx index.TileIdx, 
 // TileFuture is an in-flight asynchronous tile copy: Wait, then read Tile.
 type TileFuture struct {
 	Tile   *tile.Matrix
-	future *shmem.Future
+	future rt.Future
 }
 
 // Wait blocks until the tile copy has landed and returns the tile.
@@ -220,10 +220,10 @@ func (f *TileFuture) Done() bool { return f.future.Done() }
 // GetTileAsync starts an asynchronous copy of tile idx (get_tile_async) and
 // returns a future. If the tile is local the future is already complete and
 // the Tile is a zero-copy view, mirroring the local fast path of §4.2.
-func (m *Matrix) GetTileAsync(pe *shmem.PE, idx index.TileIdx, replica int) *TileFuture {
+func (m *Matrix) GetTileAsync(pe rt.PE, idx index.TileIdx, replica int) *TileFuture {
 	owner := m.OwnerRank(idx, replica, pe.Rank())
 	if owner == pe.Rank() {
-		return &TileFuture{Tile: m.Tile(pe, idx, replica), future: shmem.CompletedFuture()}
+		return &TileFuture{Tile: m.Tile(pe, idx, replica), future: rt.CompletedFuture()}
 	}
 	b := m.grid.TileBounds(idx)
 	rows, cols := b.Shape()
@@ -234,7 +234,7 @@ func (m *Matrix) GetTileAsync(pe *shmem.PE, idx index.TileIdx, replica int) *Til
 
 // AccumulateTile atomically adds view into tile idx of the given replica
 // (accumulate_tile). The view must match the tile's shape.
-func (m *Matrix) AccumulateTile(pe *shmem.PE, idx index.TileIdx, replica int, view *tile.Matrix) {
+func (m *Matrix) AccumulateTile(pe rt.PE, idx index.TileIdx, replica int, view *tile.Matrix) {
 	b := m.grid.TileBounds(idx)
 	rows, cols := b.Shape()
 	if view.Rows != rows || view.Cols != cols {
@@ -254,7 +254,7 @@ func (m *Matrix) AccumulateTile(pe *shmem.PE, idx index.TileIdx, replica int, vi
 // global coordinates) of tile idx. This is the misaligned-tile accumulate
 // path: when C's tiles do not align with the op's m×n bounds only a slice
 // of the destination tile is updated.
-func (m *Matrix) AccumulateSubTile(pe *shmem.PE, idx index.TileIdx, replica int, sub index.Rect, view *tile.Matrix) {
+func (m *Matrix) AccumulateSubTile(pe rt.PE, idx index.TileIdx, replica int, sub index.Rect, view *tile.Matrix) {
 	b := m.grid.TileBounds(idx)
 	if !b.ContainsRect(sub) {
 		panic(fmt.Sprintf("distmat: sub-rect %v outside tile %v bounds %v", sub, idx, b))
@@ -275,7 +275,7 @@ func (m *Matrix) AccumulateSubTile(pe *shmem.PE, idx index.TileIdx, replica int,
 
 // GetSubTile copies the sub-rectangle sub (global coordinates) of tile idx
 // into a fresh local matrix.
-func (m *Matrix) GetSubTile(pe *shmem.PE, idx index.TileIdx, replica int, sub index.Rect) *tile.Matrix {
+func (m *Matrix) GetSubTile(pe rt.PE, idx index.TileIdx, replica int, sub index.Rect) *tile.Matrix {
 	b := m.grid.TileBounds(idx)
 	if !b.ContainsRect(sub) {
 		panic(fmt.Sprintf("distmat: sub-rect %v outside tile %v bounds %v", sub, idx, b))
@@ -296,7 +296,7 @@ func (m *Matrix) GetSubTile(pe *shmem.PE, idx index.TileIdx, replica int, sub in
 // GetSubTileAsync starts an asynchronous copy of the sub-rectangle sub
 // (global coordinates) of tile idx and returns a future. Local tiles
 // return an immediate strided view-copy.
-func (m *Matrix) GetSubTileAsync(pe *shmem.PE, idx index.TileIdx, replica int, sub index.Rect) *TileFuture {
+func (m *Matrix) GetSubTileAsync(pe rt.PE, idx index.TileIdx, replica int, sub index.Rect) *TileFuture {
 	b := m.grid.TileBounds(idx)
 	if !b.ContainsRect(sub) {
 		panic(fmt.Sprintf("distmat: sub-rect %v outside tile %v bounds %v", sub, idx, b))
@@ -304,15 +304,13 @@ func (m *Matrix) GetSubTileAsync(pe *shmem.PE, idx index.TileIdx, replica int, s
 	rows, cols := sub.Shape()
 	dst := tile.New(rows, cols)
 	if rows == 0 || cols == 0 {
-		return &TileFuture{Tile: dst, future: shmem.CompletedFuture()}
+		return &TileFuture{Tile: dst, future: rt.CompletedFuture()}
 	}
 	_, tileCols := b.Shape()
 	local := sub.Localize(b.Rows.Begin, b.Cols.Begin)
 	owner := m.OwnerRank(idx, replica, pe.Rank())
 	off := m.tileOffset[idx.Row][idx.Col] + local.Rows.Begin*tileCols + local.Cols.Begin
-	f := shmem.After(nil, func() {
-		pe.GetStrided(dst.Data, cols, m.seg, owner, off, tileCols, rows, cols)
-	})
+	f := pe.GetStridedAsync(dst.Data, cols, m.seg, owner, off, tileCols, rows, cols)
 	return &TileFuture{Tile: dst, future: f}
 }
 
@@ -337,7 +335,7 @@ func (m *Matrix) checkTile(idx index.TileIdx) {
 // [-1, 1). Every PE fills the tiles its slot owns; tile content depends only
 // on (seed, tile index) so all replicas hold identical data. Collective:
 // all PEs must call it, and it ends with a barrier.
-func (m *Matrix) FillRandom(pe *shmem.PE, seed int64) {
+func (m *Matrix) FillRandom(pe rt.PE, seed int64) {
 	for _, idx := range m.OwnedTiles(pe.Rank()) {
 		t := m.Tile(pe, idx, LocalReplica)
 		rng := rand.New(rand.NewSource(seed ^ int64(idx.Row)<<32 ^ int64(idx.Col)<<16))
@@ -347,7 +345,7 @@ func (m *Matrix) FillRandom(pe *shmem.PE, seed int64) {
 }
 
 // Zero clears the caller's owned tiles in its replica. Collective.
-func (m *Matrix) Zero(pe *shmem.PE) {
+func (m *Matrix) Zero(pe rt.PE) {
 	for _, idx := range m.OwnedTiles(pe.Rank()) {
 		m.Tile(pe, idx, LocalReplica).Zero()
 	}
@@ -357,7 +355,7 @@ func (m *Matrix) Zero(pe *shmem.PE) {
 // ScatterFrom distributes a full global matrix into the caller's owned
 // tiles (all replicas fill from the same source, so replicas stay
 // identical). Collective.
-func (m *Matrix) ScatterFrom(pe *shmem.PE, src *tile.Matrix) {
+func (m *Matrix) ScatterFrom(pe rt.PE, src *tile.Matrix) {
 	if src.Rows != m.rows || src.Cols != m.cols {
 		panic(fmt.Sprintf("distmat: scatter source %dx%d into %dx%d matrix", src.Rows, src.Cols, m.rows, m.cols))
 	}
@@ -371,7 +369,7 @@ func (m *Matrix) ScatterFrom(pe *shmem.PE, src *tile.Matrix) {
 
 // Gather assembles the full matrix from the given replica using one-sided
 // reads. Any PE may call it independently; it is not collective.
-func (m *Matrix) Gather(pe *shmem.PE, replica int) *tile.Matrix {
+func (m *Matrix) Gather(pe rt.PE, replica int) *tile.Matrix {
 	out := tile.New(m.rows, m.cols)
 	tr, tc := m.grid.GridShape()
 	for r := 0; r < tr; r++ {

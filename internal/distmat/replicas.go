@@ -1,13 +1,13 @@
 package distmat
 
-import "slicing/internal/shmem"
+import rt "slicing/internal/runtime"
 
 // BroadcastReplica copies every tile from the origin replica into all other
 // replicas (the broadcast_replica primitive). Collective: every PE must
 // call it. Each PE pulls its own slot's tiles from the corresponding rank in
 // the origin replica with one-sided gets, so no two-sided messaging is
 // involved.
-func (m *Matrix) BroadcastReplica(pe *shmem.PE, origin int) {
+func (m *Matrix) BroadcastReplica(pe rt.PE, origin int) {
 	if origin < 0 || origin >= m.replication {
 		panic("distmat: broadcast origin replica out of range")
 	}
@@ -27,7 +27,7 @@ func (m *Matrix) BroadcastReplica(pe *shmem.PE, origin int) {
 // the element-wise sum across all replicas. Other replicas are left with
 // their partial values; follow with BroadcastReplica to make all replicas
 // consistent. Collective.
-func (m *Matrix) ReduceReplicas(pe *shmem.PE, origin int) {
+func (m *Matrix) ReduceReplicas(pe rt.PE, origin int) {
 	if origin < 0 || origin >= m.replication {
 		panic("distmat: reduce origin replica out of range")
 	}
@@ -44,7 +44,7 @@ func (m *Matrix) ReduceReplicas(pe *shmem.PE, origin int) {
 
 // AllReduceReplicas reduces into the origin replica and re-broadcasts so
 // every replica ends with the summed result. Collective.
-func (m *Matrix) AllReduceReplicas(pe *shmem.PE, origin int) {
+func (m *Matrix) AllReduceReplicas(pe rt.PE, origin int) {
 	m.ReduceReplicas(pe, origin)
 	m.BroadcastReplica(pe, origin)
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"slicing/internal/index"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -16,14 +16,14 @@ import (
 // matches how sparse solvers distribute an assembled matrix.
 type Sparse struct {
 	meta       *Matrix // shape/partition/ownership metadata (no dense data)
-	seg        shmem.SegmentID
+	seg        rt.SegmentID
 	tileOffset [][]int
 	tileNNZ    [][]int
 }
 
 // NewSparse distributes the global CSR matrix over the world with the
 // given partition and replication factor.
-func NewSparse(alloc shmem.Allocator, global *tile.CSR, part Partition, replication int) *Sparse {
+func NewSparse(alloc rt.Allocator, global *tile.CSR, part Partition, replication int) *Sparse {
 	meta := New(alloc, global.Rows, global.Cols, part, replication)
 	tr, tc := meta.GridShape()
 	s := &Sparse{meta: meta}
@@ -93,7 +93,7 @@ func (s *Sparse) TileNNZ(idx index.TileIdx) int { return s.tileNNZ[idx.Row][idx.
 
 // GetTile fetches tile idx from the given replica with a one-sided read
 // and decodes it to CSR.
-func (s *Sparse) GetTile(pe *shmem.PE, idx index.TileIdx, replica int) *tile.CSR {
+func (s *Sparse) GetTile(pe rt.PE, idx index.TileIdx, replica int) *tile.CSR {
 	b := s.meta.TileBounds(idx)
 	rows, cols := b.Shape()
 	n := tile.EncodedCSRLen(rows, s.tileNNZ[idx.Row][idx.Col])
@@ -105,7 +105,7 @@ func (s *Sparse) GetTile(pe *shmem.PE, idx index.TileIdx, replica int) *tile.CSR
 
 // Gather assembles the full sparse matrix (as dense, for verification)
 // from the given replica.
-func (s *Sparse) Gather(pe *shmem.PE, replica int) *tile.Matrix {
+func (s *Sparse) Gather(pe rt.PE, replica int) *tile.Matrix {
 	out := tile.New(s.Rows(), s.Cols())
 	tr, tc := s.meta.GridShape()
 	for r := 0; r < tr; r++ {

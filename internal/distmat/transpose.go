@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"slicing/internal/index"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 )
 
 // TransposeInto writes this matrix's transpose into dst, which must have
@@ -14,7 +14,7 @@ import (
 // the operation is a pure-get redistribution — the pattern a backward pass
 // needs for dW = Xᵀ·dY when the forward partitionings don't line up.
 // Collective: every PE must call it; it ends with a barrier.
-func (m *Matrix) TransposeInto(pe *shmem.PE, dst *Matrix) {
+func (m *Matrix) TransposeInto(pe rt.PE, dst *Matrix) {
 	if dst.rows != m.cols || dst.cols != m.rows {
 		panic(fmt.Sprintf("distmat: transpose of %dx%d into %dx%d", m.rows, m.cols, dst.rows, dst.cols))
 	}

@@ -16,7 +16,7 @@ import (
 	"fmt"
 
 	"slicing/internal/distmat"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -55,13 +55,13 @@ type DTensor struct {
 	Rows, Cols int
 	Place      Placement
 	Mat        *distmat.Matrix
-	world      *shmem.World
+	world      rt.World
 }
 
 // New allocates a DTensor with the given placement over the world's 1-D
-// mesh. The allocator is either the *shmem.World (before Run) or a
+// mesh. The allocator is either the rt.World (before Run) or a
 // *shmem.PE (collectively, from inside a PE body).
-func New(alloc shmem.Allocator, rows, cols int, place Placement) *DTensor {
+func New(alloc rt.Allocator, rows, cols int, place Placement) *DTensor {
 	w := alloc.World()
 	var m *distmat.Matrix
 	switch place {
@@ -79,12 +79,12 @@ func New(alloc shmem.Allocator, rows, cols int, place Placement) *DTensor {
 }
 
 // World returns the tensor's world.
-func (t *DTensor) World() *shmem.World { return t.world }
+func (t *DTensor) World() rt.World { return t.world }
 
 // FillRandom deterministically fills the tensor (replicas identical;
 // Partial tensors get the value only on device 0 so the logical sum is the
 // filled matrix). Collective.
-func (t *DTensor) FillRandom(pe *shmem.PE, seed int64) {
+func (t *DTensor) FillRandom(pe rt.PE, seed int64) {
 	t.Mat.FillRandom(pe, seed)
 	if t.Place == Partial && pe.Rank() != 0 {
 		// Only device 0 contributes the payload; the rest hold zero terms.
@@ -93,7 +93,7 @@ func (t *DTensor) FillRandom(pe *shmem.PE, seed int64) {
 	pe.Barrier()
 }
 
-func (t *DTensor) zeroLocal(pe *shmem.PE) {
+func (t *DTensor) zeroLocal(pe rt.PE) {
 	for _, idx := range t.Mat.OwnedTiles(pe.Rank()) {
 		t.Mat.Tile(pe, idx, distmat.LocalReplica).Zero()
 	}
@@ -101,7 +101,7 @@ func (t *DTensor) zeroLocal(pe *shmem.PE) {
 
 // Full materializes the logical tensor on the calling PE: a gather for
 // sharded/replicated tensors, a sum of all devices' terms for Partial.
-func (t *DTensor) Full(pe *shmem.PE) *tile.Matrix {
+func (t *DTensor) Full(pe rt.PE) *tile.Matrix {
 	if t.Place != Partial {
 		return t.Mat.Gather(pe, 0)
 	}

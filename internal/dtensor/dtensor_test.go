@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
@@ -17,11 +18,11 @@ func checkMatmul(t *testing.T, p, m, n, k int, pa, pb Placement) {
 	x := New(w, m, k, pa)
 	wt := New(w, k, n, pb)
 	var ref, got *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		x.FillRandom(pe, 51)
 		wt.FillRandom(pe, 52)
 	})
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			fx := x.Full(pe)
 			fw := wt.Full(pe)
@@ -30,7 +31,7 @@ func checkMatmul(t *testing.T, p, m, n, k int, pa, pb Placement) {
 		}
 	})
 	var outPlace Placement
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		out := Matmul(pe, x, wt)
 		if pe.Rank() == 0 {
 			got = out.Full(pe)
@@ -75,7 +76,7 @@ func TestMatmulOutputPlacements(t *testing.T) {
 		x := New(w, 16, 16, tc.pa)
 		wt := New(w, 16, 16, tc.pb)
 		var got Placement
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			x.FillRandom(pe, 1)
 			wt.FillRandom(pe, 2)
 			out := Matmul(pe, x, wt)
@@ -98,13 +99,13 @@ func TestRedistributeRoundTrips(t *testing.T) {
 				w := shmem.NewWorld(p)
 				src := New(w, m, n, from)
 				var ref, got *tile.Matrix
-				w.Run(func(pe *shmem.PE) {
+				w.Run(func(pe rt.PE) {
 					src.FillRandom(pe, 77)
 					if pe.Rank() == 0 {
 						ref = src.Full(pe)
 					}
 				})
-				w.Run(func(pe *shmem.PE) {
+				w.Run(func(pe rt.PE) {
 					out := Redistribute(pe, src, to)
 					if out.Place != to {
 						t.Errorf("placement = %v", out.Place)
@@ -125,13 +126,13 @@ func TestRedistributePartialToShard(t *testing.T) {
 	w := shmem.NewWorld(4)
 	src := New(w, 12, 12, Partial)
 	var ref, got *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		src.FillRandom(pe, 3)
 		if pe.Rank() == 0 {
 			ref = src.Full(pe)
 		}
 	})
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		out := Redistribute(pe, src, Shard0)
 		if pe.Rank() == 2 {
 			got = out.Full(pe)
@@ -151,7 +152,7 @@ func TestMatmulShapeMismatchPanics(t *testing.T) {
 			t.Fatal("shape mismatch should panic")
 		}
 	}()
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		Matmul(pe, x, wt)
 	})
 }

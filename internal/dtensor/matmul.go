@@ -5,7 +5,7 @@ import (
 
 	"slicing/internal/collectives"
 	"slicing/internal/distmat"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -33,7 +33,7 @@ func (e UnsupportedError) Error() string {
 // redistributed first (allgather to Replicate, or allreduce for Partial
 // inputs), mirroring the resharding overhead the paper attributes to
 // dispatch-based systems. Collective.
-func Matmul(pe *shmem.PE, x, w *DTensor) *DTensor {
+func Matmul(pe rt.PE, x, w *DTensor) *DTensor {
 	if x.Cols != w.Rows {
 		panic(fmt.Sprintf("dtensor: shape mismatch %dx%d @ %dx%d", x.Rows, x.Cols, w.Rows, w.Cols))
 	}
@@ -71,7 +71,7 @@ func Matmul(pe *shmem.PE, x, w *DTensor) *DTensor {
 
 // bandFor returns this PE's band interval under a RowBlock/ColBlock split
 // of extent over the world.
-func bandFor(pe *shmem.PE, extent int) (begin, end int) {
+func bandFor(pe rt.PE, extent int) (begin, end int) {
 	p := pe.NumPE()
 	size := (extent + p - 1) / p
 	begin = pe.Rank() * size
@@ -85,7 +85,7 @@ func bandFor(pe *shmem.PE, extent int) (begin, end int) {
 	return begin, end
 }
 
-func localFull(pe *shmem.PE, t *DTensor) *tile.Matrix {
+func localFull(pe rt.PE, t *DTensor) *tile.Matrix {
 	tiles := t.Mat.OwnedTiles(pe.Rank())
 	if len(tiles) != 1 {
 		panic(fmt.Sprintf("dtensor: replicated tensor owns %d tiles", len(tiles)))
@@ -93,7 +93,7 @@ func localFull(pe *shmem.PE, t *DTensor) *tile.Matrix {
 	return t.Mat.Tile(pe, tiles[0], distmat.LocalReplica)
 }
 
-func localBand(pe *shmem.PE, t *DTensor) *tile.Matrix {
+func localBand(pe rt.PE, t *DTensor) *tile.Matrix {
 	tiles := t.Mat.OwnedTiles(pe.Rank())
 	if len(tiles) == 0 {
 		return tile.New(0, 0)
@@ -104,7 +104,7 @@ func localBand(pe *shmem.PE, t *DTensor) *tile.Matrix {
 	return t.Mat.Tile(pe, tiles[0], distmat.LocalReplica)
 }
 
-func matmulRowParallel(pe *shmem.PE, x, w *DTensor) *DTensor {
+func matmulRowParallel(pe rt.PE, x, w *DTensor) *DTensor {
 	out := New(pe, x.Rows, w.Cols, Shard0)
 	xBand := localBand(pe, x)
 	if xBand.Rows > 0 {
@@ -116,7 +116,7 @@ func matmulRowParallel(pe *shmem.PE, x, w *DTensor) *DTensor {
 	return out
 }
 
-func matmulColParallel(pe *shmem.PE, x, w *DTensor) *DTensor {
+func matmulColParallel(pe rt.PE, x, w *DTensor) *DTensor {
 	out := New(pe, x.Rows, w.Cols, Shard1)
 	wBand := localBand(pe, w)
 	if wBand.Cols > 0 {
@@ -128,7 +128,7 @@ func matmulColParallel(pe *shmem.PE, x, w *DTensor) *DTensor {
 	return out
 }
 
-func matmulOuterProduct(pe *shmem.PE, x, w *DTensor) *DTensor {
+func matmulOuterProduct(pe rt.PE, x, w *DTensor) *DTensor {
 	out := New(pe, x.Rows, w.Cols, Partial)
 	xBand := localBand(pe, x) // my k-columns of X
 	wBand := localBand(pe, w) // my k-rows of W
@@ -141,7 +141,7 @@ func matmulOuterProduct(pe *shmem.PE, x, w *DTensor) *DTensor {
 	return out
 }
 
-func matmulKSlicedA(pe *shmem.PE, x, w *DTensor) *DTensor {
+func matmulKSlicedA(pe rt.PE, x, w *DTensor) *DTensor {
 	out := New(pe, x.Rows, w.Cols, Partial)
 	begin, end := bandFor(pe, x.Cols)
 	mine := localFull(pe, out)
@@ -155,7 +155,7 @@ func matmulKSlicedA(pe *shmem.PE, x, w *DTensor) *DTensor {
 	return out
 }
 
-func matmulKSlicedB(pe *shmem.PE, x, w *DTensor) *DTensor {
+func matmulKSlicedB(pe rt.PE, x, w *DTensor) *DTensor {
 	out := New(pe, x.Rows, w.Cols, Partial)
 	begin, end := bandFor(pe, w.Rows)
 	mine := localFull(pe, out)
@@ -169,7 +169,7 @@ func matmulKSlicedB(pe *shmem.PE, x, w *DTensor) *DTensor {
 	return out
 }
 
-func matmulReplicated(pe *shmem.PE, x, w *DTensor) *DTensor {
+func matmulReplicated(pe rt.PE, x, w *DTensor) *DTensor {
 	out := New(pe, x.Rows, w.Cols, Replicate)
 	mine := localFull(pe, out)
 	mine.Zero()
@@ -183,7 +183,7 @@ func matmulReplicated(pe *shmem.PE, x, w *DTensor) *DTensor {
 // all-reduce, Shard→Replicate an all-gather (one-sided pulls),
 // Replicate→Shard a local slice, Partial→Shard an all-reduce followed by a
 // slice, and Shard0↔Shard1 goes through Replicate. Collective.
-func Redistribute(pe *shmem.PE, t *DTensor, target Placement) *DTensor {
+func Redistribute(pe rt.PE, t *DTensor, target Placement) *DTensor {
 	if t.Place == target {
 		return t
 	}

@@ -6,7 +6,7 @@ import (
 
 	"slicing/internal/distmat"
 	"slicing/internal/gpusim"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
 )
@@ -17,7 +17,7 @@ import (
 // explicit overlap structure of §4.3. It performs no collective
 // synchronization; callers barrier afterwards (and reduce replicas of C if
 // replicated).
-func Execute(pe *shmem.PE, prob universal.Problem, prog Program, pool *gpusim.Pool) {
+func Execute(pe rt.PE, prob universal.Problem, prog Program, pool *gpusim.Pool) {
 	if prog.PE != pe.Rank() {
 		panic(fmt.Sprintf("ir: program for rank %d executed by rank %d", prog.PE, pe.Rank()))
 	}
@@ -94,7 +94,7 @@ func Execute(pe *shmem.PE, prob universal.Problem, prog Program, pool *gpusim.Po
 // MultiplyIR computes C = A·B by lowering each rank's plan with the given
 // generator and executing the resulting programs. Collective. It returns
 // the resolved stationary strategy.
-func MultiplyIR(pe *shmem.PE, c, a, b *distmat.Matrix, stat universal.Stationary,
+func MultiplyIR(pe rt.PE, c, a, b *distmat.Matrix, stat universal.Stationary,
 	lower func(universal.Plan) Program) universal.Stationary {
 	prob := universal.NewProblem(c, a, b)
 	c.Zero(pe)

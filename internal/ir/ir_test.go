@@ -8,6 +8,7 @@ import (
 	"slicing/internal/costmodel"
 	"slicing/internal/distmat"
 	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/simnet"
 	"slicing/internal/tile"
@@ -197,12 +198,12 @@ func TestMultiplyIRCorrect(t *testing.T) {
 			a := distmat.New(w, m, k, distmat.Custom{TileRows: 5, TileCols: 7, ProcRows: 2, ProcCols: 2}, 1)
 			b := distmat.New(w, k, n, distmat.ColBlock{}, 1)
 			c := distmat.New(w, m, n, distmat.Block2D{}, 2)
-			w.Run(func(pe *shmem.PE) {
+			w.Run(func(pe rt.PE) {
 				a.FillRandom(pe, 7)
 				b.FillRandom(pe, 8)
 			})
 			var ref, got *tile.Matrix
-			w.Run(func(pe *shmem.PE) {
+			w.Run(func(pe rt.PE) {
 				if pe.Rank() == 0 {
 					fullA := a.Gather(pe, 0)
 					fullB := b.Gather(pe, 0)
@@ -210,10 +211,10 @@ func TestMultiplyIRCorrect(t *testing.T) {
 					tile.GemmNaive(ref, fullA, fullB)
 				}
 			})
-			w.Run(func(pe *shmem.PE) {
+			w.Run(func(pe rt.PE) {
 				MultiplyIR(pe, c, a, b, universal.StationaryAuto, gen)
 			})
-			w.Run(func(pe *shmem.PE) {
+			w.Run(func(pe rt.PE) {
 				if pe.Rank() == 0 {
 					got = c.Gather(pe, 0)
 				}

@@ -1,0 +1,50 @@
+package runtime
+
+// Future represents an asynchronous one-sided operation in flight. Wait
+// blocks until the operation has completed; on timed backends it also
+// advances the waiter's modeled clock to the operation's completion time.
+// Futures model the future objects returned by get_tile_async in Table 1
+// of the paper.
+type Future interface {
+	// Wait blocks until the operation has completed. Safe to call from
+	// multiple goroutines and more than once.
+	Wait()
+	// Done reports whether the operation has completed without blocking.
+	Done() bool
+}
+
+// goFuture is the goroutine-backed Future used by in-process backends.
+type goFuture struct {
+	done chan struct{}
+}
+
+// GoFuture runs op on its own goroutine and returns a Future that completes
+// when op returns.
+func GoFuture(op func()) Future {
+	f := &goFuture{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		op()
+	}()
+	return f
+}
+
+// CompletedFuture returns a Future that is already done. It is used when a
+// tile happens to be local and no communication is necessary, so the
+// prefetch pipeline can treat local and remote tiles uniformly.
+func CompletedFuture() Future {
+	f := &goFuture{done: make(chan struct{})}
+	close(f.done)
+	return f
+}
+
+func (f *goFuture) Wait() { <-f.done }
+
+func (f *goFuture) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,18 @@
+package runtime
+
+import "testing"
+
+func TestCompletedFuture(t *testing.T) {
+	f := CompletedFuture()
+	if !f.Done() {
+		t.Fatal("CompletedFuture should be done immediately")
+	}
+	f.Wait() // must not block
+}
+
+func TestChargeHelpersNoOpOnUntimedPE(t *testing.T) {
+	// A nil-free PE that implements neither Clock nor GemmTimer must pass
+	// through ChargeGemm/Elapse untouched.
+	ChargeGemm(nil, 8, 8, 8)
+	Elapse(nil, 1e-3)
+}

@@ -1,0 +1,159 @@
+// Package runtime defines the one-sided execution contract the paper's
+// universal algorithm assumes (§1, §3): a symmetric heap allocated
+// collectively across processing elements, and exactly two communication
+// primitives — remote get and remote accumulate (plus put, their trivial
+// dual) — addressed by (segment, rank, offset). Everything above this
+// package (the distributed matrix, the universal algorithm, collectives,
+// baselines, IR execution, the benchmark harness) is written against these
+// interfaces, so the same algorithm runs unmodified on any backend:
+//
+//   - internal/shmem: the in-process PGAS backend (goroutine PEs, striped
+//     atomic accumulates), the stand-in for Intel SHMEM / NVSHMEM.
+//   - internal/simbackend: the simnet-timed backend, which performs the
+//     same real data movement while weaving link-level discrete-event
+//     timing (Xe Link / NVLink topologies, port contention) into every
+//     operation, so one run yields both a numeric result and a modeled
+//     wall-clock.
+package runtime
+
+// SegmentID names a symmetric allocation: the same logical segment exists
+// on every PE in the world.
+type SegmentID int
+
+// Stats aggregates one-sided traffic counters for a world. Remote counts
+// cover operations whose target rank differs from the initiating PE; local
+// operations are also tracked since algorithms often read their own replica
+// through the same primitives.
+type Stats struct {
+	RemoteGetBytes   int64
+	RemotePutBytes   int64
+	RemoteAccumBytes int64
+	LocalGetBytes    int64
+	LocalPutBytes    int64
+	LocalAccumBytes  int64
+	RemoteOps        int64
+	LocalOps         int64
+}
+
+// Allocator abstracts symmetric-heap allocation so data structures can be
+// built either ahead of Run (from the World, host-side) or collectively
+// from inside PE bodies (from a PE, OpenSHMEM shmem_malloc-style). Both
+// World and PE satisfy it.
+type Allocator interface {
+	// AllocSymmetric reserves a segment of n float32 on every PE.
+	AllocSymmetric(n int) SegmentID
+	// World returns the world the allocation lives in.
+	World() World
+}
+
+// World is a collection of PEs sharing a symmetric heap.
+type World interface {
+	Allocator
+	// NumPE returns the number of processing elements.
+	NumPE() int
+	// SegmentStorage returns rank's backing array for a segment, for
+	// host-side initialization before the world runs. Using it while PEs
+	// are running bypasses the one-sided discipline and its accounting.
+	SegmentStorage(seg SegmentID, rank int) []float32
+	// SegmentLen returns the per-PE length of a segment.
+	SegmentLen(seg SegmentID) int
+	// Run spawns one execution context per PE, invokes body with each PE
+	// handle, and waits for all of them to return.
+	Run(body func(pe PE))
+	// Stats returns a snapshot of the world's traffic counters.
+	Stats() Stats
+	// ResetStats zeroes the world's traffic counters.
+	ResetStats()
+}
+
+// PE is a processing element's handle to the world: the two one-sided
+// primitives of the paper (remote get and remote accumulate), their strided
+// and asynchronous variants, put, barrier, and collective allocation. A PE
+// value is only valid inside the World.Run body that created it.
+type PE interface {
+	Allocator
+	// Rank returns this PE's rank in [0, NumPE).
+	Rank() int
+	// NumPE returns the world size.
+	NumPE() int
+	// Local returns this PE's local storage for a segment. The returned
+	// slice aliases symmetric memory (the zero-copy fast path); other PEs
+	// may read or accumulate into it at any time, so callers must
+	// coordinate with barriers before assuming quiescence.
+	Local(seg SegmentID) []float32
+	// Get copies len(dst) elements starting at offset from the segment on
+	// the remote rank into dst — the one-sided remote read primitive.
+	Get(dst []float32, seg SegmentID, remote, offset int)
+	// Put copies src into the segment on the remote rank starting at
+	// offset — the one-sided remote write primitive.
+	Put(src []float32, seg SegmentID, remote, offset int)
+	// AccumulateAdd atomically adds src element-wise into the segment on
+	// the remote rank starting at offset — the remote accumulate primitive.
+	AccumulateAdd(src []float32, seg SegmentID, remote, offset int)
+	// AccumulateAddGetPut accumulates via the paper's inter-node scheme
+	// (§3): coarse lock, remote get, local add, remote put. Semantically
+	// identical to AccumulateAdd; priced as a full round trip.
+	AccumulateAddGetPut(src []float32, seg SegmentID, remote, offset int)
+	// GetStrided copies a rows×cols block with the given row strides from a
+	// remote segment region into dst (2-D sub-tile fetch).
+	GetStrided(dst []float32, dstStride int, seg SegmentID, remote, offset, srcStride, rows, cols int)
+	// PutStrided writes a rows×cols block from src into a remote segment
+	// region.
+	PutStrided(src []float32, srcStride int, seg SegmentID, remote, offset, dstStride, rows, cols int)
+	// AccumulateAddStrided atomically adds a rows×cols block from src into
+	// a remote segment region.
+	AccumulateAddStrided(src []float32, srcStride int, seg SegmentID, remote, offset, dstStride, rows, cols int)
+	// GetAsync starts a one-sided read and returns a Future that completes
+	// when dst has been filled (get_tile_async in Table 1).
+	GetAsync(dst []float32, seg SegmentID, remote, offset int) Future
+	// GetStridedAsync is the asynchronous strided get.
+	GetStridedAsync(dst []float32, dstStride int, seg SegmentID, remote, offset, srcStride, rows, cols int) Future
+	// AccumulateAddAsync starts a one-sided accumulate and returns a Future.
+	AccumulateAddAsync(src []float32, seg SegmentID, remote, offset int) Future
+	// Barrier blocks until every PE in the world has entered the barrier.
+	Barrier()
+}
+
+// Backend constructs worlds of one runtime flavour. Backends are how the
+// benchmark harness and conformance tests run the same algorithm over
+// different execution substrates.
+type Backend interface {
+	// Name identifies the backend ("shmem", "simnet", ...).
+	Name() string
+	// NewWorld creates a world of p processing elements.
+	NewWorld(p int) World
+}
+
+// Clock is implemented by timed backends whose PEs carry a modeled
+// wall-clock. Untimed backends simply don't implement it.
+type Clock interface {
+	// Now returns the PE's current modeled time in seconds.
+	Now() float64
+	// Elapse advances the PE's modeled time by charging local busy work.
+	Elapse(seconds float64)
+}
+
+// GemmTimer is implemented by timed backends that price local GEMM compute
+// with a device model. The executor reports each local multiply through
+// ChargeGemm so the modeled wall-clock covers compute as well as
+// communication without the algorithm knowing device details.
+type GemmTimer interface {
+	// ElapseGemm charges the modeled duration of an m×n×k local GEMM.
+	ElapseGemm(m, n, k int)
+}
+
+// ChargeGemm reports an m×n×k local GEMM to pe's backend. It is a no-op on
+// untimed backends, so executors call it unconditionally.
+func ChargeGemm(pe PE, m, n, k int) {
+	if t, ok := pe.(GemmTimer); ok {
+		t.ElapseGemm(m, n, k)
+	}
+}
+
+// Elapse charges modeled busy time to pe when its backend is timed; no-op
+// otherwise.
+func Elapse(pe PE, seconds float64) {
+	if c, ok := pe.(Clock); ok {
+		c.Elapse(seconds)
+	}
+}

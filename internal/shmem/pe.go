@@ -1,6 +1,10 @@
 package shmem
 
-import "fmt"
+import (
+	"fmt"
+
+	rt "slicing/internal/runtime"
+)
 
 // PE is a processing element's handle to the world. A PE value is only valid
 // inside the World.Run body that created it and must not be shared across
@@ -16,8 +20,8 @@ func (pe *PE) Rank() int { return pe.rank }
 // NumPE returns the world size.
 func (pe *PE) NumPE() int { return pe.world.numPE }
 
-// World returns the world this PE belongs to.
-func (pe *PE) World() *World { return pe.world }
+// World returns the world this PE belongs to, satisfying runtime.Allocator.
+func (pe *PE) World() rt.World { return pe.world }
 
 // Local returns this PE's local storage for a segment. The returned slice
 // aliases symmetric memory; other PEs may read or accumulate into it at any
@@ -129,13 +133,21 @@ func (pe *PE) AccumulateAddStrided(src []float32, srcStride int, seg SegmentID, 
 // GetAsync starts a one-sided read and returns a Future that completes when
 // dst has been filled. It models the host-initiated asynchronous tile copy
 // (get_tile_async in Table 1).
-func (pe *PE) GetAsync(dst []float32, seg SegmentID, remote, offset int) *Future {
-	return newFuture(func() { pe.Get(dst, seg, remote, offset) })
+func (pe *PE) GetAsync(dst []float32, seg SegmentID, remote, offset int) rt.Future {
+	return rt.GoFuture(func() { pe.Get(dst, seg, remote, offset) })
+}
+
+// GetStridedAsync starts a one-sided strided read and returns a Future that
+// completes when the rows×cols block has landed in dst.
+func (pe *PE) GetStridedAsync(dst []float32, dstStride int, seg SegmentID, remote, offset, srcStride, rows, cols int) rt.Future {
+	return rt.GoFuture(func() {
+		pe.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
+	})
 }
 
 // AccumulateAddAsync starts a one-sided accumulate and returns a Future.
-func (pe *PE) AccumulateAddAsync(src []float32, seg SegmentID, remote, offset int) *Future {
-	return newFuture(func() { pe.AccumulateAdd(src, seg, remote, offset) })
+func (pe *PE) AccumulateAddAsync(src []float32, seg SegmentID, remote, offset int) rt.Future {
+	return rt.GoFuture(func() { pe.AccumulateAdd(src, seg, remote, offset) })
 }
 
 // Barrier blocks until every PE in the world has entered the barrier.

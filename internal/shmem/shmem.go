@@ -15,32 +15,46 @@
 // segment (striped locks play the role of the paper's atomic-add kernel /
 // coarse-grained inter-node locking), so concurrent partial-result updates
 // from many PEs are safe, as required by Stationary A/B data movement.
+//
+// The package is the reference implementation of the backend contract in
+// internal/runtime; *World and *PE satisfy runtime.World and runtime.PE.
 package shmem
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	rt "slicing/internal/runtime"
 )
 
 // SegmentID names a symmetric allocation: the same logical segment exists on
 // every PE in the world.
-type SegmentID int
+type SegmentID = rt.SegmentID
 
-// Stats aggregates one-sided traffic counters for a world. Remote counts
-// cover operations whose target rank differs from the initiating PE; local
-// operations are also tracked since algorithms often read their own replica
-// through the same primitives.
-type Stats struct {
-	RemoteGetBytes   int64
-	RemotePutBytes   int64
-	RemoteAccumBytes int64
-	LocalGetBytes    int64
-	LocalPutBytes    int64
-	LocalAccumBytes  int64
-	RemoteOps        int64
-	LocalOps         int64
-}
+// Stats aggregates one-sided traffic counters for a world.
+type Stats = rt.Stats
+
+// Allocator abstracts symmetric-heap allocation; both *World and *PE
+// satisfy it.
+type Allocator = rt.Allocator
+
+// Backend constructs in-process PGAS worlds, the first implementation of
+// the runtime.Backend contract.
+type Backend struct{}
+
+// Name identifies the backend.
+func (Backend) Name() string { return "shmem" }
+
+// NewWorld creates a world of p processing elements.
+func (Backend) NewWorld(p int) rt.World { return NewWorld(p) }
+
+// Compile-time checks that the package satisfies the runtime contract.
+var (
+	_ rt.Backend = Backend{}
+	_ rt.World   = (*World)(nil)
+	_ rt.PE      = (*PE)(nil)
+)
 
 // World is a collection of PEs sharing a symmetric heap.
 type World struct {
@@ -78,19 +92,8 @@ func NewWorld(numPE int) *World {
 	return &World{numPE: numPE, barrier: newBarrier(numPE), peAllocSeq: make([]int, numPE)}
 }
 
-// Allocator abstracts symmetric-heap allocation so data structures can be
-// built either ahead of Run (from the *World, host-side) or collectively
-// from inside PE bodies (from a *PE, OpenSHMEM shmem_malloc-style). Both
-// *World and *PE implement it.
-type Allocator interface {
-	// AllocSymmetric reserves a segment of n float32 on every PE.
-	AllocSymmetric(n int) SegmentID
-	// World returns the world the allocation lives in.
-	World() *World
-}
-
-// World returns the world itself, satisfying Allocator.
-func (w *World) World() *World { return w }
+// World returns the world itself, satisfying runtime.Allocator.
+func (w *World) World() rt.World { return w }
 
 // NumPE returns the number of processing elements in the world.
 func (w *World) NumPE() int { return w.numPE }
@@ -136,7 +139,7 @@ func (w *World) SegmentLen(seg SegmentID) int {
 // waits for all of them to return. Panics inside a PE body are re-raised on
 // the caller after all other PEs have been allowed to finish or deadlock is
 // avoided by the panic propagating first.
-func (w *World) Run(body func(pe *PE)) {
+func (w *World) Run(body func(pe rt.PE)) {
 	var wg sync.WaitGroup
 	panics := make([]any, w.numPE)
 	for rank := 0; rank < w.numPE; rank++ {
@@ -240,6 +243,17 @@ const (
 // offset block lets accumulates into disjoint regions of a large tile
 // proceed in parallel, approximating the fine-grained atomics of the paper's
 // GPU accumulate kernel.
+//
+// Why 16 stripes: accumulate concurrency into one segment is bounded by the
+// world size times the per-PE chain concurrency (Config.MaxInflight, default
+// 4), and worlds in this in-process runtime are node-scale (8–12 PEs, the
+// Table 2 systems). 16 stripes keep the expected collision rate for
+// disjoint-region accumulates low at that concurrency while the whole-set
+// acquisition path for range-spanning accumulates (which must take every
+// stripe in order to stay deadlock-free) remains cheap enough not to
+// dominate. Doubling to 32 measurably slows the spanning path without
+// reducing contention in the tier-1 benchmarks; TestAccumulateStripeStress
+// race-tests the overlap invariants.
 type stripedLock struct {
 	stripes [16]sync.Mutex
 }

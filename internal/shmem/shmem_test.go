@@ -1,9 +1,10 @@
 package shmem
 
 import (
-	"sync"
 	"sync/atomic"
 	"testing"
+
+	rt "slicing/internal/runtime"
 )
 
 func TestWorldBasics(t *testing.T) {
@@ -29,7 +30,7 @@ func TestNewWorldPanicsOnZero(t *testing.T) {
 func TestRunAllRanksExecute(t *testing.T) {
 	w := NewWorld(8)
 	var seen [8]atomic.Bool
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.NumPE() != 8 {
 			t.Errorf("NumPE inside body = %d", pe.NumPE())
 		}
@@ -45,7 +46,7 @@ func TestRunAllRanksExecute(t *testing.T) {
 func TestPutThenGet(t *testing.T) {
 	w := NewWorld(2)
 	seg := w.AllocSymmetric(4)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			pe.Put([]float32{1, 2, 3, 4}, seg, 1, 0)
 		}
@@ -67,7 +68,7 @@ func TestPutThenGet(t *testing.T) {
 func TestGetOffsetWindow(t *testing.T) {
 	w := NewWorld(2)
 	seg := w.AllocSymmetric(8)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			pe.Put([]float32{10, 11, 12}, seg, 1, 4)
 		}
@@ -85,7 +86,7 @@ func TestAccumulateAddConcurrent(t *testing.T) {
 	const iters = 50
 	w := NewWorld(p)
 	seg := w.AllocSymmetric(4)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		for i := 0; i < iters; i++ {
 			pe.AccumulateAdd([]float32{1, 1, 1, 1}, seg, 0, 0)
 		}
@@ -106,7 +107,7 @@ func TestAccumulateAddStridedConcurrent(t *testing.T) {
 	w := NewWorld(p)
 	seg := w.AllocSymmetric(16)  // 4x4 tile
 	src := []float32{1, 2, 3, 4} // 2x2 block
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		// All PEs accumulate the same 2x2 block at (1,1) of rank 0's tile.
 		pe.AccumulateAddStrided(src, 2, seg, 0, 1*4+1, 4, 2, 2)
 		pe.Barrier()
@@ -125,7 +126,7 @@ func TestAccumulateAddStridedConcurrent(t *testing.T) {
 func TestStridedGetPut(t *testing.T) {
 	w := NewWorld(2)
 	seg := w.AllocSymmetric(12) // 3x4
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			// Write a 2x2 block into (1,1)..(2,2) of rank 1's 3x4 tile.
 			pe.PutStrided([]float32{1, 2, 3, 4}, 2, seg, 1, 1*4+1, 4, 2, 2)
@@ -142,7 +143,7 @@ func TestStridedGetPut(t *testing.T) {
 func TestGetAsyncFuture(t *testing.T) {
 	w := NewWorld(2)
 	seg := w.AllocSymmetric(4)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			pe.Put([]float32{7, 8, 9, 10}, seg, 1, 0)
 		}
@@ -159,49 +160,11 @@ func TestGetAsyncFuture(t *testing.T) {
 	})
 }
 
-func TestFutureChaining(t *testing.T) {
-	var order []int
-	var mu sync.Mutex
-	record := func(i int) {
-		mu.Lock()
-		order = append(order, i)
-		mu.Unlock()
-	}
-	f1 := newFuture(func() { record(1) })
-	f2 := After(f1, func() { record(2) })
-	f3 := After(f2, func() { record(3) })
-	f3.Wait()
-	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
-		t.Fatalf("chained execution order = %v", order)
-	}
-}
-
-func TestAfterNilPrev(t *testing.T) {
-	ran := false
-	After(nil, func() { ran = true }).Wait()
-	if !ran {
-		t.Fatal("After(nil, op) should run op")
-	}
-}
-
-func TestCompletedFuture(t *testing.T) {
-	f := CompletedFuture()
-	if !f.Done() {
-		t.Fatal("CompletedFuture should be done immediately")
-	}
-	f.Wait() // must not block
-}
-
-func TestWaitAllWithNils(t *testing.T) {
-	fs := []*Future{nil, CompletedFuture(), newFuture(func() {})}
-	WaitAll(fs) // must not panic or hang
-}
-
 func TestBarrierOrdering(t *testing.T) {
 	const p = 6
 	w := NewWorld(p)
 	seg := w.AllocSymmetric(1)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		pe.Put([]float32{float32(pe.Rank() + 1)}, seg, (pe.Rank()+1)%p, 0)
 		pe.Barrier()
 		// After the barrier, every PE must observe its neighbor's write.
@@ -218,7 +181,7 @@ func TestBarrierReusable(t *testing.T) {
 	const p = 4
 	w := NewWorld(p)
 	seg := w.AllocSymmetric(1)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		for round := 0; round < 10; round++ {
 			if pe.Rank() == 0 {
 				pe.Put([]float32{float32(round)}, seg, p-1, 0)
@@ -237,7 +200,7 @@ func TestBarrierReusable(t *testing.T) {
 func TestStatsCounting(t *testing.T) {
 	w := NewWorld(2)
 	seg := w.AllocSymmetric(8)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			dst := make([]float32, 8)
 			pe.Get(dst, seg, 1, 0)               // remote: 32 bytes
@@ -272,7 +235,7 @@ func TestGetOutOfRangePanics(t *testing.T) {
 			t.Fatal("out-of-range Get should panic")
 		}
 	}()
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		dst := make([]float32, 8)
 		pe.Get(dst, seg, 0, 0)
 	})
@@ -286,7 +249,7 @@ func TestAccumulateOutOfRangePanics(t *testing.T) {
 			t.Fatal("out-of-range AccumulateAdd should panic")
 		}
 	}()
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		pe.AccumulateAdd(make([]float32, 2), seg, 0, 3)
 	})
 }
@@ -298,7 +261,7 @@ func TestUnknownSegmentPanics(t *testing.T) {
 			t.Fatal("unknown segment should panic")
 		}
 	}()
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		pe.Get(make([]float32, 1), SegmentID(99), 0, 0)
 	})
 }
@@ -311,7 +274,7 @@ func TestInvalidRankPanics(t *testing.T) {
 			t.Fatal("invalid rank should panic")
 		}
 	}()
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			pe.Get(make([]float32, 1), seg, 5, 0)
 		}
@@ -325,7 +288,7 @@ func TestPanicInOneRankPropagatesWithoutDeadlock(t *testing.T) {
 			t.Fatal("panic in PE body should propagate from Run")
 		}
 	}()
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 2 {
 			panic("boom")
 		}
@@ -337,7 +300,7 @@ func TestWorldReusableAfterPanic(t *testing.T) {
 	w := NewWorld(3)
 	func() {
 		defer func() { recover() }()
-		w.Run(func(pe *PE) {
+		w.Run(func(pe rt.PE) {
 			if pe.Rank() == 0 {
 				panic("first run dies")
 			}
@@ -346,7 +309,7 @@ func TestWorldReusableAfterPanic(t *testing.T) {
 	}()
 	// The barrier must be reset so a subsequent Run works.
 	var ran atomic.Int32
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		pe.Barrier()
 		ran.Add(1)
 	})
@@ -358,7 +321,7 @@ func TestWorldReusableAfterPanic(t *testing.T) {
 func TestSymmetricSegmentsIndependentPerPE(t *testing.T) {
 	w := NewWorld(3)
 	seg := w.AllocSymmetric(2)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		local := pe.Local(seg)
 		local[0] = float32(pe.Rank())
 		pe.Barrier()
@@ -375,7 +338,7 @@ func TestSymmetricSegmentsIndependentPerPE(t *testing.T) {
 func TestCollectiveAllocSameSegment(t *testing.T) {
 	w := NewWorld(4)
 	segs := make([]SegmentID, 4)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		// Two collective allocations per PE, in the same order everywhere.
 		s1 := pe.AllocSymmetric(8)
 		s2 := pe.AllocSymmetric(16)
@@ -407,7 +370,7 @@ func TestCollectiveAllocSizeMismatchPanics(t *testing.T) {
 			t.Fatal("mismatched collective sizes should panic")
 		}
 	}()
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		pe.AllocSymmetric(4 + pe.Rank()) // ranks disagree on size
 	})
 }
@@ -420,7 +383,7 @@ func TestAccumulateGetPutEquivalent(t *testing.T) {
 	const iters = 25
 	w := NewWorld(p)
 	seg := w.AllocSymmetric(4)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		for i := 0; i < iters; i++ {
 			if (pe.Rank()+i)%2 == 0 {
 				pe.AccumulateAdd([]float32{1, 1, 1, 1}, seg, 0, 0)
@@ -442,7 +405,7 @@ func TestAccumulateGetPutEquivalent(t *testing.T) {
 func TestAccumulateGetPutCountsBothDirections(t *testing.T) {
 	w := NewWorld(2)
 	seg := w.AllocSymmetric(8)
-	w.Run(func(pe *PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			pe.AccumulateAddGetPut(make([]float32, 8), seg, 1, 0)
 		}
@@ -451,4 +414,65 @@ func TestAccumulateGetPutCountsBothDirections(t *testing.T) {
 	if s.RemoteGetBytes != 32 || s.RemoteAccumBytes != 32 {
 		t.Fatalf("get+put accumulate traffic: get=%d accum=%d, want 32/32", s.RemoteGetBytes, s.RemoteAccumBytes)
 	}
+}
+
+// TestAccumulateStripeStress hammers the striped accumulate locks from many
+// PEs into overlapping offsets of one segment: same-stripe collisions,
+// stripe-spanning ranges (which take the whole lock set), and the get+put
+// path all interleave. Run under -race this is the regression test for the
+// 16-stripe design documented on stripedLock; the final sums also prove
+// mutual exclusion (a lost update would break them).
+func TestAccumulateStripeStress(t *testing.T) {
+	const (
+		p      = 12
+		iters  = 40
+		segLen = 3*stripeBlock + 128 // spans several stripe blocks
+	)
+	w := NewWorld(p)
+	seg := w.AllocSymmetric(segLen)
+	// Overlapping windows: every PE updates [rank*64, rank*64+2*stripeBlock),
+	// so neighbours collide within stripes and long ranges span stripes.
+	src := make([]float32, 2*stripeBlock)
+	for i := range src {
+		src[i] = 1
+	}
+	w.Run(func(pe rt.PE) {
+		off := pe.Rank() * 64
+		for i := 0; i < iters; i++ {
+			switch i % 3 {
+			case 0:
+				pe.AccumulateAdd(src, seg, 0, off)
+			case 1:
+				pe.AccumulateAddGetPut(src, seg, 0, off)
+			case 2:
+				// Strided write landing in the same region.
+				pe.AccumulateAddStrided(src[:256], 16, seg, 0, off, 16, 16, 16)
+			}
+		}
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			local := pe.Local(seg)
+			// Element expected value: sum of contributions of each PE whose
+			// window covers it. Full-range ops add 1 per iteration in the
+			// window; the strided op covers only the first 256 elements.
+			for i := 0; i < segLen; i++ {
+				var want float32
+				for r := 0; r < p; r++ {
+					off := r * 64
+					fullOps := (iters+2)/3 + (iters+1)/3 // cases 0 and 1
+					strideOps := iters / 3               // case 2
+					if i >= off && i < off+2*stripeBlock {
+						want += float32(fullOps)
+					}
+					if i >= off && i < off+256 {
+						want += float32(strideOps)
+					}
+				}
+				if local[i] != want {
+					t.Fatalf("element %d = %v, want %v (lost update under contention)", i, local[i], want)
+					return
+				}
+			}
+		}
+	})
 }

@@ -1,0 +1,208 @@
+package simbackend_test
+
+// The backend conformance suite of the tentpole refactor: the universal
+// algorithm must run unmodified on every runtime.Backend and produce the
+// same C, and the simnet-timed backend must additionally emit a modeled
+// wall-clock that is comparable with the §4.3 cost model's estimate for
+// the same problem.
+
+import (
+	"math"
+	"testing"
+
+	"slicing/internal/costmodel"
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+	"slicing/internal/simbackend"
+	"slicing/internal/simnet"
+	"slicing/internal/tile"
+	"slicing/internal/universal"
+)
+
+// scenario is one partitioning/replication combination exercised on every
+// backend.
+type scenario struct {
+	name                string
+	m, n, k             int
+	partA, partB, partC distmat.Partition
+	ca, cb, cc          int
+}
+
+func scenarios(slots int) []scenario {
+	pr, pc := distmat.NearSquareFactors(slots)
+	return []scenario{
+		{"aligned-2d", 96, 80, 64,
+			distmat.Block2D{}, distmat.Block2D{}, distmat.Block2D{}, 1, 1, 1},
+		{"misaligned", 90, 70, 50,
+			distmat.RowBlock{}, distmat.ColBlock{},
+			distmat.Custom{TileRows: 13, TileCols: 11, ProcRows: pr, ProcCols: pc}, 1, 1, 1},
+		{"replicated-c", 64, 64, 96,
+			distmat.RowBlock{}, distmat.RowBlock{}, distmat.RowBlock{}, 1, 1, 2},
+	}
+}
+
+// runUniversal executes the universal algorithm for sc on a fresh world
+// from backend and returns the gathered C and the resolved stationary.
+func runUniversal(b rt.Backend, p int, sc scenario) (*tile.Matrix, universal.Stationary) {
+	w := b.NewWorld(p)
+	a := distmat.New(w, sc.m, sc.k, sc.partA, sc.ca)
+	bm := distmat.New(w, sc.k, sc.n, sc.partB, sc.cb)
+	c := distmat.New(w, sc.m, sc.n, sc.partC, sc.cc)
+	var out *tile.Matrix
+	var stat universal.Stationary
+	cfg := universal.DefaultConfig()
+	cfg.SyncReplicas = true
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 11)
+		bm.FillRandom(pe, 22)
+		s := universal.Multiply(pe, c, a, bm, cfg)
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			stat = s
+			out = c.Gather(pe, 0)
+		}
+	})
+	return out, stat
+}
+
+func maxRelDiff(x, y *tile.Matrix) float64 {
+	worst := 0.0
+	for i := range x.Data {
+		diff := math.Abs(float64(x.Data[i] - y.Data[i]))
+		scale := math.Max(math.Abs(float64(x.Data[i])), 1)
+		if d := diff / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestUniversalConformanceAcrossBackends runs the same problems on the
+// shmem backend and on simnet-timed PVC and H100 backends and requires
+// identical results within 1e-4 relative tolerance.
+func TestUniversalConformanceAcrossBackends(t *testing.T) {
+	systems := []struct {
+		name string
+		sys  universal.SimSystem
+	}{
+		{"pvc", universal.PVCSystem()},
+		{"h100", universal.H100System()},
+	}
+	for _, system := range systems {
+		p := system.sys.Topo.NumPE()
+		timed := simbackend.New(system.sys.Topo, system.sys.Dev)
+		for _, sc := range scenarios(p) {
+			t.Run(system.name+"/"+sc.name, func(t *testing.T) {
+				want, _ := runUniversal(shmem.Backend{}, p, sc)
+				got, _ := runUniversal(timed, p, sc)
+				if d := maxRelDiff(want, got); d > 1e-4 {
+					t.Fatalf("C differs across backends: max rel diff %g", d)
+				}
+			})
+		}
+	}
+}
+
+// TestSimnetBackendPredictsRuntimeComparableToCostModel checks the timed
+// backend's modeled wall-clock against the §4.3 cost model: both price the
+// same plans over the same topology and device, so they must land within a
+// small factor of each other (the cost model assumes perfect overlap and no
+// port contention; the timed run observes the executor's real schedule).
+func TestSimnetBackendPredictsRuntimeComparableToCostModel(t *testing.T) {
+	sys := universal.PVCSystem()
+	p := sys.Topo.NumPE()
+	sc := scenarios(p)[0]
+
+	backend := simbackend.New(sys.Topo, sys.Dev)
+	w := backend.NewWorld(p).(*simbackend.World)
+	a := distmat.New(w, sc.m, sc.k, sc.partA, 1)
+	b := distmat.New(w, sc.k, sc.n, sc.partB, 1)
+	c := distmat.New(w, sc.m, sc.n, sc.partC, 1)
+	cfg := universal.DefaultConfig()
+	var stat universal.Stationary
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 1)
+		b.FillRandom(pe, 2)
+		s := universal.Multiply(pe, c, a, b, cfg)
+		if pe.Rank() == 0 {
+			stat = s
+		}
+	})
+	// Setup (FillRandom barriers) charges no time, so the whole timeline is
+	// the multiply.
+	pred := w.PredictedSeconds()
+	if pred <= 0 {
+		t.Fatal("timed backend predicted no runtime for a real multiply")
+	}
+
+	prob := universal.NewProblem(c, a, b)
+	est := costmodel.New(sys.Topo, sys.Dev).ProblemCost(prob, stat)
+	if est <= 0 {
+		t.Fatal("cost model priced the problem at zero")
+	}
+	ratio := pred / est
+	t.Logf("predicted %.3gs, cost model %.3gs (ratio %.2f)", pred, est, ratio)
+	if ratio < 0.2 || ratio > 20 {
+		t.Fatalf("predicted runtime %g not comparable to cost model %g (ratio %.2f)", pred, est, ratio)
+	}
+}
+
+// TestTimedBackendCountsSameTrafficAsShmem pins the two backends to
+// identical one-sided traffic for an identical run: the timed backend adds
+// a clock, never communication.
+func TestTimedBackendCountsSameTrafficAsShmem(t *testing.T) {
+	sys := universal.H100System()
+	p := sys.Topo.NumPE()
+	sc := scenarios(p)[1]
+
+	traffic := func(b rt.Backend) rt.Stats {
+		w := b.NewWorld(p)
+		a := distmat.New(w, sc.m, sc.k, sc.partA, 1)
+		bm := distmat.New(w, sc.k, sc.n, sc.partB, 1)
+		c := distmat.New(w, sc.m, sc.n, sc.partC, 1)
+		cfg := universal.DefaultConfig()
+		cfg.PrefetchDepth = 1
+		cfg.MaxInflight = 1
+		w.Run(func(pe rt.PE) {
+			a.FillRandom(pe, 5)
+			bm.FillRandom(pe, 6)
+			universal.Multiply(pe, c, a, bm, cfg)
+		})
+		return w.Stats()
+	}
+
+	s1 := traffic(shmem.Backend{})
+	s2 := traffic(simbackend.New(sys.Topo, sys.Dev))
+	if s1.RemoteGetBytes != s2.RemoteGetBytes || s1.RemoteAccumBytes != s2.RemoteAccumBytes {
+		t.Fatalf("traffic differs: shmem %+v, simnet %+v", s1, s2)
+	}
+}
+
+// TestGemmChargeMatchesDeviceModel pins the executor's ChargeGemm path:
+// a 1-PE timed world multiplying two local tiles must spend exactly the
+// device model's GEMM time (plus launch overheads and local accumulates).
+func TestGemmChargeMatchesDeviceModel(t *testing.T) {
+	topo := simnet.NewUniform(1, 1e9, 1e12, 0, "single")
+	dev := gpusim.Device{PeakFlops: 1e12, MemBW: 1e12, AccumBWFactor: 1, GranM: 1, GranN: 1, GranK: 1}
+	w := simbackend.New(topo, dev).NewWorld(1).(*simbackend.World)
+	a := distmat.New(w, 32, 32, distmat.RowBlock{}, 1)
+	b := distmat.New(w, 32, 32, distmat.RowBlock{}, 1)
+	c := distmat.New(w, 32, 32, distmat.RowBlock{}, 1)
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 1)
+		b.FillRandom(pe, 2)
+		universal.Multiply(pe, c, a, b, universal.DefaultConfig())
+	})
+	gemm := dev.GemmTime(32, 32, 32)
+	pred := w.PredictedSeconds()
+	if pred < gemm {
+		t.Fatalf("predicted %g is below the single GEMM's device time %g", pred, gemm)
+	}
+	// One GEMM plus one local accumulate (2×bytes/MemBW) bounds the run.
+	upper := gemm + 2*4*32*32/dev.MemBW + 10*dev.LaunchOverhead
+	if pred > upper*1.01 {
+		t.Fatalf("predicted %g exceeds modeled work %g", pred, upper)
+	}
+}

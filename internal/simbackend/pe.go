@@ -1,0 +1,142 @@
+package simbackend
+
+import rt "slicing/internal/runtime"
+
+// pe is a timed processing element: every one-sided operation delegates the
+// real data movement to the inner shmem PE and charges its modeled duration
+// to the PE's virtual clock and the involved network ports.
+type pe struct {
+	inner rt.PE
+	w     *World
+	rank  int
+}
+
+func (p *pe) Rank() int  { return p.rank }
+func (p *pe) NumPE() int { return p.w.NumPE() }
+
+// World returns the timed world, satisfying runtime.Allocator.
+func (p *pe) World() rt.World { return p.w }
+
+// AllocSymmetric performs a collective symmetric allocation (free in the
+// timing model, as allocation is in the real runtimes' setup phase).
+func (p *pe) AllocSymmetric(n int) rt.SegmentID { return p.inner.AllocSymmetric(n) }
+
+// Local returns the zero-copy view of this PE's segment storage. Reading
+// through it is device-local and free, like dereferencing HBM.
+func (p *pe) Local(seg rt.SegmentID) []float32 { return p.inner.Local(seg) }
+
+func (p *pe) Get(dst []float32, seg rt.SegmentID, remote, offset int) {
+	p.inner.Get(dst, seg, remote, offset)
+	p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, len(dst)), true)
+}
+
+func (p *pe) Put(src []float32, seg rt.SegmentID, remote, offset int) {
+	p.inner.Put(src, seg, remote, offset)
+	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.transferDur(p.rank, remote, len(src)), true)
+}
+
+func (p *pe) AccumulateAdd(src []float32, seg rt.SegmentID, remote, offset int) {
+	p.inner.AccumulateAdd(src, seg, remote, offset)
+	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.accumDur(p.rank, remote, len(src)), true)
+}
+
+// AccumulateAddGetPut is the inter-node path (§3): priced as the full
+// get + put round trip it performs on RDMA-only fabrics.
+func (p *pe) AccumulateAddGetPut(src []float32, seg rt.SegmentID, remote, offset int) {
+	p.inner.AccumulateAddGetPut(src, seg, remote, offset)
+	n := len(src)
+	p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, n), true)
+	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.transferDur(p.rank, remote, n), true)
+}
+
+func (p *pe) GetStrided(dst []float32, dstStride int, seg rt.SegmentID, remote, offset, srcStride, rows, cols int) {
+	p.inner.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
+	p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, rows*cols), true)
+}
+
+func (p *pe) PutStrided(src []float32, srcStride int, seg rt.SegmentID, remote, offset, dstStride, rows, cols int) {
+	p.inner.PutStrided(src, srcStride, seg, remote, offset, dstStride, rows, cols)
+	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.transferDur(p.rank, remote, rows*cols), true)
+}
+
+func (p *pe) AccumulateAddStrided(src []float32, srcStride int, seg rt.SegmentID, remote, offset, dstStride, rows, cols int) {
+	p.inner.AccumulateAddStrided(src, srcStride, seg, remote, offset, dstStride, rows, cols)
+	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.accumDur(p.rank, remote, rows*cols), true)
+}
+
+// GetAsync performs the copy immediately (any moment between issue and Wait
+// is a legal completion time for a one-sided read, and the source region is
+// stable under the algorithms' barrier discipline) but reserves the network
+// ports now and defers the clock charge to Wait — the timed analogue of
+// get_tile_async overlapping transfers with compute.
+func (p *pe) GetAsync(dst []float32, seg rt.SegmentID, remote, offset int) rt.Future {
+	p.inner.Get(dst, seg, remote, offset)
+	end := p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, len(dst)), false)
+	return &timedFuture{w: p.w, rank: p.rank, end: end}
+}
+
+func (p *pe) GetStridedAsync(dst []float32, dstStride int, seg rt.SegmentID, remote, offset, srcStride, rows, cols int) rt.Future {
+	p.inner.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
+	end := p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, rows*cols), false)
+	return &timedFuture{w: p.w, rank: p.rank, end: end}
+}
+
+func (p *pe) AccumulateAddAsync(src []float32, seg rt.SegmentID, remote, offset int) rt.Future {
+	p.inner.AccumulateAdd(src, seg, remote, offset)
+	end := p.w.chargeTransfer(p.rank, p.rank, remote, p.w.accumDur(p.rank, remote, len(src)), false)
+	return &timedFuture{w: p.w, rank: p.rank, end: end}
+}
+
+// Barrier synchronizes real execution and virtual clocks: after the
+// barrier every PE's clock is the maximum clock any PE had on entry, the
+// same semantics a hardware barrier has for wall time.
+func (p *pe) Barrier() {
+	w := p.w
+	w.mu.Lock()
+	w.snapshot[p.rank] = w.clock[p.rank]
+	w.mu.Unlock()
+	p.inner.Barrier() // all snapshots published
+	w.mu.Lock()
+	worst := 0.0
+	for _, c := range w.snapshot {
+		if c > worst {
+			worst = c
+		}
+	}
+	if worst > w.clock[p.rank] {
+		w.clock[p.rank] = worst
+	}
+	w.mu.Unlock()
+	p.inner.Barrier() // all clocks synced before anyone re-publishes
+}
+
+// Now returns this PE's virtual time (runtime.Clock).
+func (p *pe) Now() float64 { return p.w.PETime(p.rank) }
+
+// Elapse charges local busy time (runtime.Clock).
+func (p *pe) Elapse(seconds float64) {
+	if seconds > 0 {
+		p.w.chargeLocal(p.rank, seconds)
+	}
+}
+
+// ElapseGemm charges a roofline-priced m×n×k local GEMM plus launch
+// overhead (runtime.GemmTimer).
+func (p *pe) ElapseGemm(m, n, k int) {
+	p.w.chargeLocal(p.rank, p.w.dev.GemmTime(m, n, k)+p.w.dev.LaunchOverhead)
+}
+
+// timedFuture is an already-materialized transfer whose modeled completion
+// time is end; waiting advances the waiter's clock to it.
+type timedFuture struct {
+	w    *World
+	rank int
+	end  float64
+}
+
+func (f *timedFuture) Wait() { f.w.advanceTo(f.rank, f.end) }
+
+// Done reports data completion, which on this backend is immediate (the
+// copy happens at issue); only Wait charges the modeled completion time.
+// Returning true keeps backend-portable polling loops terminating.
+func (f *timedFuture) Done() bool { return true }

@@ -1,0 +1,229 @@
+// Package simbackend is the simnet-timed execution backend: a
+// runtime.Backend that performs the same real data movement as the
+// in-process shmem backend while weaving link-level timing from package
+// simnet (Xe Link / NVLink topologies, per-PE egress/ingress port
+// contention) and device timing from package gpusim (roofline GEMMs,
+// accumulate-kernel bandwidth, launch overhead) into every operation.
+//
+// One run of an algorithm on this backend therefore produces both a
+// numeric result — bit-for-bit the computation the shmem backend performs —
+// and a modeled wall-clock for the chosen system, closing the gap between
+// real execution and the side-channel estimators (universal.SimulateMultiply,
+// ir.Simulate, costmodel): those replay plans; this backend times what the
+// executor actually did, including its dynamic scheduling decisions.
+//
+// Timing model. Every PE carries a virtual clock. A remote transfer
+// src→dst may not start before the initiating PE's clock, the source's
+// egress port, and the destination's ingress port are all free; it then
+// occupies both ports for latency + bytes/bandwidth (+ kernel-launch
+// overhead), the same serialization that produces the network hot-spotting
+// the paper's iteration offset (§4.2) exists to avoid. Synchronous
+// operations advance the caller's clock to the transfer's end; asynchronous
+// operations reserve the ports at issue and advance the clock only when the
+// future is waited on, which is what lets prefetch depth and bounded chain
+// concurrency overlap communication with compute in the modeled timeline
+// exactly as they do in the real one. Local operations (src == dst and
+// same-device accumulates) are priced against the device's memory
+// bandwidth and bypass the ports. Compute is reported by executors through
+// runtime.ChargeGemm and priced with the gpusim roofline. Barriers
+// synchronize every PE's clock to the global maximum.
+package simbackend
+
+import (
+	"fmt"
+	"sync"
+
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+	"slicing/internal/simnet"
+)
+
+// Backend builds simnet-timed worlds over one evaluation system (an
+// interconnect topology plus a device model, e.g. Table 2's PVC or H100
+// node).
+type Backend struct {
+	Topo simnet.Topology
+	Dev  gpusim.Device
+}
+
+// New returns a backend for the given system.
+func New(topo simnet.Topology, dev gpusim.Device) Backend {
+	return Backend{Topo: topo, Dev: dev}
+}
+
+// Name identifies the backend.
+func (b Backend) Name() string { return "simnet:" + b.Topo.Name() }
+
+// NewWorld creates a timed world of p PEs. p must match the topology.
+func (b Backend) NewWorld(p int) rt.World {
+	if p != b.Topo.NumPE() {
+		panic(fmt.Sprintf("simbackend: world of %d PEs over %d-PE topology %s",
+			p, b.Topo.NumPE(), b.Topo.Name()))
+	}
+	return &World{
+		inner:       shmem.NewWorld(p),
+		topo:        b.Topo,
+		dev:         b.Dev,
+		clock:       make([]float64, p),
+		egressFree:  make([]float64, p),
+		ingressFree: make([]float64, p),
+		snapshot:    make([]float64, p),
+	}
+}
+
+// World is a timed world: real symmetric memory (delegated to an inner
+// shmem world) plus per-PE virtual clocks and network port schedules.
+type World struct {
+	inner *shmem.World
+	topo  simnet.Topology
+	dev   gpusim.Device
+
+	mu          sync.Mutex // protects all timing state below
+	clock       []float64  // per-PE virtual time, seconds
+	egressFree  []float64  // per-PE egress port availability
+	ingressFree []float64  // per-PE ingress port availability
+	snapshot    []float64  // clock snapshots for barrier time-sync
+}
+
+// Compile-time checks against the runtime contract.
+var (
+	_ rt.Backend   = Backend{}
+	_ rt.World     = (*World)(nil)
+	_ rt.PE        = (*pe)(nil)
+	_ rt.Clock     = (*pe)(nil)
+	_ rt.GemmTimer = (*pe)(nil)
+)
+
+// World returns the world itself, satisfying runtime.Allocator.
+func (w *World) World() rt.World { return w }
+
+// NumPE returns the number of processing elements.
+func (w *World) NumPE() int { return w.inner.NumPE() }
+
+// AllocSymmetric reserves a segment of n float32 on every PE.
+func (w *World) AllocSymmetric(n int) rt.SegmentID { return w.inner.AllocSymmetric(n) }
+
+// SegmentStorage returns rank's backing array for host-side initialization.
+func (w *World) SegmentStorage(seg rt.SegmentID, rank int) []float32 {
+	return w.inner.SegmentStorage(seg, rank)
+}
+
+// SegmentLen returns the per-PE length of a segment.
+func (w *World) SegmentLen(seg rt.SegmentID) int { return w.inner.SegmentLen(seg) }
+
+// Stats returns the world's traffic counters (identical to what the shmem
+// backend would count for the same run).
+func (w *World) Stats() rt.Stats { return w.inner.Stats() }
+
+// ResetStats zeroes the traffic counters.
+func (w *World) ResetStats() { w.inner.ResetStats() }
+
+// Run executes body on every PE. Virtual clocks persist across calls so a
+// multi-phase workload accumulates one timeline; use ResetTime between
+// independent measurements.
+func (w *World) Run(body func(pe rt.PE)) {
+	w.inner.Run(func(inner rt.PE) {
+		body(&pe{inner: inner, w: w, rank: inner.Rank()})
+	})
+}
+
+// PredictedSeconds returns the modeled wall-clock so far: the maximum
+// virtual time reached by any PE. Call it after Run.
+func (w *World) PredictedSeconds() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	worst := 0.0
+	for _, c := range w.clock {
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// PETime returns one rank's virtual time.
+func (w *World) PETime(rank int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.clock[rank]
+}
+
+// ResetTime zeroes all clocks and port schedules.
+func (w *World) ResetTime() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.clock {
+		w.clock[i] = 0
+		w.egressFree[i] = 0
+		w.ingressFree[i] = 0
+	}
+}
+
+// Topology returns the modeled interconnect.
+func (w *World) Topology() simnet.Topology { return w.topo }
+
+// Device returns the modeled device.
+func (w *World) Device() gpusim.Device { return w.dev }
+
+// transferDur prices moving n float32 from src to dst (a get or a put).
+func (w *World) transferDur(src, dst, n int) float64 {
+	bytes := 4 * float64(n)
+	if src == dst {
+		return bytes / w.dev.MemBW
+	}
+	return simnet.TransferTime(w.topo, src, dst, bytes) + w.dev.LaunchOverhead
+}
+
+// accumDur prices an n-float32 accumulate from rank into dst's memory.
+func (w *World) accumDur(rank, dst, n int) float64 {
+	bytes := 4 * float64(n)
+	if rank == dst {
+		// Local accumulate: read-modify-write in device memory.
+		return 2*bytes/w.dev.MemBW + w.dev.LaunchOverhead
+	}
+	bw := w.topo.Bandwidth(rank, dst)
+	return w.dev.AccumTime(bytes, bw) + w.topo.Latency(rank, dst) + w.dev.LaunchOverhead
+}
+
+// chargeTransfer schedules a port-contended transfer initiated by rank,
+// with data flowing src→dst. It returns the transfer's modeled end time;
+// when sync is true the initiator's clock advances to it.
+func (w *World) chargeTransfer(rank, src, dst int, dur float64, sync bool) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	start := w.clock[rank]
+	if src != dst {
+		if w.egressFree[src] > start {
+			start = w.egressFree[src]
+		}
+		if w.ingressFree[dst] > start {
+			start = w.ingressFree[dst]
+		}
+	}
+	end := start + dur
+	if src != dst {
+		w.egressFree[src] = end
+		w.ingressFree[dst] = end
+	}
+	if sync && end > w.clock[rank] {
+		w.clock[rank] = end
+	}
+	return end
+}
+
+// chargeLocal advances rank's clock by dur of device-local busy time.
+func (w *World) chargeLocal(rank int, dur float64) {
+	w.mu.Lock()
+	w.clock[rank] += dur
+	w.mu.Unlock()
+}
+
+// advanceTo raises rank's clock to at least t (used by future waits).
+func (w *World) advanceTo(rank int, t float64) {
+	w.mu.Lock()
+	if t > w.clock[rank] {
+		w.clock[rank] = t
+	}
+	w.mu.Unlock()
+}

@@ -1,0 +1,241 @@
+package simbackend
+
+import (
+	"math"
+	"testing"
+
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/simnet"
+)
+
+// testDevice is a device with round numbers and no launch overhead so
+// expected durations are exact.
+func testDevice() gpusim.Device {
+	return gpusim.Device{
+		Name:          "test",
+		PeakFlops:     1e12,
+		MemBW:         1e12,
+		AccumBWFactor: 1,
+		GranM:         1, GranN: 1, GranK: 1,
+	}
+}
+
+// testWorld returns a timed world over a p-PE uniform fabric of 1 GB/s
+// links with zero latency: moving n float32 remotely takes 4n nanoseconds.
+func testWorld(t *testing.T, p int) *World {
+	t.Helper()
+	topo := simnet.NewUniform(p, 1e9, 1e12, 0, "test-fabric")
+	return New(topo, testDevice()).NewWorld(p).(*World)
+}
+
+const secPerFloat = 4e-9 // 4 bytes over 1 GB/s
+
+func TestSyncGetAdvancesClock(t *testing.T) {
+	w := testWorld(t, 2)
+	seg := w.AllocSymmetric(1000)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() == 0 {
+			dst := make([]float32, 1000)
+			pe.Get(dst, seg, 1, 0)
+		}
+	})
+	want := 1000 * secPerFloat
+	if got := w.PETime(0); math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("clock after sync get = %g, want %g", got, want)
+	}
+	if got := w.PETime(1); got != 0 {
+		t.Fatalf("target clock moved to %g; one-sided ops must not consume target time", got)
+	}
+}
+
+func TestRemoteOpsMoveRealData(t *testing.T) {
+	w := testWorld(t, 2)
+	seg := w.AllocSymmetric(4)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() == 0 {
+			pe.Put([]float32{1, 2, 3, 4}, seg, 1, 0)
+			pe.AccumulateAdd([]float32{10, 10, 10, 10}, seg, 1, 0)
+		}
+		pe.Barrier()
+		got := make([]float32, 4)
+		pe.Get(got, seg, 1, 0)
+		if got[0] != 11 || got[3] != 14 {
+			t.Errorf("rank %d read %v, want [11 12 13 14]", pe.Rank(), got)
+		}
+	})
+}
+
+func TestEgressPortContentionSerializes(t *testing.T) {
+	// Ranks 1 and 2 both pull 1000 floats from rank 0: the two transfers
+	// share rank 0's egress port, so one of them finishes at 2× the
+	// contention-free time.
+	w := testWorld(t, 3)
+	seg := w.AllocSymmetric(1000)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() != 0 {
+			dst := make([]float32, 1000)
+			pe.Get(dst, seg, 0, 0)
+		}
+	})
+	one := 1000 * secPerFloat
+	if got, want := w.PredictedSeconds(), 2*one; math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("contended makespan = %g, want %g (two serialized transfers)", got, want)
+	}
+	first, second := w.PETime(1), w.PETime(2)
+	if first > second {
+		first, second = second, first
+	}
+	if math.Abs(first-one) > one*1e-9 || math.Abs(second-2*one) > one*1e-9 {
+		t.Fatalf("per-PE completion times %g, %g; want %g and %g", first, second, one, 2*one)
+	}
+}
+
+func TestLocalOpsBypassPorts(t *testing.T) {
+	// A local get is priced on device memory bandwidth (1 TB/s here) and
+	// must not reserve network ports.
+	w := testWorld(t, 2)
+	seg := w.AllocSymmetric(1000)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() == 0 {
+			dst := make([]float32, 1000)
+			pe.Get(dst, seg, 0, 0)
+		}
+	})
+	want := 4000 / 1e12
+	if got := w.PETime(0); math.Abs(got-want) > want*1e-6 {
+		t.Fatalf("local get time = %g, want %g", got, want)
+	}
+}
+
+func TestAsyncGetDefersClockToWait(t *testing.T) {
+	w := testWorld(t, 2)
+	seg := w.AllocSymmetric(1000)
+	var atIssue, afterWait float64
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() != 0 {
+			return
+		}
+		dst := make([]float32, 1000)
+		f := pe.GetAsync(dst, seg, 1, 0)
+		atIssue = w.PETime(0)
+		f.Wait()
+		afterWait = w.PETime(0)
+	})
+	if atIssue != 0 {
+		t.Fatalf("clock advanced to %g at issue; async ops must charge at Wait", atIssue)
+	}
+	want := 1000 * secPerFloat
+	if math.Abs(afterWait-want) > want*1e-9 {
+		t.Fatalf("clock after Wait = %g, want %g", afterWait, want)
+	}
+}
+
+func TestAsyncOverlapsWithCompute(t *testing.T) {
+	// Issue a 1000-float fetch, do 1 ms of modeled compute, then wait: the
+	// transfer (4 µs) hides entirely under the compute.
+	w := testWorld(t, 2)
+	seg := w.AllocSymmetric(1000)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() != 0 {
+			return
+		}
+		dst := make([]float32, 1000)
+		f := pe.GetAsync(dst, seg, 1, 0)
+		rt.Elapse(pe, 1e-3)
+		f.Wait()
+	})
+	if got := w.PETime(0); math.Abs(got-1e-3) > 1e-12 {
+		t.Fatalf("overlapped time = %g, want 1e-3 (transfer hidden)", got)
+	}
+}
+
+func TestBarrierSyncsClocks(t *testing.T) {
+	w := testWorld(t, 4)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() == 2 {
+			rt.Elapse(pe, 0.5)
+		}
+		pe.Barrier()
+		if now := pe.(rt.Clock).Now(); now < 0.5 {
+			t.Errorf("rank %d clock %g after barrier, want >= 0.5", pe.Rank(), now)
+		}
+	})
+	if got := w.PredictedSeconds(); got != 0.5 {
+		t.Fatalf("makespan = %g, want 0.5", got)
+	}
+}
+
+func TestChargeGemmUsesDeviceRoofline(t *testing.T) {
+	w := testWorld(t, 1)
+	dev := testDevice()
+	w.Run(func(pe rt.PE) {
+		rt.ChargeGemm(pe, 64, 64, 64)
+	})
+	want := dev.GemmTime(64, 64, 64) + dev.LaunchOverhead
+	if got := w.PETime(0); math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("gemm charge = %g, want %g", got, want)
+	}
+}
+
+func TestAccumulateGetPutPricedAsRoundTrip(t *testing.T) {
+	w := testWorld(t, 2)
+	seg := w.AllocSymmetric(1000)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() == 0 {
+			pe.AccumulateAddGetPut(make([]float32, 1000), seg, 1, 0)
+		}
+	})
+	want := 2 * 1000 * secPerFloat
+	if got := w.PETime(0); math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("get+put accumulate = %g, want %g (full round trip)", got, want)
+	}
+}
+
+func TestResetTime(t *testing.T) {
+	w := testWorld(t, 2)
+	seg := w.AllocSymmetric(100)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() == 0 {
+			pe.Get(make([]float32, 100), seg, 1, 0)
+		}
+	})
+	if w.PredictedSeconds() == 0 {
+		t.Fatal("expected nonzero time before reset")
+	}
+	w.ResetTime()
+	if got := w.PredictedSeconds(); got != 0 {
+		t.Fatalf("time after reset = %g", got)
+	}
+}
+
+func TestStatsDelegateToRealTraffic(t *testing.T) {
+	w := testWorld(t, 2)
+	seg := w.AllocSymmetric(8)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() == 0 {
+			pe.Get(make([]float32, 8), seg, 1, 0)
+			pe.AccumulateAdd(make([]float32, 4), seg, 1, 0)
+		}
+	})
+	s := w.Stats()
+	if s.RemoteGetBytes != 32 || s.RemoteAccumBytes != 16 {
+		t.Fatalf("stats = %+v, want 32 get / 16 accum bytes", s)
+	}
+}
+
+func TestWorldSizeMustMatchTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched world size should panic")
+		}
+	}()
+	New(simnet.PresetH100(), testDevice()).NewWorld(12)
+}
+
+func TestBackendName(t *testing.T) {
+	b := New(simnet.PresetPVC(), gpusim.PresetPVCDevice())
+	if b.Name() != "simnet:12xPVC XeLink" {
+		t.Fatalf("backend name = %q", b.Name())
+	}
+}

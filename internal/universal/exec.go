@@ -6,7 +6,7 @@ import (
 	"slicing/internal/distmat"
 	"slicing/internal/gpusim"
 	"slicing/internal/index"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -72,7 +72,7 @@ func (cfg Config) withDefaults() Config {
 // Multiply computes C = A·B with the universal one-sided algorithm,
 // zeroing C first. Collective: every PE of the world must call it with the
 // same arguments. It returns the resolved stationary strategy.
-func Multiply(pe *shmem.PE, c, a, b *distmat.Matrix, cfg Config) Stationary {
+func Multiply(pe rt.PE, c, a, b *distmat.Matrix, cfg Config) Stationary {
 	prob := NewProblem(c, a, b)
 	c.Zero(pe) // includes a barrier
 	return MultiplyAccumulate(pe, prob, cfg)
@@ -80,7 +80,7 @@ func Multiply(pe *shmem.PE, c, a, b *distmat.Matrix, cfg Config) Stationary {
 
 // MultiplyAccumulate computes C += A·B assuming C already holds the values
 // to accumulate onto (zeroed for a plain product). Collective.
-func MultiplyAccumulate(pe *shmem.PE, prob Problem, cfg Config) Stationary {
+func MultiplyAccumulate(pe rt.PE, prob Problem, cfg Config) Stationary {
 	cfg = cfg.withDefaults()
 	plan := BuildPlanMode(pe.Rank(), prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
 	ExecutePlan(pe, prob, plan, cfg)
@@ -99,7 +99,7 @@ func MultiplyAccumulate(pe *shmem.PE, prob Problem, cfg Config) Stationary {
 // get_tile_async, asynchronous GEMM→accumulate chains with bounded
 // concurrency, and pooled scratch memory. It performs no collective
 // synchronization; callers barrier afterwards.
-func ExecutePlan(pe *shmem.PE, prob Problem, plan Plan, cfg Config) {
+func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
 	cfg = cfg.withDefaults()
 	fetched := map[cacheKey]*distmat.TileFuture{}
 	subA := map[int]*distmat.TileFuture{}
@@ -181,7 +181,7 @@ func ExecutePlan(pe *shmem.PE, prob Problem, plan Plan, cfg Config) {
 // acquireSub resolves one operand in sub-tile mode: a strided view of the
 // local tile, or the per-step prefetched slice (falling back to a
 // synchronous sub-tile get if the prefetch was never issued).
-func acquireSub(pe *shmem.PE, m *distmat.Matrix, local bool, idx index.TileIdx,
+func acquireSub(pe rt.PE, m *distmat.Matrix, local bool, idx index.TileIdx,
 	sub index.Rect, prefetched map[int]*distmat.TileFuture, step int) *tile.Matrix {
 	if local {
 		b := m.TileBounds(idx)
@@ -200,11 +200,12 @@ func acquireSub(pe *shmem.PE, m *distmat.Matrix, local bool, idx index.TileIdx,
 // and atomically accumulates the result into C — the GEMM→accumulate chain
 // of §4.2. aSlice and bSlice must already be sliced to the op's (M,K) and
 // (K,N) bounds.
-func gemmAccumulate(pe *shmem.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Matrix, pool *gpusim.Pool) {
+func gemmAccumulate(pe rt.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Matrix, pool *gpusim.Pool) {
 	rows, cols := op.M.Len(), op.N.Len()
 	buf := pool.Get(rows * cols)
 	partial := tile.FromSlice(rows, cols, buf)
 	tile.Gemm(partial, aSlice, bSlice)
+	rt.ChargeGemm(pe, rows, cols, op.K.Len())
 	prob.C.AccumulateSubTile(pe, op.CIdx, distmat.LocalReplica, subRect(op), partial)
 	pool.Put(buf)
 }
@@ -212,7 +213,7 @@ func gemmAccumulate(pe *shmem.PE, prob Problem, op LocalOp, aSlice, bSlice *tile
 // RunStep executes one plan step given its (full) A and B tiles: it slices
 // the tiles to the op's bounds, multiplies, and accumulates into C. It is
 // shared by the direct executor and the IR executor.
-func RunStep(pe *shmem.PE, prob Problem, s Step, aTile, bTile *tile.Matrix, pool *gpusim.Pool) {
+func RunStep(pe rt.PE, prob Problem, s Step, aTile, bTile *tile.Matrix, pool *gpusim.Pool) {
 	ab := prob.A.TileBounds(s.Op.AIdx)
 	bb := prob.B.TileBounds(s.Op.BIdx)
 	aSlice := aTile.View(s.Op.M.Begin-ab.Rows.Begin, s.Op.K.Begin-ab.Cols.Begin, s.Op.M.Len(), s.Op.K.Len())

@@ -3,7 +3,7 @@ package universal
 import (
 	"slicing/internal/distmat"
 	"slicing/internal/index"
-	"slicing/internal/shmem"
+	rt "slicing/internal/runtime"
 	"slicing/internal/tile"
 )
 
@@ -14,7 +14,7 @@ import (
 // partitioning/replication combination works. Execution fetches sparse A
 // tiles (nnz-sized one-sided reads), slices them with CSR windowing, and
 // accumulates dense partial results into C. Collective; zeroes C first.
-func MultiplySparse(pe *shmem.PE, c *distmat.Matrix, a *distmat.Sparse, b *distmat.Matrix, cfg Config) Stationary {
+func MultiplySparse(pe rt.PE, c *distmat.Matrix, a *distmat.Sparse, b *distmat.Matrix, cfg Config) Stationary {
 	cfg = cfg.withDefaults()
 	prob := NewProblem(c, a.Meta(), b)
 	c.Zero(pe)
@@ -57,6 +57,9 @@ func MultiplySparse(pe *shmem.PE, c *distmat.Matrix, a *distmat.Sparse, b *distm
 		buf := cfg.Pool.Get(rows * cols)
 		partial := tile.FromSlice(rows, cols, buf)
 		tile.SpMM(partial, aSlice, bSlice)
+		// Timed backends price the SpMM as its dense-equivalent GEMM, an
+		// upper bound until the device model grows a sparse roofline.
+		rt.ChargeGemm(pe, rows, cols, s.Op.K.Len())
 		c.AccumulateSubTile(pe, s.Op.CIdx, distmat.LocalReplica, subRect(s.Op), partial)
 		cfg.Pool.Put(buf)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"slicing/internal/distmat"
 	"slicing/internal/index"
+	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/tile"
 )
@@ -24,11 +25,11 @@ func testParts(slots int) map[string]distmat.Partition {
 	return parts
 }
 
-func referenceProduct(m, n, k int, seedA, seedB int64, a, b *distmat.Matrix, w *shmem.World) *tile.Matrix {
+func referenceProduct(m, n, k int, seedA, seedB int64, a, b *distmat.Matrix, w rt.World) *tile.Matrix {
 	// Gather A and B (replica 0) on a fresh single-PE pass and multiply
 	// serially. Uses a dedicated world run to own a PE handle.
 	var ref *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() != 0 {
 			return
 		}
@@ -49,7 +50,7 @@ func runMultiply(t *testing.T, p, m, n, k int, partA, partB, partC distmat.Parti
 	a := distmat.New(w, m, k, partA, cA)
 	b := distmat.New(w, k, n, partB, cB)
 	c := distmat.New(w, m, n, partC, cC)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 101)
 		b.FillRandom(pe, 202)
 	})
@@ -58,12 +59,12 @@ func runMultiply(t *testing.T, p, m, n, k int, partA, partB, partC distmat.Parti
 	cfg := DefaultConfig()
 	cfg.Stationary = stat
 	cfg.SyncReplicas = true
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		Multiply(pe, c, a, b, cfg)
 	})
 
 	var got *tile.Matrix
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		if pe.Rank() == 0 {
 			got = c.Gather(pe, 0)
 		}
@@ -372,7 +373,7 @@ func TestMultiplySubTileFetchCorrect(t *testing.T) {
 			a := distmat.New(w, m, k, mis, 1)
 			b := distmat.New(w, k, n, distmat.RowBlock{}, 1)
 			c := distmat.New(w, m, n, distmat.ColBlock{}, 2)
-			w.Run(func(pe *shmem.PE) {
+			w.Run(func(pe rt.PE) {
 				a.FillRandom(pe, 101)
 				b.FillRandom(pe, 202)
 			})
@@ -381,11 +382,11 @@ func TestMultiplySubTileFetchCorrect(t *testing.T) {
 			cfg.Stationary = stat
 			cfg.SubTileFetch = true
 			cfg.SyncReplicas = true
-			w.Run(func(pe *shmem.PE) {
+			w.Run(func(pe rt.PE) {
 				Multiply(pe, c, a, b, cfg)
 			})
 			var got *tile.Matrix
-			w.Run(func(pe *shmem.PE) {
+			w.Run(func(pe rt.PE) {
 				if pe.Rank() == 0 {
 					got = c.Gather(pe, 0)
 				}
@@ -463,7 +464,7 @@ func TestMultiplyConfigKnobs(t *testing.T) {
 	w := shmem.NewWorld(p)
 	a := distmat.New(w, m, k, distmat.Block2D{}, 1)
 	b := distmat.New(w, k, n, distmat.RowBlock{}, 1)
-	w.Run(func(pe *shmem.PE) {
+	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 301)
 		b.FillRandom(pe, 302)
 	})
@@ -471,11 +472,11 @@ func TestMultiplyConfigKnobs(t *testing.T) {
 	for i, cfg := range knobs {
 		c := distmat.New(w, m, n, distmat.ColBlock{}, 1)
 		cfg.SyncReplicas = true
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			Multiply(pe, c, a, b, cfg)
 		})
 		var got *tile.Matrix
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			if pe.Rank() == 0 {
 				got = c.Gather(pe, 0)
 			}
@@ -524,7 +525,7 @@ func TestMultiplyRandomizedEndToEnd(t *testing.T) {
 		a := distmat.New(w, m, k, partFor(p/cA), cA)
 		b := distmat.New(w, k, n, partFor(p/cB), cB)
 		c := distmat.New(w, m, n, partFor(p/cC), cC)
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			a.FillRandom(pe, int64(trial))
 			b.FillRandom(pe, int64(trial)+1000)
 		})
@@ -533,11 +534,11 @@ func TestMultiplyRandomizedEndToEnd(t *testing.T) {
 		cfg.Stationary = []Stationary{StationaryAuto, StationaryA, StationaryB, StationaryC}[rng.Intn(4)]
 		cfg.SubTileFetch = rng.Intn(2) == 0
 		cfg.SyncReplicas = true
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			Multiply(pe, c, a, b, cfg)
 		})
 		var got *tile.Matrix
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			if pe.Rank() == 0 {
 				got = c.Gather(pe, 0)
 			}
@@ -572,11 +573,11 @@ func TestMultiplySparseCorrect(t *testing.T) {
 		a := distmat.NewSparse(w, global, tc.pa, tc.cA)
 		b := distmat.New(w, k, n, tc.pb, tc.cB)
 		c := distmat.New(w, m, n, tc.pc, tc.cC)
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			b.FillRandom(pe, 77)
 		})
 		var ref, got *tile.Matrix
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			if pe.Rank() == 0 {
 				fullB := b.Gather(pe, 0)
 				ref = tile.New(m, n)
@@ -590,10 +591,10 @@ func TestMultiplySparseCorrect(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Stationary = tc.stat
 		cfg.SyncReplicas = true
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			MultiplySparse(pe, c, a, b, cfg)
 		})
-		w.Run(func(pe *shmem.PE) {
+		w.Run(func(pe rt.PE) {
 			if pe.Rank() == 0 {
 				got = c.Gather(pe, 0)
 			}

@@ -15,7 +15,7 @@
 //	a := slicing.NewMatrix(world, m, k, slicing.RowBlock{}, 1)
 //	b := slicing.NewMatrix(world, k, n, slicing.ColBlock{}, 1)
 //	c := slicing.NewMatrix(world, m, n, slicing.Block2D{}, 1)
-//	world.Run(func(pe *slicing.PE) {
+//	world.Run(func(pe slicing.PE) {
 //	    a.FillRandom(pe, 1)
 //	    b.FillRandom(pe, 2)
 //	    slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
@@ -32,20 +32,62 @@ import (
 	"slicing/internal/costmodel"
 	"slicing/internal/distmat"
 	"slicing/internal/gpusim"
+	"slicing/internal/runtime"
 	"slicing/internal/shmem"
+	"slicing/internal/simbackend"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
 )
 
 // World is a collection of processing elements sharing a symmetric heap.
-type World = shmem.World
+// It is the backend-independent world interface of internal/runtime;
+// NewWorld returns the in-process shmem implementation and NewTimedWorld
+// the simnet-timed one.
+type World = runtime.World
 
-// PE is one processing element's handle, valid inside World.Run.
-type PE = shmem.PE
+// PE is one processing element's handle, valid inside World.Run: the
+// paper's one-sided primitive set (remote get, remote accumulate, put,
+// futures, barrier) as a backend-independent interface.
+type PE = runtime.PE
+
+// Backend constructs worlds of one runtime flavour.
+type Backend = runtime.Backend
+
+// Stats aggregates a world's one-sided traffic counters.
+type Stats = runtime.Stats
+
+// SegmentID names a symmetric-heap allocation.
+type SegmentID = runtime.SegmentID
+
+// Allocator abstracts symmetric allocation (both World and PE satisfy it).
+type Allocator = runtime.Allocator
 
 // NewWorld creates a world of p processing elements (goroutine-backed, one
-// per simulated GPU).
-func NewWorld(p int) *World { return shmem.NewWorld(p) }
+// per simulated GPU) on the in-process shmem backend.
+func NewWorld(p int) World { return shmem.NewWorld(p) }
+
+// ShmemBackend returns the in-process PGAS backend.
+func ShmemBackend() Backend { return shmem.Backend{} }
+
+// SimnetBackend returns the simnet-timed backend for sys: its worlds
+// perform the same real computation while modeling wall-clock over sys's
+// interconnect and device (port contention, roofline GEMMs).
+func SimnetBackend(sys SimSystem) Backend { return simbackend.New(sys.Topo, sys.Dev) }
+
+// NewTimedWorld creates a world on the simnet-timed backend for sys. The
+// world computes real results; PredictedTime reports its modeled runtime.
+func NewTimedWorld(sys SimSystem) World {
+	return SimnetBackend(sys).NewWorld(sys.Topo.NumPE())
+}
+
+// PredictedTime returns the modeled wall-clock of a world created on the
+// simnet-timed backend, and ok=false for untimed backends.
+func PredictedTime(w World) (seconds float64, ok bool) {
+	if tw, isTimed := w.(*simbackend.World); isTimed {
+		return tw.PredictedSeconds(), true
+	}
+	return 0, false
+}
 
 // Matrix is a distributed dense matrix: shape × partition × replication.
 type Matrix = distmat.Matrix
@@ -71,7 +113,7 @@ const LocalReplica = distmat.LocalReplica
 // NewMatrix allocates a distributed rows×cols matrix. The replication
 // factor must divide the world size. Pass the *World before Run, or the
 // *PE for a collective allocation inside Run.
-func NewMatrix(alloc shmem.Allocator, rows, cols int, part Partition, replication int) *Matrix {
+func NewMatrix(alloc Allocator, rows, cols int, part Partition, replication int) *Matrix {
 	return distmat.New(alloc, rows, cols, part, replication)
 }
 
@@ -101,7 +143,7 @@ func DefaultConfig() Config {
 // Multiply computes C = A·B with the universal one-sided algorithm for any
 // combination of partitionings and replication factors. Collective: every
 // PE must call it. Returns the resolved stationary strategy.
-func Multiply(pe *PE, c, a, b *Matrix, cfg Config) Stationary {
+func Multiply(pe PE, c, a, b *Matrix, cfg Config) Stationary {
 	return universal.Multiply(pe, c, a, b, cfg)
 }
 
@@ -164,12 +206,12 @@ type CSR = tile.CSR
 
 // NewSparseMatrix distributes a global CSR matrix with the given partition
 // and replication factor.
-func NewSparseMatrix(alloc shmem.Allocator, global *CSR, part Partition, replication int) *SparseMatrix {
+func NewSparseMatrix(alloc Allocator, global *CSR, part Partition, replication int) *SparseMatrix {
 	return distmat.NewSparse(alloc, global, part, replication)
 }
 
 // MultiplySparse computes C = A·B with a distributed sparse A and dense B
 // and C, under any partitioning/replication combination. Collective.
-func MultiplySparse(pe *PE, c *Matrix, a *SparseMatrix, b *Matrix, cfg Config) Stationary {
+func MultiplySparse(pe PE, c *Matrix, a *SparseMatrix, b *Matrix, cfg Config) Stationary {
 	return universal.MultiplySparse(pe, c, a, b, cfg)
 }

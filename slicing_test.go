@@ -18,11 +18,11 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	c := slicing.NewMatrix(world, m, n, slicing.Block2D{}, 2)
 
 	var ref, got *tile.Matrix
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		a.FillRandom(pe, 1)
 		b.FillRandom(pe, 2)
 	})
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		if pe.Rank() == 0 {
 			fa := a.Gather(pe, 0)
 			fb := b.Gather(pe, 0)
@@ -30,13 +30,13 @@ func TestPublicAPIQuickstart(t *testing.T) {
 			tile.GemmNaive(ref, fa, fb)
 		}
 	})
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		stat := slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
 		if stat != slicing.StationaryC && stat != slicing.StationaryA && stat != slicing.StationaryB {
 			t.Errorf("unexpected stationary %v", stat)
 		}
 	})
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		if pe.Rank() == 0 {
 			got = c.Gather(pe, 0)
 		}
@@ -78,7 +78,7 @@ func ExampleMultiply() {
 	a := slicing.NewMatrix(world, 8, 8, slicing.RowBlock{}, 1)
 	b := slicing.NewMatrix(world, 8, 8, slicing.ColBlock{}, 1)
 	c := slicing.NewMatrix(world, 8, 8, slicing.Block2D{}, 1)
-	world.Run(func(pe *slicing.PE) {
+	world.Run(func(pe slicing.PE) {
 		a.FillRandom(pe, 1)
 		b.FillRandom(pe, 2)
 		slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
