@@ -158,6 +158,69 @@ func buildProblem(sys universal.SimSystem, m, n, k int, part bench.Partitioning,
 	return universal.NewProblem(c, a, b)
 }
 
+// PipelineChoice is one (PrefetchDepth, MaxInflight) point of a pipeline
+// sweep, with the modeled wall-clock the timed backend observed for it and
+// the stream-level delay signals when the backend exposes them.
+type PipelineChoice struct {
+	PrefetchDepth int
+	MaxInflight   int
+	Seconds       float64
+	// QueueDelaySeconds is the time ops queued behind busy engines (zero on
+	// single-clock backends, which cannot observe it).
+	QueueDelaySeconds float64
+}
+
+func (pc PipelineChoice) String() string {
+	return fmt.Sprintf("prefetch=%d inflight=%d (%.4gs, queue %.4gs)",
+		pc.PrefetchDepth, pc.MaxInflight, pc.Seconds, pc.QueueDelaySeconds)
+}
+
+// PipelineOptions bounds a pipeline sweep; nil slices sweep {1, 2, 4, 8}.
+type PipelineOptions struct {
+	Depths    []int
+	Inflights []int
+}
+
+func (o PipelineOptions) withDefaults() PipelineOptions {
+	if o.Depths == nil {
+		o.Depths = []int{1, 2, 4, 8}
+	}
+	if o.Inflights == nil {
+		o.Inflights = []int{1, 2, 4, 8}
+	}
+	return o
+}
+
+// TunePipeline sweeps the async pipeline depth — PrefetchDepth ×
+// MaxInflight — for one candidate configuration by executing the multiply
+// for real on the given timed backend (simbackend or gpubackend) and
+// ranking the observed modeled wall-clocks. This is the per-backend
+// refinement the cost model cannot provide: queue-depth contention makes
+// the optimum backend-dependent (a deeper pipeline that is free on a
+// single-clock model can queue on a copy engine), so the same candidate is
+// tuned separately per backend and topology. Choices return sorted
+// best-first.
+func TunePipeline(b rt.Backend, sys universal.SimSystem, m, n, k int, c Candidate, opt PipelineOptions) []PipelineChoice {
+	opt = opt.withDefaults()
+	out := make([]PipelineChoice, 0, len(opt.Depths)*len(opt.Inflights))
+	for _, d := range opt.Depths {
+		for _, fl := range opt.Inflights {
+			cfg := c.Config()
+			cfg.PrefetchDepth = d
+			cfg.MaxInflight = fl
+			res := bench.RunUATimedOn(b, sys, m, n, k, c.Part, c.ReplAB, c.ReplC, cfg)
+			out = append(out, PipelineChoice{
+				PrefetchDepth:     d,
+				MaxInflight:       fl,
+				Seconds:           res.Makespan,
+				QueueDelaySeconds: res.QueueDelaySeconds,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	return out
+}
+
 func zeroComm(prob universal.Problem, stat universal.Stationary) bool {
 	p := prob.A.World().NumPE()
 	for rank := 0; rank < p; rank++ {

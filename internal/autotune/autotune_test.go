@@ -4,8 +4,11 @@ import (
 	"math"
 	"testing"
 
+	"slicing/internal/bench"
+	"slicing/internal/gpubackend"
 	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
+	"slicing/internal/simbackend"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
 )
@@ -159,3 +162,50 @@ func (t testTopo) Bandwidth(src, dst int) float64 {
 }
 func (t testTopo) Latency(src, dst int) float64 { return 1e-6 }
 func (t testTopo) Name() string                 { return "test" }
+
+// TestTunePipelineSweepsPerBackend runs the PrefetchDepth/MaxInflight
+// sweep on both timed backends for the same candidate and checks the
+// returned choices are complete, sorted best-first, and carry the
+// stream-level queue-delay signal only on the stream/event backend.
+func TestTunePipelineSweepsPerBackend(t *testing.T) {
+	sys := universal.H100System()
+	const m, n, k = 256, 256, 256
+	cand := Candidate{
+		Part: bench.PartOuterProd, ReplAB: 1, ReplC: 1,
+		Stationary: universal.StationaryA,
+	}
+	opt := PipelineOptions{Depths: []int{1, 4}, Inflights: []int{1, 4}}
+
+	run := func(b rt.Backend) []PipelineChoice {
+		choices := TunePipeline(b, sys, m, n, k, cand, opt)
+		if len(choices) != 4 {
+			t.Fatalf("%s: expected 4 choices, got %d", b.Name(), len(choices))
+		}
+		for i, c := range choices {
+			if c.Seconds <= 0 {
+				t.Fatalf("%s: choice %v has non-positive runtime", b.Name(), c)
+			}
+			if i > 0 && c.Seconds < choices[i-1].Seconds {
+				t.Fatalf("%s: choices not sorted best-first at %d", b.Name(), i)
+			}
+		}
+		return choices
+	}
+
+	simChoices := run(simbackend.New(sys.Topo, sys.Dev))
+	for _, c := range simChoices {
+		if c.QueueDelaySeconds != 0 {
+			t.Fatalf("single-clock backend reported queue delay %g", c.QueueDelaySeconds)
+		}
+	}
+	gpuChoices := run(gpubackend.New(sys.Topo, sys.Dev))
+	sawQueue := false
+	for _, c := range gpuChoices {
+		if c.QueueDelaySeconds > 0 {
+			sawQueue = true
+		}
+	}
+	if !sawQueue {
+		t.Fatal("stream/event backend observed no queue delay in any swept config")
+	}
+}

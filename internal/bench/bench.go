@@ -14,6 +14,7 @@ import (
 	"slicing/internal/cosma"
 	"slicing/internal/distmat"
 	"slicing/internal/dtensor"
+	"slicing/internal/gpusim"
 	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
 	"slicing/internal/simbackend"
@@ -197,19 +198,41 @@ func RunUA(sys universal.SimSystem, m, n, k int, pk Partitioning, cAB, cC int, s
 // Real arithmetic makes this far more expensive than RunUA, so the figure
 // sweeps use it selectively for validation points.
 func RunUATimed(sys universal.SimSystem, m, n, k int, pk Partitioning, cAB, cC int, stat universal.Stationary) universal.SimResult {
-	p := sys.Topo.NumPE()
-	w := simbackend.New(sys.Topo, sys.Dev).NewWorld(p).(*simbackend.World)
-	pa, pb, pc := pk.Parts()
-	a := distmat.New(w, m, k, pa, cAB)
-	b := distmat.New(w, k, n, pb, cAB)
-	c := distmat.New(w, m, n, pc, cC)
 	cfg := universal.DefaultConfig()
 	cfg.Stationary = stat
+	return RunUATimedOn(simbackend.New(sys.Topo, sys.Dev), sys, m, n, k, pk, cAB, cC, cfg)
+}
+
+// RunUATimedOn is RunUATimed over any timed backend (simbackend or
+// gpubackend) with a caller-supplied execution config, which is what lets
+// the autotuner sweep PrefetchDepth/MaxInflight per backend. sys must be
+// the system the backend was built over (it sizes the world and prices
+// PercentOfPeak); the mismatch is caught when the backend's world exposes
+// its device. The backend's worlds must implement runtime.TimedWorld; it
+// panics otherwise. When the backend also implements the stream/event
+// hooks (gpubackend), the result carries the run's queue-delay and
+// interference seconds.
+func RunUATimedOn(b rt.Backend, sys universal.SimSystem, m, n, k int, pk Partitioning, cAB, cC int, cfg universal.Config) universal.SimResult {
+	p := sys.Topo.NumPE()
+	world := b.NewWorld(p)
+	w, ok := world.(rt.TimedWorld)
+	if !ok {
+		panic(fmt.Sprintf("bench: backend %q is not timed", b.Name()))
+	}
+	if dw, hasDev := world.(interface{ Device() gpusim.Device }); hasDev {
+		if dev := dw.Device(); dev.PeakFlops != sys.Dev.PeakFlops {
+			panic(fmt.Sprintf("bench: backend %q models %s but sys prices %s", b.Name(), dev.Name, sys.Dev.Name))
+		}
+	}
+	pa, pb, pc := pk.Parts()
+	a := distmat.New(w, m, k, pa, cAB)
+	bm := distmat.New(w, k, n, pb, cAB)
+	c := distmat.New(w, m, n, pc, cC)
 	var resolved universal.Stationary
 	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 1)
-		b.FillRandom(pe, 2)
-		s := universal.Multiply(pe, c, a, b, cfg)
+		bm.FillRandom(pe, 2)
+		s := universal.Multiply(pe, c, a, bm, cfg)
 		if pe.Rank() == 0 {
 			resolved = s
 		}
@@ -220,6 +243,10 @@ func RunUATimed(sys universal.SimSystem, m, n, k int, pk Partitioning, cAB, cC i
 		Stationary:       resolved,
 		RemoteGetBytes:   int(stats.RemoteGetBytes),
 		RemoteAccumBytes: int(stats.RemoteAccumBytes),
+	}
+	if ss, streamed := rt.StreamStatsOf(w); streamed {
+		res.QueueDelaySeconds = ss.QueueDelaySeconds
+		res.AccumInterferenceSeconds = ss.AccumInterferenceSeconds
 	}
 	if res.Makespan > 0 {
 		flops := 2 * float64(m) * float64(n) * float64(k)

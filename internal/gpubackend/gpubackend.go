@@ -1,0 +1,254 @@
+// Package gpubackend is the gpusim stream/event-timed execution backend:
+// a runtime.Backend that performs the same real data movement as the
+// in-process shmem backend while scheduling every operation on modeled
+// per-device engines — a compute stream and directional copy engines per
+// PE, plus the network ports of the simnet topology — on one shared
+// gpusim.Timeline.
+//
+// Where internal/simbackend advances a single virtual clock per PE, this
+// backend gives each device the engine structure of a real GPU runtime:
+//
+//   - one compute stream, which serializes the device's GEMMs (reported by
+//     executors through runtime.ChargeGemm), its local accumulate kernels,
+//     and — on devices with Device.AccumComputeInterference set (H100,
+//     §5.2) — remote accumulate kernels other PEs launch into it;
+//   - a copy-in engine, which serializes the DMA of gets this PE issues;
+//   - a copy-out engine, which serializes puts and the egress half of
+//     accumulates this PE issues;
+//   - shared egress/ingress network ports per PE, the same fabric
+//     contention simbackend models.
+//
+// Every operation is enqueued as a gpusim.StreamOp: it may not start before
+// the issuing PE's host clock (NotBefore), before the events it waits on
+// have fired, or while any engine or port it occupies is busy. The gap
+// between "ready" and "started" is queue delay, and the time remote
+// accumulates occupy victim compute streams is interference — the two
+// signals the paper's H100 results hinge on and a single-clock model is
+// structurally blind to. Worlds report both through runtime.StreamStatsOf.
+//
+// Synchronous operations advance the caller's host clock to the op's
+// completion; asynchronous operations enqueue at issue and advance the
+// clock only when the future is waited on, so PrefetchDepth and MaxInflight
+// shape the modeled pipeline exactly as they shape the real one — and,
+// unlike simbackend, issuing more in-flight work than the engines can
+// absorb shows up as measured queue delay rather than disappearing into a
+// serialized clock. Durations come from the shared §4.3 cost tables
+// (internal/costmodel), so the three timed estimators price identical work
+// identically and differ only in contention structure.
+package gpubackend
+
+import (
+	"fmt"
+	"sync"
+
+	"slicing/internal/costmodel"
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+	"slicing/internal/simnet"
+)
+
+// Backend builds stream/event-timed worlds over one evaluation system (an
+// interconnect topology plus a device model, e.g. Table 2's PVC or H100
+// node).
+type Backend struct {
+	Topo simnet.Topology
+	Dev  gpusim.Device
+}
+
+// New returns a backend for the given system.
+func New(topo simnet.Topology, dev gpusim.Device) Backend {
+	return Backend{Topo: topo, Dev: dev}
+}
+
+// Name identifies the backend.
+func (b Backend) Name() string { return "gpusim:" + b.Topo.Name() }
+
+// NewWorld creates a timed world of p PEs. p must match the topology.
+func (b Backend) NewWorld(p int) rt.World {
+	if p != b.Topo.NumPE() {
+		panic(fmt.Sprintf("gpubackend: world of %d PEs over %d-PE topology %s",
+			p, b.Topo.NumPE(), b.Topo.Name()))
+	}
+	w := &World{
+		inner:    shmem.NewWorld(p),
+		topo:     b.Topo,
+		dev:      b.Dev,
+		cost:     costmodel.New(b.Topo, b.Dev),
+		tl:       gpusim.NewTimeline(),
+		host:     make([]float64, p),
+		snapshot: make([]float64, p),
+		compute:  make([]*gpusim.Stream, p),
+		copyIn:   make([]*gpusim.Stream, p),
+		copyOut:  make([]*gpusim.Stream, p),
+		egress:   make([]gpusim.ResourceID, p),
+		ingress:  make([]gpusim.ResourceID, p),
+	}
+	for i := 0; i < p; i++ {
+		w.compute[i] = w.tl.NewStream(fmt.Sprintf("pe%d.compute", i))
+		w.copyIn[i] = w.tl.NewStream(fmt.Sprintf("pe%d.copy-in", i))
+		w.copyOut[i] = w.tl.NewStream(fmt.Sprintf("pe%d.copy-out", i))
+		w.egress[i] = w.tl.AddResource(fmt.Sprintf("pe%d.egress", i))
+		w.ingress[i] = w.tl.AddResource(fmt.Sprintf("pe%d.ingress", i))
+	}
+	return w
+}
+
+// World is a stream/event-timed world: real symmetric memory (delegated to
+// an inner shmem world) plus modeled per-device engines on a shared
+// timeline and a host clock per PE.
+type World struct {
+	inner *shmem.World
+	topo  simnet.Topology
+	dev   gpusim.Device
+	cost  *costmodel.Model
+
+	tl      *gpusim.Timeline
+	compute []*gpusim.Stream    // per-PE compute stream (GEMMs, accumulate kernels)
+	copyIn  []*gpusim.Stream    // per-PE get DMA engine
+	copyOut []*gpusim.Stream    // per-PE put/accumulate-egress DMA engine
+	egress  []gpusim.ResourceID // per-PE fabric egress port
+	ingress []gpusim.ResourceID // per-PE fabric ingress port
+
+	mu           sync.Mutex
+	host         []float64 // per-PE host clock: when the PE's thread is at
+	snapshot     []float64 // host-clock snapshots for barrier time-sync
+	interference float64   // seconds remote accums occupied victim compute streams
+}
+
+// Compile-time checks against the runtime contract.
+var (
+	_ rt.Backend     = Backend{}
+	_ rt.World       = (*World)(nil)
+	_ rt.TimedWorld  = (*World)(nil)
+	_ rt.StreamTimer = (*World)(nil)
+	_ rt.PE          = (*pe)(nil)
+	_ rt.Clock       = (*pe)(nil)
+	_ rt.GemmTimer   = (*pe)(nil)
+)
+
+// World returns the world itself, satisfying runtime.Allocator.
+func (w *World) World() rt.World { return w }
+
+// NumPE returns the number of processing elements.
+func (w *World) NumPE() int { return w.inner.NumPE() }
+
+// AllocSymmetric reserves a segment of n float32 on every PE.
+func (w *World) AllocSymmetric(n int) rt.SegmentID { return w.inner.AllocSymmetric(n) }
+
+// SegmentStorage returns rank's backing array for host-side initialization.
+func (w *World) SegmentStorage(seg rt.SegmentID, rank int) []float32 {
+	return w.inner.SegmentStorage(seg, rank)
+}
+
+// SegmentLen returns the per-PE length of a segment.
+func (w *World) SegmentLen(seg rt.SegmentID) int { return w.inner.SegmentLen(seg) }
+
+// Stats returns the world's traffic counters (identical to what the shmem
+// backend would count for the same run).
+func (w *World) Stats() rt.Stats { return w.inner.Stats() }
+
+// ResetStats zeroes the traffic counters.
+func (w *World) ResetStats() { w.inner.ResetStats() }
+
+// Run executes body on every PE. Host clocks and engine schedules persist
+// across calls so a multi-phase workload accumulates one timeline; use
+// ResetTime between independent measurements.
+func (w *World) Run(body func(pe rt.PE)) {
+	w.inner.Run(func(inner rt.PE) {
+		body(&pe{inner: inner, w: w, rank: inner.Rank()})
+	})
+}
+
+// PredictedSeconds returns the modeled wall-clock so far: the furthest
+// point reached by any PE's host clock or any engine's schedule (an
+// enqueued op can outlive the host clock of the PE that issued it). Call
+// it after Run.
+func (w *World) PredictedSeconds() float64 {
+	w.mu.Lock()
+	worst := 0.0
+	for _, c := range w.host {
+		if c > worst {
+			worst = c
+		}
+	}
+	w.mu.Unlock()
+	if end := w.tl.End(); end > worst {
+		worst = end
+	}
+	return worst
+}
+
+// PETime returns one rank's host-clock time.
+func (w *World) PETime(rank int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.host[rank]
+}
+
+// ResetTime rewinds the model to t=0: host clocks, engine schedules, queue
+// and interference accounting.
+func (w *World) ResetTime() {
+	w.mu.Lock()
+	for i := range w.host {
+		w.host[i] = 0
+	}
+	w.interference = 0
+	w.mu.Unlock()
+	w.tl.Reset()
+}
+
+// StreamStats reports the run's stream-level delay signals
+// (runtime.StreamTimer).
+func (w *World) StreamStats() rt.StreamStats {
+	w.mu.Lock()
+	interference := w.interference
+	w.mu.Unlock()
+	return rt.StreamStats{
+		QueueDelaySeconds:        w.tl.QueueDelay(),
+		AccumInterferenceSeconds: interference,
+		StreamOps:                w.tl.NumOps(),
+	}
+}
+
+// Timeline exposes the underlying schedule for tests and trace rendering.
+func (w *World) Timeline() *gpusim.Timeline { return w.tl }
+
+// Topology returns the modeled interconnect.
+func (w *World) Topology() simnet.Topology { return w.topo }
+
+// Device returns the modeled device.
+func (w *World) Device() gpusim.Device { return w.dev }
+
+// hostNow reads rank's host clock.
+func (w *World) hostNow(rank int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.host[rank]
+}
+
+// hostAdvanceTo raises rank's host clock to at least t (sync-op completion
+// and future waits).
+func (w *World) hostAdvanceTo(rank int, t float64) {
+	w.mu.Lock()
+	if t > w.host[rank] {
+		w.host[rank] = t
+	}
+	w.mu.Unlock()
+}
+
+// hostElapse charges rank's host clock with busy time that bypasses the
+// engines (runtime.Clock's Elapse).
+func (w *World) hostElapse(rank int, dur float64) {
+	w.mu.Lock()
+	w.host[rank] += dur
+	w.mu.Unlock()
+}
+
+// noteInterference records dur seconds of a remote accumulate occupying a
+// victim compute stream.
+func (w *World) noteInterference(dur float64) {
+	w.mu.Lock()
+	w.interference += dur
+	w.mu.Unlock()
+}

@@ -1,0 +1,213 @@
+package gpubackend
+
+import (
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+)
+
+// pe is a stream/event-timed processing element: every one-sided operation
+// delegates the real data movement to the inner shmem PE and enqueues its
+// modeled counterpart on the device engines involved.
+type pe struct {
+	inner rt.PE
+	w     *World
+	rank  int
+}
+
+func (p *pe) Rank() int  { return p.rank }
+func (p *pe) NumPE() int { return p.w.NumPE() }
+
+// World returns the timed world, satisfying runtime.Allocator.
+func (p *pe) World() rt.World { return p.w }
+
+// AllocSymmetric performs a collective symmetric allocation (free in the
+// timing model, as allocation is in the real runtimes' setup phase).
+func (p *pe) AllocSymmetric(n int) rt.SegmentID { return p.inner.AllocSymmetric(n) }
+
+// Local returns the zero-copy view of this PE's segment storage. Reading
+// through it is device-local and free, like dereferencing HBM.
+func (p *pe) Local(seg rt.SegmentID) []float32 { return p.inner.Local(seg) }
+
+// enqueueGet models an n-element get from remote on this PE's copy-in
+// engine (plus the fabric ports when the source is another device) and
+// returns the modeled completion time.
+func (p *pe) enqueueGet(remote, n int) float64 {
+	w := p.w
+	op := gpusim.StreamOp{
+		Label: "get", Kind: gpusim.OpComm,
+		NotBefore: w.hostNow(p.rank),
+		Duration:  w.cost.FetchCost(remote, p.rank, 4*n),
+	}
+	if remote != p.rank {
+		op.Resources = []gpusim.ResourceID{w.egress[remote], w.ingress[p.rank]}
+	}
+	return w.copyIn[p.rank].Enqueue(op).Time()
+}
+
+// enqueuePut models an n-element put to remote on this PE's copy-out
+// engine plus the fabric ports.
+func (p *pe) enqueuePut(remote, n int) float64 {
+	w := p.w
+	op := gpusim.StreamOp{
+		Label: "put", Kind: gpusim.OpComm,
+		NotBefore: w.hostNow(p.rank),
+		Duration:  w.cost.FetchCost(p.rank, remote, 4*n),
+	}
+	if remote != p.rank {
+		op.Resources = []gpusim.ResourceID{w.egress[p.rank], w.ingress[remote]}
+	}
+	return w.copyOut[p.rank].Enqueue(op).Time()
+}
+
+// enqueueAccum models an n-element accumulate into remote. A local
+// accumulate is a kernel on this device's own compute stream. A remote
+// accumulate moves data through this PE's copy-out engine and the fabric
+// ports; on devices that model accumulate/GEMM interference (§5.2) the
+// accumulate kernel additionally occupies the *target's* compute engine
+// for its whole duration, delaying the victim's own GEMMs.
+func (p *pe) enqueueAccum(remote, n int) float64 {
+	w := p.w
+	dur := w.cost.AccumCost(p.rank, remote, 4*n)
+	op := gpusim.StreamOp{
+		Label: "accum", Kind: gpusim.OpAccum,
+		NotBefore: w.hostNow(p.rank),
+		Duration:  dur,
+	}
+	if remote == p.rank {
+		return w.compute[p.rank].Enqueue(op).Time()
+	}
+	op.Resources = []gpusim.ResourceID{w.egress[p.rank], w.ingress[remote]}
+	if w.dev.AccumComputeInterference {
+		op.Resources = append(op.Resources, w.compute[remote].Resource())
+		w.noteInterference(dur)
+	}
+	return w.copyOut[p.rank].Enqueue(op).Time()
+}
+
+func (p *pe) Get(dst []float32, seg rt.SegmentID, remote, offset int) {
+	p.inner.Get(dst, seg, remote, offset)
+	p.w.hostAdvanceTo(p.rank, p.enqueueGet(remote, len(dst)))
+}
+
+func (p *pe) Put(src []float32, seg rt.SegmentID, remote, offset int) {
+	p.inner.Put(src, seg, remote, offset)
+	p.w.hostAdvanceTo(p.rank, p.enqueuePut(remote, len(src)))
+}
+
+func (p *pe) AccumulateAdd(src []float32, seg rt.SegmentID, remote, offset int) {
+	p.inner.AccumulateAdd(src, seg, remote, offset)
+	p.w.hostAdvanceTo(p.rank, p.enqueueAccum(remote, len(src)))
+}
+
+// AccumulateAddGetPut is the inter-node path (§3): priced as the full
+// get + put round trip it performs on RDMA-only fabrics, with the two
+// halves serialized on the host as the coarse lock requires.
+func (p *pe) AccumulateAddGetPut(src []float32, seg rt.SegmentID, remote, offset int) {
+	p.inner.AccumulateAddGetPut(src, seg, remote, offset)
+	n := len(src)
+	p.w.hostAdvanceTo(p.rank, p.enqueueGet(remote, n))
+	p.w.hostAdvanceTo(p.rank, p.enqueuePut(remote, n))
+}
+
+func (p *pe) GetStrided(dst []float32, dstStride int, seg rt.SegmentID, remote, offset, srcStride, rows, cols int) {
+	p.inner.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
+	p.w.hostAdvanceTo(p.rank, p.enqueueGet(remote, rows*cols))
+}
+
+func (p *pe) PutStrided(src []float32, srcStride int, seg rt.SegmentID, remote, offset, dstStride, rows, cols int) {
+	p.inner.PutStrided(src, srcStride, seg, remote, offset, dstStride, rows, cols)
+	p.w.hostAdvanceTo(p.rank, p.enqueuePut(remote, rows*cols))
+}
+
+func (p *pe) AccumulateAddStrided(src []float32, srcStride int, seg rt.SegmentID, remote, offset, dstStride, rows, cols int) {
+	p.inner.AccumulateAddStrided(src, srcStride, seg, remote, offset, dstStride, rows, cols)
+	p.w.hostAdvanceTo(p.rank, p.enqueueAccum(remote, rows*cols))
+}
+
+// GetAsync performs the copy immediately (any moment between issue and Wait
+// is a legal completion time for a one-sided read, and the source region is
+// stable under the algorithms' barrier discipline) but enqueues the modeled
+// DMA now — at the host clock of issue — and defers the clock charge to
+// Wait. Back-to-back async gets queue on the copy-in engine, so prefetch
+// depth beyond what the engine can absorb surfaces as queue delay.
+func (p *pe) GetAsync(dst []float32, seg rt.SegmentID, remote, offset int) rt.Future {
+	p.inner.Get(dst, seg, remote, offset)
+	return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueGet(remote, len(dst))}
+}
+
+func (p *pe) GetStridedAsync(dst []float32, dstStride int, seg rt.SegmentID, remote, offset, srcStride, rows, cols int) rt.Future {
+	p.inner.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
+	return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueGet(remote, rows*cols)}
+}
+
+func (p *pe) AccumulateAddAsync(src []float32, seg rt.SegmentID, remote, offset int) rt.Future {
+	p.inner.AccumulateAdd(src, seg, remote, offset)
+	return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueAccum(remote, len(src))}
+}
+
+// Barrier synchronizes real execution and host clocks: after the barrier
+// every PE's host clock is the maximum any PE had on entry, the semantics a
+// hardware barrier has for wall time. Device engines keep their schedules —
+// an accumulate still in flight on a victim's compute stream keeps
+// occupying it across the barrier, which is exactly how a kernel launched
+// before a host-side barrier behaves.
+func (p *pe) Barrier() {
+	w := p.w
+	w.mu.Lock()
+	w.snapshot[p.rank] = w.host[p.rank]
+	w.mu.Unlock()
+	p.inner.Barrier() // all snapshots published
+	w.mu.Lock()
+	worst := 0.0
+	for _, c := range w.snapshot {
+		if c > worst {
+			worst = c
+		}
+	}
+	if worst > w.host[p.rank] {
+		w.host[p.rank] = worst
+	}
+	w.mu.Unlock()
+	p.inner.Barrier() // all clocks synced before anyone re-publishes
+}
+
+// Now returns this PE's host-clock time (runtime.Clock).
+func (p *pe) Now() float64 { return p.w.hostNow(p.rank) }
+
+// Elapse charges host-side busy time that bypasses the device engines
+// (runtime.Clock).
+func (p *pe) Elapse(seconds float64) {
+	if seconds > 0 {
+		p.w.hostElapse(p.rank, seconds)
+	}
+}
+
+// ElapseGemm enqueues a roofline-priced m×n×k GEMM on this device's compute
+// stream (runtime.GemmTimer). The kernel serializes behind whatever else
+// occupies the compute engine — earlier GEMMs, local accumulate kernels,
+// and, on interference devices, remote accumulates other PEs launched into
+// this device — and the host clock advances to its completion.
+func (p *pe) ElapseGemm(m, n, k int) {
+	w := p.w
+	end := w.compute[p.rank].Enqueue(gpusim.StreamOp{
+		Label: "gemm", Kind: gpusim.OpCompute,
+		NotBefore: w.hostNow(p.rank),
+		Duration:  w.cost.GemmCost(m, n, k),
+	}).Time()
+	w.hostAdvanceTo(p.rank, end)
+}
+
+// streamFuture is an already-materialized transfer whose modeled completion
+// time is end; waiting advances the waiter's host clock to it.
+type streamFuture struct {
+	w    *World
+	rank int
+	end  float64
+}
+
+func (f *streamFuture) Wait() { f.w.hostAdvanceTo(f.rank, f.end) }
+
+// Done reports data completion, which on this backend is immediate (the
+// copy happens at issue); only Wait charges the modeled completion time.
+// Returning true keeps backend-portable polling loops terminating.
+func (f *streamFuture) Done() bool { return true }

@@ -1,7 +1,19 @@
 // Package gpusim simulates the GPU devices of the paper's evaluation
-// systems: a roofline compute model, asynchronous streams with
-// event-dependencies, copy engines, a memory pool, and a discrete-event
-// engine that accounts for overlap between communication and computation.
+// systems: a roofline compute model (Device), a memory pool (Pool), and
+// two schedulers over exclusive resources that account for overlap
+// between communication and computation:
+//
+//   - Engine is the offline discrete-event simulator: build a whole DAG
+//     of ops with AddOp (dependencies are event edges by OpID), then Run
+//     list-schedules it. The plan-replay estimators
+//     (universal.SimulateMultiply, ir.Simulate) use it.
+//   - Timeline is the online stream/event layer: ops are scheduled the
+//     moment they are submitted, so real execution can interleave with
+//     the model. Stream gives in-order command queues bound to an engine
+//     (the analogue of CUDA / Level Zero streams), Event the cross-stream
+//     dependency handles, and the Timeline records queue delay — time ops
+//     sat behind busy engines. internal/gpubackend builds a
+//     runtime.Backend from it.
 //
 // The paper reports performance as percent of theoretical FP32 peak
 // (Figures 2-3). This package provides the device half of that model; the

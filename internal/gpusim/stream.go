@@ -1,0 +1,269 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Event is a handle to a completion point on a Timeline: the modeled
+// instant an operation finished. Events are the dependency currency of the
+// stream model — an op that lists an Event in its Waits may not start
+// before that instant, the analogue of cudaStreamWaitEvent /
+// zeCommandListAppendWaitOnEvents. The zero Event is "no event" and waits
+// for nothing, so optional dependencies can be passed unconditionally.
+type Event struct {
+	at    float64
+	valid bool
+}
+
+// Time returns the modeled completion time the event fired at (seconds).
+// The zero Event reports 0.
+func (e Event) Time() float64 { return e.at }
+
+// Valid reports whether the event was recorded by a Timeline. The zero
+// Event is invalid and imposes no ordering.
+func (e Event) Valid() bool { return e.valid }
+
+// eventAt builds a fired event (used by Timeline and tests).
+func eventAt(t float64) Event { return Event{at: t, valid: true} }
+
+// StreamOp describes one operation submitted to a Timeline.
+type StreamOp struct {
+	// Label names the op for reporting.
+	Label string
+	// Kind classifies the op (compute, comm, accum).
+	Kind OpKind
+	// NotBefore is the host-issue time: the op may not start earlier even
+	// if every engine is idle, modelling that a stream op cannot run before
+	// the host thread has enqueued it.
+	NotBefore float64
+	// Duration is the op's modeled service time in seconds.
+	Duration float64
+	// Waits are event-wait edges: the op may not start before every listed
+	// (valid) event has fired.
+	Waits []Event
+	// Resources are the exclusive engines and ports the op occupies for its
+	// whole duration: a copy engine, a compute engine, network ports.
+	Resources []ResourceID
+}
+
+// Timeline is the online counterpart of Engine: where Engine builds a whole
+// DAG first and list-schedules it in Run, a Timeline schedules each op the
+// moment it is submitted, which is what a runtime backend needs — real
+// execution interleaves with the model, and barriers and future waits must
+// read modeled times mid-run.
+//
+// Submission order is issue order: an op starts at the earliest instant at
+// which (1) its NotBefore host-issue time has passed, (2) every event it
+// waits on has fired, and (3) every resource it occupies is free. Resources
+// only ever become free later as ops are submitted, so ops sharing a
+// resource serialize in submission order — in-order issue, exactly the
+// guarantee a hardware queue gives. The gap between (1)+(2) and the actual
+// start is queue delay: time the op sat ready in a queue behind earlier
+// work, the signal a single-clock model cannot see.
+//
+// A Timeline is safe for concurrent use; concurrent submitters are
+// serialized in an unspecified order (matching the nondeterminism of real
+// multi-threaded enqueue).
+type Timeline struct {
+	mu        sync.Mutex
+	names     []string
+	free      []float64 // per-resource availability
+	busy      []float64 // per-resource occupied seconds
+	queueWait []float64 // per-resource queue delay imposed on ops
+	streams   []*Stream // registered streams, so Reset can rewind their tails
+	timings   []OpTiming
+	end       float64 // latest op end scheduled so far
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// AddResource registers an exclusive resource (an engine or a port) and
+// returns its ID. Resources must be registered before ops that use them.
+func (tl *Timeline) AddResource(name string) ResourceID {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.names = append(tl.names, name)
+	tl.free = append(tl.free, 0)
+	tl.busy = append(tl.busy, 0)
+	tl.queueWait = append(tl.queueWait, 0)
+	return ResourceID(len(tl.names) - 1)
+}
+
+// ResourceName returns the name a resource was registered with.
+func (tl *Timeline) ResourceName(r ResourceID) string {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.names[r]
+}
+
+// Submit schedules op immediately and returns the event marking its
+// completion. See the Timeline doc for the start-time rule.
+func (tl *Timeline) Submit(op StreamOp) Event {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.submitLocked(op)
+}
+
+func (tl *Timeline) submitLocked(op StreamOp) Event {
+	if op.Duration < 0 || math.IsNaN(op.Duration) {
+		panic(fmt.Sprintf("gpusim: stream op %q has invalid duration %g", op.Label, op.Duration))
+	}
+	ready := op.NotBefore
+	for _, e := range op.Waits {
+		if e.valid && e.at > ready {
+			ready = e.at
+		}
+	}
+	start := ready
+	blocker := ResourceID(-1)
+	for _, r := range op.Resources {
+		if int(r) < 0 || int(r) >= len(tl.names) {
+			panic(fmt.Sprintf("gpusim: stream op %q uses unknown resource %d", op.Label, r))
+		}
+		if tl.free[r] > start {
+			start = tl.free[r]
+			blocker = r
+		}
+	}
+	if blocker >= 0 {
+		// The op sat queued for start-ready seconds; attribute the whole
+		// wait to the last resource to free up (the binding constraint).
+		tl.queueWait[blocker] += start - ready
+	}
+	end := start + op.Duration
+	for _, r := range op.Resources {
+		tl.free[r] = end
+		tl.busy[r] += op.Duration
+	}
+	if end > tl.end {
+		tl.end = end
+	}
+	tl.timings = append(tl.timings, OpTiming{
+		ID: OpID(len(tl.timings)), Label: op.Label, Kind: op.Kind,
+		Start: start, End: end,
+		Resources: append([]ResourceID(nil), op.Resources...),
+	})
+	return eventAt(end)
+}
+
+// NumOps returns the number of ops submitted so far.
+func (tl *Timeline) NumOps() int {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return len(tl.timings)
+}
+
+// End returns the latest modeled completion time of any submitted op.
+func (tl *Timeline) End() float64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.end
+}
+
+// QueueDelay returns the total seconds ops spent queued behind busy
+// resources after their host-issue time and event waits were satisfied —
+// the aggregate queue-depth contention of the run.
+func (tl *Timeline) QueueDelay() float64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	total := 0.0
+	for _, w := range tl.queueWait {
+		total += w
+	}
+	return total
+}
+
+// QueueDelayFor returns the queue delay attributed to one resource.
+func (tl *Timeline) QueueDelayFor(r ResourceID) float64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.queueWait[r]
+}
+
+// BusyFor returns the total seconds a resource was occupied.
+func (tl *Timeline) BusyFor(r ResourceID) float64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.busy[r]
+}
+
+// Timings returns the per-op schedule in submission order. The slice is a
+// copy and safe to retain.
+func (tl *Timeline) Timings() []OpTiming {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return append([]OpTiming(nil), tl.timings...)
+}
+
+// Reset zeroes every resource's availability, busy time, and queue delay,
+// drops recorded timings, and rewinds every registered stream's tail
+// event, so one timeline can time successive independent measurements
+// (the Timeline analogue of a timed world's ResetTime).
+func (tl *Timeline) Reset() {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	for i := range tl.free {
+		tl.free[i] = 0
+		tl.busy[i] = 0
+		tl.queueWait[i] = 0
+	}
+	for _, s := range tl.streams {
+		s.last = Event{}
+	}
+	tl.timings = tl.timings[:0]
+	tl.end = 0
+}
+
+// Stream is an in-order command queue bound to one exclusive engine — the
+// modeled analogue of a CUDA / Level Zero stream. Ops enqueued on a stream
+// occupy the stream's engine, whose availability only moves forward, so a
+// stream issues strictly in order; time an op spends behind earlier queued
+// work is recorded as queue delay (it is queueing, not a data dependency).
+// Extra resources (network ports, a victim device's compute engine) and
+// cross-stream event waits compose per op.
+type Stream struct {
+	tl   *Timeline
+	res  ResourceID
+	last Event
+	name string
+}
+
+// NewStream registers a fresh engine resource and returns a stream bound
+// to it. The timeline keeps a reference so Reset can rewind the stream's
+// tail along with the schedule.
+func (tl *Timeline) NewStream(name string) *Stream {
+	s := &Stream{tl: tl, res: tl.AddResource(name), name: name}
+	tl.mu.Lock()
+	tl.streams = append(tl.streams, s)
+	tl.mu.Unlock()
+	return s
+}
+
+// Resource returns the engine the stream issues to.
+func (s *Stream) Resource() ResourceID { return s.res }
+
+// Name returns the stream's name.
+func (s *Stream) Name() string { return s.name }
+
+// Enqueue submits op onto the stream: the stream's engine is appended to
+// op.Resources, then the op is scheduled and becomes the stream's new
+// tail. It returns the op's completion event.
+func (s *Stream) Enqueue(op StreamOp) Event {
+	s.tl.mu.Lock()
+	defer s.tl.mu.Unlock()
+	op.Resources = append(op.Resources, s.res)
+	e := s.tl.submitLocked(op)
+	s.last = e
+	return e
+}
+
+// LastEvent returns the stream's current tail event — a record of "all work
+// enqueued so far", the analogue of cudaEventRecord at the stream head.
+func (s *Stream) LastEvent() Event {
+	s.tl.mu.Lock()
+	defer s.tl.mu.Unlock()
+	return s.last
+}

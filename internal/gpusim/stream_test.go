@@ -1,0 +1,139 @@
+package gpusim
+
+import "testing"
+
+// TestStreamEventOrdering is the event-ordering contract test: overlapping
+// copy and compute ops on one device must respect event-wait edges across
+// streams and in-order serialization within an engine, while genuinely
+// independent ops overlap.
+//
+// Schedule under test (one device, a copy engine and a compute engine):
+//
+//	copyA  [0,2]  copy engine
+//	copyB  [2,5]  copy engine         (queues behind copyA)
+//	gemm1  [2,7]  compute, waits copyA (event edge; overlaps copyB)
+//	gemm2  [7,8]  compute, waits copyB (ready at 5, queues behind gemm1)
+func TestStreamEventOrdering(t *testing.T) {
+	tl := NewTimeline()
+	copyEng := tl.NewStream("copy")
+	compute := tl.NewStream("compute")
+
+	eA := copyEng.Enqueue(StreamOp{Label: "copyA", Kind: OpComm, Duration: 2})
+	eB := copyEng.Enqueue(StreamOp{Label: "copyB", Kind: OpComm, Duration: 3})
+	g1 := compute.Enqueue(StreamOp{Label: "gemm1", Kind: OpCompute, Duration: 5, Waits: []Event{eA}})
+	g2 := compute.Enqueue(StreamOp{Label: "gemm2", Kind: OpCompute, Duration: 1, Waits: []Event{eB}})
+
+	if eA.Time() != 2 || eB.Time() != 5 {
+		t.Fatalf("copy engine must serialize in order: copyA end %g (want 2), copyB end %g (want 5)", eA.Time(), eB.Time())
+	}
+	if g1.Time() != 7 {
+		t.Fatalf("gemm1 must start at copyA's event (2) and end at 7, ended %g", g1.Time())
+	}
+	if g2.Time() != 8 {
+		t.Fatalf("gemm2 must queue behind gemm1 despite copyB's event firing at 5; ended %g (want 8)", g2.Time())
+	}
+
+	timings := tl.Timings()
+	byLabel := map[string]OpTiming{}
+	for _, ot := range timings {
+		byLabel[ot.Label] = ot
+	}
+	if s := byLabel["gemm1"].Start; s != 2 {
+		t.Fatalf("gemm1 start %g, want 2 (copyA's event-wait edge)", s)
+	}
+	if s := byLabel["copyB"].Start; s != 2 {
+		t.Fatalf("copyB start %g, want 2 (copy engine serialization)", s)
+	}
+	// The event edge must not serialize the two engines: gemm1 runs while
+	// copyB is still in flight.
+	if byLabel["gemm1"].Start >= byLabel["copyB"].End {
+		t.Fatal("gemm1 failed to overlap copyB; streams must be independent")
+	}
+	if s := byLabel["gemm2"].Start; s != 7 {
+		t.Fatalf("gemm2 start %g, want 7 (in-order issue on the compute engine)", s)
+	}
+
+	// Queue-delay accounting: copyB queued 2s on the copy engine, gemm2
+	// queued 2s on the compute engine (ready at 5, started at 7).
+	if d := tl.QueueDelayFor(copyEng.Resource()); d != 2 {
+		t.Fatalf("copy engine queue delay %g, want 2", d)
+	}
+	if d := tl.QueueDelayFor(compute.Resource()); d != 2 {
+		t.Fatalf("compute engine queue delay %g, want 2", d)
+	}
+	if d := tl.QueueDelay(); d != 4 {
+		t.Fatalf("total queue delay %g, want 4", d)
+	}
+	if end := tl.End(); end != 8 {
+		t.Fatalf("timeline end %g, want 8", end)
+	}
+	if n := tl.NumOps(); n != 4 {
+		t.Fatalf("NumOps %d, want 4", n)
+	}
+	if b := tl.BusyFor(copyEng.Resource()); b != 5 {
+		t.Fatalf("copy engine busy %g, want 5", b)
+	}
+}
+
+// TestStreamNotBeforeAndZeroEvent pins two edge rules: NotBefore delays an
+// op past an idle engine (host-issue time), and the zero Event waits for
+// nothing, so optional dependencies can be passed unconditionally.
+func TestStreamNotBeforeAndZeroEvent(t *testing.T) {
+	tl := NewTimeline()
+	s := tl.NewStream("engine")
+	var none Event
+	if none.Valid() {
+		t.Fatal("zero Event must be invalid")
+	}
+	e := s.Enqueue(StreamOp{Label: "late", Duration: 1, NotBefore: 3, Waits: []Event{none}})
+	if e.Time() != 4 {
+		t.Fatalf("op with NotBefore 3 on an idle engine must run [3,4], ended %g", e.Time())
+	}
+	if d := tl.QueueDelay(); d != 0 {
+		t.Fatalf("host-issue delay is not queue delay, recorded %g", d)
+	}
+	if got := s.LastEvent(); got.Time() != e.Time() || !got.Valid() {
+		t.Fatalf("LastEvent %+v does not match the stream tail %+v", got, e)
+	}
+}
+
+// TestTimelineReset checks Reset rewinds schedules and accounting so one
+// timeline can time successive measurements.
+func TestTimelineReset(t *testing.T) {
+	tl := NewTimeline()
+	s := tl.NewStream("engine")
+	s.Enqueue(StreamOp{Label: "a", Duration: 2})
+	s.Enqueue(StreamOp{Label: "b", Duration: 2})
+	tl.Reset()
+	if tl.End() != 0 || tl.NumOps() != 0 || tl.QueueDelay() != 0 {
+		t.Fatalf("Reset left state: end %g, ops %d, queue %g", tl.End(), tl.NumOps(), tl.QueueDelay())
+	}
+	if tail := s.LastEvent(); tail.Valid() {
+		t.Fatalf("Reset left the stream tail at %g; waiting on it would leak pre-reset time", tail.Time())
+	}
+	if e := s.Enqueue(StreamOp{Label: "c", Duration: 1}); e.Time() != 1 {
+		t.Fatalf("post-Reset op should run [0,1], ended %g", e.Time())
+	}
+}
+
+// TestTimelineRejectsInvalidOps pins the validation panics.
+func TestTimelineRejectsInvalidOps(t *testing.T) {
+	tl := NewTimeline()
+	tl.AddResource("r")
+	mustPanic(t, "negative duration", func() {
+		tl.Submit(StreamOp{Label: "bad", Duration: -1})
+	})
+	mustPanic(t, "unknown resource", func() {
+		tl.Submit(StreamOp{Label: "bad", Duration: 1, Resources: []ResourceID{99}})
+	})
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", what)
+		}
+	}()
+	f()
+}

@@ -13,7 +13,25 @@
 //     same real data movement while weaving link-level discrete-event
 //     timing (Xe Link / NVLink topologies, port contention) into every
 //     operation, so one run yields both a numeric result and a modeled
-//     wall-clock.
+//     wall-clock. Each PE carries a single virtual clock.
+//   - internal/gpubackend: the gpusim stream/event-timed backend, which
+//     refines simbackend's single clock per PE into per-device engines
+//     (a compute stream, copy engines) scheduled on a gpusim.Timeline, so
+//     timed runs additionally expose queue-depth contention and
+//     accumulate/GEMM interference (paper §5.2).
+//
+// The contract has a small mandatory core (Backend, World, PE, Future) and
+// optional capability interfaces timed backends add on top: Clock and
+// GemmTimer (any timed backend), TimedWorld (worlds with a modeled
+// wall-clock), and StreamTimer (stream/event-timed backends that can report
+// queue-depth and interference delay). Helpers in this package (ChargeGemm,
+// Elapse, PredictedTimeOf, StreamStatsOf) let algorithm and harness code
+// use the hooks unconditionally; they no-op or report absence on backends
+// that do not implement them.
+//
+// docs/BACKENDS.md is the authoritative prose version of this contract —
+// per-method semantics, completion and memory-ordering guarantees, and the
+// conformance suite a new backend must pass.
 package runtime
 
 // SegmentID names a symmetric allocation: the same logical segment exists
@@ -156,4 +174,65 @@ func Elapse(pe PE, seconds float64) {
 	if c, ok := pe.(Clock); ok {
 		c.Elapse(seconds)
 	}
+}
+
+// TimedWorld is implemented by worlds of timed backends: they carry a
+// modeled wall-clock alongside the real execution. Harness code uses it to
+// run the same benchmark over any timed backend without naming one.
+type TimedWorld interface {
+	World
+	// PredictedSeconds returns the modeled wall-clock so far: the furthest
+	// point any PE's timeline has reached. Call it after Run.
+	PredictedSeconds() float64
+	// ResetTime rewinds the model to t=0 (clocks, engines, ports) without
+	// touching data, so one world can time successive independent
+	// measurements.
+	ResetTime()
+}
+
+// PredictedTimeOf returns w's modeled wall-clock, and ok=false when w's
+// backend is untimed.
+func PredictedTimeOf(w World) (seconds float64, ok bool) {
+	if tw, timed := w.(TimedWorld); timed {
+		return tw.PredictedSeconds(), true
+	}
+	return 0, false
+}
+
+// StreamStats reports the delay signals only a stream/event-timed backend
+// can observe. A single-clock timed backend (simbackend) serializes each
+// PE's operations onto one virtual clock, so operations never queue behind
+// one another on a device engine and remote accumulates never occupy the
+// target's compute timeline — both fields are structurally zero there,
+// which is why StreamStatsOf reports absence rather than zeros for such
+// backends.
+type StreamStats struct {
+	// QueueDelaySeconds totals the time ops sat queued behind a busy
+	// engine or port after their dependencies were already satisfied —
+	// the queue-depth contention of deep prefetch pipelines.
+	QueueDelaySeconds float64
+	// AccumInterferenceSeconds totals the time remote accumulates occupied
+	// victim devices' compute engines, the accumulate-kernel/GEMM
+	// interference the paper measures on H100 (§5.2). Zero on devices
+	// without Device.AccumComputeInterference.
+	AccumInterferenceSeconds float64
+	// StreamOps counts operations scheduled on device engines.
+	StreamOps int
+}
+
+// StreamTimer is implemented by worlds of stream/event-timed backends.
+type StreamTimer interface {
+	// StreamStats returns a snapshot of the run's stream-level delay
+	// signals. Call it after Run.
+	StreamStats() StreamStats
+}
+
+// StreamStatsOf returns w's stream-level delay signals, and ok=false when
+// w's backend does not model per-device streams (untimed backends and
+// single-clock timed backends alike).
+func StreamStatsOf(w World) (StreamStats, bool) {
+	if st, ok := w.(StreamTimer); ok {
+		return st.StreamStats(), true
+	}
+	return StreamStats{}, false
 }

@@ -1,10 +1,13 @@
 package simbackend_test
 
-// The backend conformance suite of the tentpole refactor: the universal
-// algorithm must run unmodified on every runtime.Backend and produce the
-// same C, and the simnet-timed backend must additionally emit a modeled
-// wall-clock that is comparable with the §4.3 cost model's estimate for
-// the same problem.
+// The backend conformance suite: the universal algorithm must run
+// unmodified on every runtime.Backend and produce the same C (within 1e-4
+// relative tolerance), the timed backends must emit modeled wall-clocks
+// comparable with the §4.3 cost model's estimate for the same problem, and
+// the stream/event-timed gpubackend must observe queue-depth and
+// accumulate/GEMM interference delays that the single-clock simbackend
+// structurally cannot. docs/BACKENDS.md points new backends at this file:
+// add the backend to conformanceBackends and the whole matrix applies.
 
 import (
 	"math"
@@ -12,6 +15,7 @@ import (
 
 	"slicing/internal/costmodel"
 	"slicing/internal/distmat"
+	"slicing/internal/gpubackend"
 	"slicing/internal/gpusim"
 	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
@@ -20,6 +24,16 @@ import (
 	"slicing/internal/tile"
 	"slicing/internal/universal"
 )
+
+// conformanceBackends lists every backend the suite runs for a system: the
+// untimed reference plus both timed flavours.
+func conformanceBackends(sys universal.SimSystem) []rt.Backend {
+	return []rt.Backend{
+		shmem.Backend{},
+		simbackend.New(sys.Topo, sys.Dev),
+		gpubackend.New(sys.Topo, sys.Dev),
+	}
+}
 
 // scenario is one partitioning/replication combination exercised on every
 // backend.
@@ -43,17 +57,16 @@ func scenarios(slots int) []scenario {
 	}
 }
 
-// runUniversal executes the universal algorithm for sc on a fresh world
-// from backend and returns the gathered C and the resolved stationary.
-func runUniversal(b rt.Backend, p int, sc scenario) (*tile.Matrix, universal.Stationary) {
-	w := b.NewWorld(p)
+// runScenario executes sc's universal multiply on an existing world with
+// the given config and returns the gathered C and the resolved stationary.
+// Every conformance test drives worlds through it, so the setup (operands,
+// seeds, gather) stays identical across backends and configs.
+func runScenario(w rt.World, sc scenario, cfg universal.Config) (*tile.Matrix, universal.Stationary) {
 	a := distmat.New(w, sc.m, sc.k, sc.partA, sc.ca)
 	bm := distmat.New(w, sc.k, sc.n, sc.partB, sc.cb)
 	c := distmat.New(w, sc.m, sc.n, sc.partC, sc.cc)
 	var out *tile.Matrix
 	var stat universal.Stationary
-	cfg := universal.DefaultConfig()
-	cfg.SyncReplicas = true
 	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 11)
 		bm.FillRandom(pe, 22)
@@ -65,6 +78,13 @@ func runUniversal(b rt.Backend, p int, sc scenario) (*tile.Matrix, universal.Sta
 		}
 	})
 	return out, stat
+}
+
+// runUniversal is runScenario on a fresh world with the default config.
+func runUniversal(b rt.Backend, p int, sc scenario) (*tile.Matrix, universal.Stationary) {
+	cfg := universal.DefaultConfig()
+	cfg.SyncReplicas = true
+	return runScenario(b.NewWorld(p), sc, cfg)
 }
 
 func maxRelDiff(x, y *tile.Matrix) float64 {
@@ -79,9 +99,10 @@ func maxRelDiff(x, y *tile.Matrix) float64 {
 	return worst
 }
 
-// TestUniversalConformanceAcrossBackends runs the same problems on the
-// shmem backend and on simnet-timed PVC and H100 backends and requires
-// identical results within 1e-4 relative tolerance.
+// TestUniversalConformanceAcrossBackends runs the same problems on all
+// three backends — shmem, simnet-timed, gpusim stream/event-timed — for
+// both Table 2 systems and requires identical results within 1e-4 relative
+// tolerance.
 func TestUniversalConformanceAcrossBackends(t *testing.T) {
 	systems := []struct {
 		name string
@@ -92,16 +113,100 @@ func TestUniversalConformanceAcrossBackends(t *testing.T) {
 	}
 	for _, system := range systems {
 		p := system.sys.Topo.NumPE()
-		timed := simbackend.New(system.sys.Topo, system.sys.Dev)
+		backends := conformanceBackends(system.sys)
 		for _, sc := range scenarios(p) {
 			t.Run(system.name+"/"+sc.name, func(t *testing.T) {
-				want, _ := runUniversal(shmem.Backend{}, p, sc)
-				got, _ := runUniversal(timed, p, sc)
-				if d := maxRelDiff(want, got); d > 1e-4 {
-					t.Fatalf("C differs across backends: max rel diff %g", d)
+				want, _ := runUniversal(backends[0], p, sc)
+				for _, b := range backends[1:] {
+					got, _ := runUniversal(b, p, sc)
+					if d := maxRelDiff(want, got); d > 1e-4 {
+						t.Fatalf("C differs between %s and %s: max rel diff %g",
+							backends[0].Name(), b.Name(), d)
+					}
 				}
 			})
 		}
+	}
+}
+
+// TestTimedBackendsPredictRuntimeComparableToEachOther pins the two timed
+// backends to the same order of magnitude for an identical run: they share
+// the §4.3 cost tables, so the stream model's extra contention may slow
+// (never accelerate by more than overlap allows) the single-clock
+// estimate, within a small factor.
+func TestTimedBackendsPredictRuntimeComparableToEachOther(t *testing.T) {
+	sys := universal.H100System()
+	p := sys.Topo.NumPE()
+	sc := scenarios(p)[0]
+
+	predicted := func(b rt.Backend) float64 {
+		w := b.NewWorld(p)
+		cfg := universal.DefaultConfig()
+		cfg.SyncReplicas = true
+		runScenario(w, sc, cfg)
+		sec, ok := rt.PredictedTimeOf(w)
+		if !ok {
+			t.Fatalf("backend %s did not report a predicted time", b.Name())
+		}
+		return sec
+	}
+	simT := predicted(simbackend.New(sys.Topo, sys.Dev))
+	gpuT := predicted(gpubackend.New(sys.Topo, sys.Dev))
+	if simT <= 0 || gpuT <= 0 {
+		t.Fatalf("timed backends predicted nonpositive runtimes: simnet %g, gpusim %g", simT, gpuT)
+	}
+	ratio := gpuT / simT
+	t.Logf("simnet %.3gs, gpusim %.3gs (ratio %.2f)", simT, gpuT, ratio)
+	if ratio < 0.5 || ratio > 10 {
+		t.Fatalf("timed backends disagree beyond modeling differences: ratio %.2f", ratio)
+	}
+}
+
+// TestGpuBackendObservesDelaysSimbackendCannot is the acceptance test for
+// the stream/event backend: on a workload with deep prefetch and remote
+// accumulates (outer-product partitioning on the H100 system, whose device
+// models accumulate/GEMM interference), the gpubackend reports nonzero
+// queue-depth and interference delay, while the simbackend — asked through
+// the same runtime.StreamStatsOf hook — reports none, because a
+// single-clock model cannot represent either effect.
+func TestGpuBackendObservesDelaysSimbackendCannot(t *testing.T) {
+	sys := universal.H100System()
+	p := sys.Topo.NumPE()
+	// Column-block A times row-block B: every rank's GEMM results land in
+	// remote C tiles, so the run is accumulate-heavy; prefetch depth 4 keeps
+	// several async fetches in flight per PE.
+	sc := scenario{"outer-product", 128, 128, 128,
+		distmat.ColBlock{}, distmat.RowBlock{}, distmat.Block2D{}, 1, 1, 1}
+
+	stats := func(b rt.Backend) (rt.StreamStats, bool) {
+		w := b.NewWorld(p)
+		cfg := universal.DefaultConfig()
+		cfg.PrefetchDepth = 4
+		cfg.MaxInflight = 4
+		// Stationary A keeps A in place, so every rank pushes its partial C
+		// results to their owners — remote accumulates into busy devices.
+		cfg.Stationary = universal.StationaryA
+		runScenario(w, sc, cfg)
+		return rt.StreamStatsOf(w)
+	}
+
+	if ss, ok := stats(simbackend.New(sys.Topo, sys.Dev)); ok {
+		t.Fatalf("single-clock simbackend claims stream stats %+v; it cannot observe them", ss)
+	}
+	ss, ok := stats(gpubackend.New(sys.Topo, sys.Dev))
+	if !ok {
+		t.Fatal("gpubackend did not report stream stats")
+	}
+	t.Logf("gpubackend: %d stream ops, queue delay %.3gs, interference %.3gs",
+		ss.StreamOps, ss.QueueDelaySeconds, ss.AccumInterferenceSeconds)
+	if ss.StreamOps == 0 {
+		t.Fatal("gpubackend scheduled no stream ops for a real multiply")
+	}
+	if ss.QueueDelaySeconds <= 0 {
+		t.Fatal("gpubackend observed no queue delay despite prefetch depth 4")
+	}
+	if ss.AccumInterferenceSeconds <= 0 {
+		t.Fatal("gpubackend observed no accumulate/GEMM interference on H100")
 	}
 }
 

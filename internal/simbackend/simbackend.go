@@ -27,12 +27,21 @@
 // bandwidth and bypass the ports. Compute is reported by executors through
 // runtime.ChargeGemm and priced with the gpusim roofline. Barriers
 // synchronize every PE's clock to the global maximum.
+//
+// Durations come from the shared §4.3 cost tables (internal/costmodel), so
+// this backend, internal/gpubackend, and the plan-replay estimators all
+// price a given transfer, accumulate, or GEMM identically; the backends
+// differ only in how operations contend. The single clock per PE means
+// operations issued by one PE serialize in the model even when a deeper
+// pipeline would queue them — queue-depth contention and accumulate/GEMM
+// interference are invisible here and are what internal/gpubackend adds.
 package simbackend
 
 import (
 	"fmt"
 	"sync"
 
+	"slicing/internal/costmodel"
 	"slicing/internal/gpusim"
 	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
@@ -65,6 +74,7 @@ func (b Backend) NewWorld(p int) rt.World {
 		inner:       shmem.NewWorld(p),
 		topo:        b.Topo,
 		dev:         b.Dev,
+		cost:        costmodel.New(b.Topo, b.Dev),
 		clock:       make([]float64, p),
 		egressFree:  make([]float64, p),
 		ingressFree: make([]float64, p),
@@ -78,6 +88,7 @@ type World struct {
 	inner *shmem.World
 	topo  simnet.Topology
 	dev   gpusim.Device
+	cost  *costmodel.Model // the shared §4.3 pricing of transfers/accumulates/GEMMs
 
 	mu          sync.Mutex // protects all timing state below
 	clock       []float64  // per-PE virtual time, seconds
@@ -86,13 +97,17 @@ type World struct {
 	snapshot    []float64  // clock snapshots for barrier time-sync
 }
 
-// Compile-time checks against the runtime contract.
+// Compile-time checks against the runtime contract. Note the absence of
+// rt.StreamTimer: this backend's single clock per PE cannot observe queue
+// depth or accumulate/GEMM interference; internal/gpubackend exists for
+// that.
 var (
-	_ rt.Backend   = Backend{}
-	_ rt.World     = (*World)(nil)
-	_ rt.PE        = (*pe)(nil)
-	_ rt.Clock     = (*pe)(nil)
-	_ rt.GemmTimer = (*pe)(nil)
+	_ rt.Backend    = Backend{}
+	_ rt.World      = (*World)(nil)
+	_ rt.TimedWorld = (*World)(nil)
+	_ rt.PE         = (*pe)(nil)
+	_ rt.Clock      = (*pe)(nil)
+	_ rt.GemmTimer  = (*pe)(nil)
 )
 
 // World returns the world itself, satisfying runtime.Allocator.
@@ -166,24 +181,17 @@ func (w *World) Topology() simnet.Topology { return w.topo }
 // Device returns the modeled device.
 func (w *World) Device() gpusim.Device { return w.dev }
 
-// transferDur prices moving n float32 from src to dst (a get or a put).
+// transferDur prices moving n float32 from src to dst (a get or a put)
+// through the shared §4.3 cost tables, so this backend, gpubackend, and the
+// plan-replay estimators price a given transfer identically.
 func (w *World) transferDur(src, dst, n int) float64 {
-	bytes := 4 * float64(n)
-	if src == dst {
-		return bytes / w.dev.MemBW
-	}
-	return simnet.TransferTime(w.topo, src, dst, bytes) + w.dev.LaunchOverhead
+	return w.cost.FetchCost(src, dst, 4*n)
 }
 
-// accumDur prices an n-float32 accumulate from rank into dst's memory.
+// accumDur prices an n-float32 accumulate from rank into dst's memory via
+// the shared cost model.
 func (w *World) accumDur(rank, dst, n int) float64 {
-	bytes := 4 * float64(n)
-	if rank == dst {
-		// Local accumulate: read-modify-write in device memory.
-		return 2*bytes/w.dev.MemBW + w.dev.LaunchOverhead
-	}
-	bw := w.topo.Bandwidth(rank, dst)
-	return w.dev.AccumTime(bytes, bw) + w.topo.Latency(rank, dst) + w.dev.LaunchOverhead
+	return w.cost.AccumCost(rank, dst, 4*n)
 }
 
 // chargeTransfer schedules a port-contended transfer initiated by rank,

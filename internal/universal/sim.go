@@ -37,6 +37,11 @@ type SimResult struct {
 	Ops int
 	// AvgComputeUtil is the mean per-PE compute engine utilization.
 	AvgComputeUtil float64
+	// QueueDelaySeconds and AccumInterferenceSeconds carry the stream-level
+	// delay signals when the run came from a stream/event-timed backend
+	// (bench.RunUATimedOn on gpubackend); zero elsewhere.
+	QueueDelaySeconds        float64
+	AccumInterferenceSeconds float64
 }
 
 // SimulateMultiply runs the universal algorithm's direct execution (§4.2)

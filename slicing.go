@@ -31,6 +31,7 @@ package slicing
 import (
 	"slicing/internal/costmodel"
 	"slicing/internal/distmat"
+	"slicing/internal/gpubackend"
 	"slicing/internal/gpusim"
 	"slicing/internal/runtime"
 	"slicing/internal/shmem"
@@ -71,8 +72,17 @@ func ShmemBackend() Backend { return shmem.Backend{} }
 
 // SimnetBackend returns the simnet-timed backend for sys: its worlds
 // perform the same real computation while modeling wall-clock over sys's
-// interconnect and device (port contention, roofline GEMMs).
+// interconnect and device (port contention, roofline GEMMs) with one
+// virtual clock per PE.
 func SimnetBackend(sys SimSystem) Backend { return simbackend.New(sys.Topo, sys.Dev) }
+
+// GpuSimBackend returns the gpusim stream/event-timed backend for sys: its
+// worlds schedule every operation on modeled per-device engines (a compute
+// stream and copy engines per PE, plus fabric ports), so timed runs expose
+// queue-depth contention and accumulate/GEMM interference (§5.2) that the
+// single-clock simnet backend cannot see. Read the extra signals with
+// StreamStatsOf.
+func GpuSimBackend(sys SimSystem) Backend { return gpubackend.New(sys.Topo, sys.Dev) }
 
 // NewTimedWorld creates a world on the simnet-timed backend for sys. The
 // world computes real results; PredictedTime reports its modeled runtime.
@@ -80,13 +90,28 @@ func NewTimedWorld(sys SimSystem) World {
 	return SimnetBackend(sys).NewWorld(sys.Topo.NumPE())
 }
 
-// PredictedTime returns the modeled wall-clock of a world created on the
-// simnet-timed backend, and ok=false for untimed backends.
+// NewStreamTimedWorld creates a world on the gpusim stream/event-timed
+// backend for sys.
+func NewStreamTimedWorld(sys SimSystem) World {
+	return GpuSimBackend(sys).NewWorld(sys.Topo.NumPE())
+}
+
+// PredictedTime returns the modeled wall-clock of a world created on any
+// timed backend (simnet or gpusim), and ok=false for untimed backends.
 func PredictedTime(w World) (seconds float64, ok bool) {
-	if tw, isTimed := w.(*simbackend.World); isTimed {
-		return tw.PredictedSeconds(), true
-	}
-	return 0, false
+	return runtime.PredictedTimeOf(w)
+}
+
+// StreamStats reports the delay signals only a stream/event-timed backend
+// can observe: queue delay behind busy engines and the time remote
+// accumulates occupied victim compute engines.
+type StreamStats = runtime.StreamStats
+
+// StreamStatsOf returns w's stream-level delay signals, and ok=false when
+// w's backend does not model per-device streams (the shmem backend and the
+// single-clock simnet backend alike).
+func StreamStatsOf(w World) (StreamStats, bool) {
+	return runtime.StreamStatsOf(w)
 }
 
 // Matrix is a distributed dense matrix: shape × partition × replication.

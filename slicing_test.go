@@ -110,3 +110,49 @@ func TestPublicAPICyclicPartitions(t *testing.T) {
 		t.Fatalf("pure cyclic should have 9 row blocks, got %d", m.Grid().NumTiles())
 	}
 }
+
+// TestPublicAPITimedBackends runs the quickstart multiply on all three
+// backend constructors the façade exposes and checks the capability
+// hooks: both timed backends report a predicted time, only the
+// stream/event backend reports stream stats, and the untimed backend
+// reports neither.
+func TestPublicAPITimedBackends(t *testing.T) {
+	sys := slicing.H100System()
+	run := func(world slicing.World) {
+		a := slicing.NewMatrix(world, 96, 64, slicing.RowBlock{}, 1)
+		b := slicing.NewMatrix(world, 64, 80, slicing.ColBlock{}, 1)
+		c := slicing.NewMatrix(world, 96, 80, slicing.Block2D{}, 1)
+		world.Run(func(pe slicing.PE) {
+			a.FillRandom(pe, 1)
+			b.FillRandom(pe, 2)
+			slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
+		})
+	}
+
+	plain := slicing.NewWorld(sys.Topo.NumPE())
+	run(plain)
+	if _, ok := slicing.PredictedTime(plain); ok {
+		t.Fatal("untimed world reported a predicted time")
+	}
+	if _, ok := slicing.StreamStatsOf(plain); ok {
+		t.Fatal("untimed world reported stream stats")
+	}
+
+	timed := slicing.NewTimedWorld(sys)
+	run(timed)
+	if sec, ok := slicing.PredictedTime(timed); !ok || sec <= 0 {
+		t.Fatalf("simnet-timed world predicted (%g, %v)", sec, ok)
+	}
+	if _, ok := slicing.StreamStatsOf(timed); ok {
+		t.Fatal("single-clock world reported stream stats")
+	}
+
+	streamed := slicing.NewStreamTimedWorld(sys)
+	run(streamed)
+	if sec, ok := slicing.PredictedTime(streamed); !ok || sec <= 0 {
+		t.Fatalf("stream-timed world predicted (%g, %v)", sec, ok)
+	}
+	if ss, ok := slicing.StreamStatsOf(streamed); !ok || ss.StreamOps == 0 {
+		t.Fatalf("stream-timed world reported stats (%+v, %v)", ss, ok)
+	}
+}
