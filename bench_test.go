@@ -40,6 +40,7 @@ func quickOpts() bench.Options {
 }
 
 func benchFigure(b *testing.B, sys universal.SimSystem, layer bench.Layer, withCOSMA bool) {
+	b.ReportAllocs()
 	var fig bench.Figure
 	for i := 0; i < b.N; i++ {
 		fig = bench.RunFigure(sys, layer, withCOSMA, quickOpts())
@@ -48,6 +49,12 @@ func benchFigure(b *testing.B, sys universal.SimSystem, layer bench.Layer, withC
 	for _, s := range fig.Series {
 		b.ReportMetric(s.Points[last].PercentOfPeak, pctMetric(s.Name))
 	}
+	// Absolute units for the figure's headline configuration: modeled
+	// aggregate GFLOP/s and one-sided traffic MB/s (trajectory metrics for
+	// BENCH_PR*.json regression tracking).
+	thr := bench.PointThroughput(layer, fig.BestUAPoint())
+	b.ReportMetric(thr.GFlops, "model_GFLOPs")
+	b.ReportMetric(thr.MBs, "model_MB/s")
 }
 
 func pctMetric(series string) string {
@@ -63,6 +70,7 @@ func pctMetric(series string) string {
 
 // E2: Table 2 — the system models themselves (topology + device lookups).
 func BenchmarkTable2Systems(b *testing.B) {
+	b.ReportAllocs()
 	pvc := universal.PVCSystem()
 	h100 := universal.H100System()
 	b.ReportMetric(pvc.Dev.PeakFlops/1e12, "PVC_TFLOPs")
@@ -90,6 +98,7 @@ func BenchmarkFigure3MLP2(b *testing.B) { benchFigure(b, universal.H100System(),
 // E8: schedule ablation — direct execution versus greedy / cost-greedy
 // lowered IR, on a misaligned problem where scheduling has the most room.
 func BenchmarkScheduleAblation(b *testing.B) {
+	b.ReportAllocs()
 	sys := universal.H100System()
 	md := costmodel.New(sys.Topo, sys.Dev)
 	mk := func() universal.Problem {
@@ -123,6 +132,7 @@ func BenchmarkScheduleAblation(b *testing.B) {
 // volume; the model half reports the 0.8 factor built into the device
 // presets (§5.1).
 func BenchmarkAccumulateVsGet(b *testing.B) {
+	b.ReportAllocs()
 	const elems = 1 << 20
 	w := shmem.NewWorld(2)
 	seg := w.AllocSymmetric(elems)
@@ -145,6 +155,7 @@ func BenchmarkAccumulateVsGet(b *testing.B) {
 // E10: the replication sliding scale — simulated percent of peak for each
 // factor on a fixed MLP-2-style problem (PVC preset).
 func BenchmarkReplicationSweep(b *testing.B) {
+	b.ReportAllocs()
 	sys := universal.PVCSystem()
 	var last float64
 	for i := 0; i < b.N; i++ {
@@ -168,6 +179,7 @@ func BenchmarkReplicationSweep(b *testing.B) {
 // Real-execution throughput of the universal algorithm on this machine
 // (not a paper figure; a library-quality sanity benchmark).
 func BenchmarkUniversalRealExecution(b *testing.B) {
+	b.ReportAllocs()
 	const p, m, n, k = 4, 256, 256, 256
 	w := shmem.NewWorld(p)
 	a := distmat.New(w, m, k, distmat.RowBlock{}, 1)
@@ -185,6 +197,54 @@ func BenchmarkUniversalRealExecution(b *testing.B) {
 			universal.Multiply(pe, c, a, bm, cfg)
 		})
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(2*m*n*k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// Steady-state allocation behaviour of the execute loop (PR 3 acceptance:
+// ~0 allocs per plan step once pools are warm). One iteration is a full
+// distributed multiply over a shared pool; the allocs/step metric divides
+// the run's heap allocations by the number of executed plan steps, so
+// per-fetch or per-chain allocations would show up as ≥1.
+func BenchmarkExecuteSteadyStateAllocs(b *testing.B) {
+	const p, m, n, k = 4, 256, 256, 256
+	w := shmem.NewWorld(p)
+	// Fine 32×32 tiles give each rank a long plan (hundreds of steps), so
+	// the per-plan fixed setup (slot arrays, fetch schedule, worker crew)
+	// amortizes away and allocs/step isolates the per-step loop cost.
+	part := distmat.Custom{TileRows: 32, TileCols: 32, ProcRows: 2, ProcCols: 2}
+	a := distmat.New(w, m, k, part, 1)
+	bm := distmat.New(w, k, n, part, 1)
+	c := distmat.New(w, m, n, part, 1)
+	cfg := universal.DefaultConfig()
+	cfg.Stationary = universal.StationaryC
+	cfg.Pool = gpusim.NewPool()
+	prob := universal.NewProblem(c, a, bm)
+	plans := make([]universal.Plan, p)
+	steps := 0
+	for rank := 0; rank < p; rank++ {
+		plans[rank] = universal.BuildPlan(rank, prob, cfg.Stationary, cfg.CacheTiles)
+		steps += len(plans[rank].Steps)
+	}
+	exec := func() {
+		w.Run(func(pe rt.PE) {
+			universal.ExecutePlan(pe, prob, plans[pe.Rank()], cfg)
+			pe.Barrier()
+		})
+	}
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 1)
+		bm.FillRandom(pe, 2)
+	})
+	exec() // warm every pool (tile buffers, partials, accumulate scratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec()
+	}
+	b.StopTimer()
+	allocs := testing.AllocsPerRun(1, exec)
+	b.ReportMetric(allocs/float64(steps), "allocs/step")
 }
 
 // Fetch-mode ablation (DESIGN.md design choice): whole-tile fetches with
@@ -195,6 +255,7 @@ func BenchmarkUniversalRealExecution(b *testing.B) {
 // crossover is visible (here reuse wins; TestSubTilePlanMovesFewerBytes
 // exhibits the opposite regime).
 func BenchmarkFetchModeAblation(b *testing.B) {
+	b.ReportAllocs()
 	sys := universal.PVCSystem()
 	mk := func() universal.Problem {
 		w := shmem.NewWorld(12)
@@ -222,6 +283,7 @@ func BenchmarkFetchModeAblation(b *testing.B) {
 // a square sparse matrix times a tall-and-skinny dense matrix, run through
 // the same universal algorithm with real arithmetic.
 func BenchmarkSparseDenseMultiply(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(60))
 	const p, m, n, k = 4, 512, 64, 512
 	global := tile.RandomCSR(rng, m, k, 0.05)
@@ -245,6 +307,7 @@ func BenchmarkSparseDenseMultiply(b *testing.B) {
 // Strong scaling across H100 cluster sizes (multi-node extension of the
 // paper's single-node evaluation).
 func BenchmarkStrongScaling(b *testing.B) {
+	b.ReportAllocs()
 	var pts []bench.ScalingPoint
 	for i := 0; i < b.N; i++ {
 		pts = bench.StrongScaling(bench.MLP1, 8192, []int{1, 2, 4})

@@ -1,0 +1,208 @@
+// Command bench_baseline measures the repository's execution hot path on
+// the current machine and emits a BENCH_PR<N>.json baseline: local GEMM
+// kernel throughput (packed vs the seed cache-blocked kernel vs naive),
+// PGAS accumulate bandwidth, real-execution throughput and steady-state
+// allocation behaviour of the universal algorithm, and the modeled
+// percent-of-peak of the headline figures. Future PRs regress against the
+// committed baseline to keep the perf trajectory honest:
+//
+//	go run ./cmd/bench_baseline -pr 4        # writes BENCH_PR4.json
+//	go run ./cmd/bench_baseline -out my.json # explicit path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"slicing/internal/bench"
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+	"slicing/internal/universal"
+)
+
+// Baseline is the schema of BENCH_PR<N>.json.
+type Baseline struct {
+	PR        int    `json:"pr"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	// Kernel is the single-goroutine 512x512x512 local GEMM comparison.
+	Kernel struct {
+		PackedGFlops      float64 `json:"packed_gflops"`
+		SeedBlockedGFlops float64 `json:"seed_blocked_gflops"`
+		NaiveGFlops       float64 `json:"naive_gflops"`
+		PackedOverSeed    float64 `json:"packed_over_seed"`
+		ParallelGFlops    float64 `json:"parallel_gflops"`
+	} `json:"kernel"`
+
+	// Accumulate is the PGAS accumulate bandwidth on 1M floats.
+	Accumulate struct {
+		GetMBs    float64 `json:"get_mbs"`
+		AddMBs    float64 `json:"add_mbs"`
+		GetPutMBs float64 `json:"getput_mbs"`
+	} `json:"accumulate"`
+
+	// Execute is the real-execution universal algorithm (4 PEs, 256^3,
+	// fine 32x32 tiles so per-step costs dominate).
+	Execute struct {
+		GFlops        float64 `json:"gflops"`
+		Steps         int     `json:"steps"`
+		AllocsPerStep float64 `json:"allocs_per_step"`
+	} `json:"execute"`
+
+	// Model is the simulated percent-of-peak of the headline universal-algorithm figure points
+	// (quick sweep, matching bench_test.go's quickOpts).
+	Model struct {
+		Fig2MLP1BestPct float64 `json:"fig2_mlp1_best_pct"`
+		Fig3MLP1BestPct float64 `json:"fig3_mlp1_best_pct"`
+	} `json:"model"`
+}
+
+func gflopsOf(res testing.BenchmarkResult, flops float64) float64 {
+	if res.T <= 0 {
+		return 0
+	}
+	return flops * float64(res.N) / res.T.Seconds() / 1e9
+}
+
+func benchKernel(kernel func(c, a, b *tile.Matrix)) float64 {
+	rng := rand.New(rand.NewSource(43))
+	a := tile.New(512, 512)
+	a.FillRandom(rng)
+	bm := tile.New(512, 512)
+	bm.FillRandom(rng)
+	c := tile.New(512, 512)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernel(c, a, bm)
+		}
+	})
+	return gflopsOf(res, tile.Flops(512, 512, 512))
+}
+
+func benchAccumulate() (getMBs, addMBs, getPutMBs float64) {
+	const elems = 1 << 20
+	w := shmem.NewWorld(2)
+	seg := w.AllocSymmetric(elems)
+	buf := make([]float32, elems)
+	mbs := func(op func(pe rt.PE)) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Run(func(pe rt.PE) {
+					if pe.Rank() == 0 {
+						op(pe)
+					}
+				})
+			}
+		})
+		if res.T <= 0 {
+			return 0
+		}
+		return float64(res.N) * elems * 4 / res.T.Seconds() / 1e6
+	}
+	getMBs = mbs(func(pe rt.PE) { pe.Get(buf, seg, 1, 0) })
+	addMBs = mbs(func(pe rt.PE) { pe.AccumulateAdd(buf, seg, 1, 0) })
+	getPutMBs = mbs(func(pe rt.PE) { pe.AccumulateAddGetPut(buf, seg, 1, 0) })
+	return
+}
+
+func benchExecute() (gflops float64, steps int, allocsPerStep float64) {
+	const p, m, n, k = 4, 256, 256, 256
+	w := shmem.NewWorld(p)
+	part := distmat.Custom{TileRows: 32, TileCols: 32, ProcRows: 2, ProcCols: 2}
+	a := distmat.New(w, m, k, part, 1)
+	bm := distmat.New(w, k, n, part, 1)
+	c := distmat.New(w, m, n, part, 1)
+	cfg := universal.DefaultConfig()
+	cfg.Stationary = universal.StationaryC
+	cfg.Pool = gpusim.NewPool()
+	prob := universal.NewProblem(c, a, bm)
+	plans := make([]universal.Plan, p)
+	for rank := 0; rank < p; rank++ {
+		plans[rank] = universal.BuildPlan(rank, prob, cfg.Stationary, cfg.CacheTiles)
+		steps += len(plans[rank].Steps)
+	}
+	exec := func() {
+		w.Run(func(pe rt.PE) {
+			universal.ExecutePlan(pe, prob, plans[pe.Rank()], cfg)
+			pe.Barrier()
+		})
+	}
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 1)
+		bm.FillRandom(pe, 2)
+	})
+	exec() // warm the pools
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exec()
+		}
+	})
+	gflops = gflopsOf(res, 2*float64(m)*float64(n)*float64(k))
+	allocsPerStep = testing.AllocsPerRun(3, exec) / float64(steps)
+	return
+}
+
+func main() {
+	pr := flag.Int("pr", 3, "PR number for the default output name")
+	out := flag.String("out", "", "output path (default BENCH_PR<pr>.json)")
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_PR%d.json", *pr)
+	}
+
+	var base Baseline
+	base.PR = *pr
+	base.Generated = time.Now().UTC().Format(time.RFC3339)
+	base.GoVersion = runtime.Version()
+	base.GOOS = runtime.GOOS
+	base.GOARCH = runtime.GOARCH
+	base.CPUs = runtime.NumCPU()
+
+	fmt.Fprintln(os.Stderr, "measuring local GEMM kernels (512x512x512)...")
+	base.Kernel.PackedGFlops = benchKernel(tile.GemmPacked)
+	base.Kernel.SeedBlockedGFlops = benchKernel(tile.GemmBlocked)
+	base.Kernel.NaiveGFlops = benchKernel(tile.GemmNaive)
+	base.Kernel.ParallelGFlops = benchKernel(func(c, a, b *tile.Matrix) { tile.GemmParallel(c, a, b, 0) })
+	if base.Kernel.SeedBlockedGFlops > 0 {
+		base.Kernel.PackedOverSeed = base.Kernel.PackedGFlops / base.Kernel.SeedBlockedGFlops
+	}
+
+	fmt.Fprintln(os.Stderr, "measuring PGAS accumulate bandwidth...")
+	base.Accumulate.GetMBs, base.Accumulate.AddMBs, base.Accumulate.GetPutMBs = benchAccumulate()
+
+	fmt.Fprintln(os.Stderr, "measuring real-execution universal algorithm...")
+	base.Execute.GFlops, base.Execute.Steps, base.Execute.AllocsPerStep = benchExecute()
+
+	fmt.Fprintln(os.Stderr, "running quick figure sweeps...")
+	opts := bench.Options{Replications: []int{1, 2, 4}, Batches: []int{1024, 8192}}
+	fig2 := bench.RunFigure(universal.PVCSystem(), bench.MLP1, false, opts)
+	base.Model.Fig2MLP1BestPct = fig2.BestUAPoint().PercentOfPeak
+	fig3 := bench.RunFigure(universal.H100System(), bench.MLP1, true, opts)
+	base.Model.Fig3MLP1BestPct = fig3.BestUAPoint().PercentOfPeak
+
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n%s", path, data)
+}

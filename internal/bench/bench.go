@@ -124,6 +124,9 @@ type Point struct {
 	ReplAB, ReplC int
 	Stationary    universal.Stationary
 	Makespan      float64
+	// RemoteMB is the one-sided traffic (gets + accumulates) of the
+	// configuration in megabytes, for absolute-throughput reporting.
+	RemoteMB float64
 }
 
 // ReplLabel formats the replication annotation the way the figures do.
@@ -279,6 +282,7 @@ func BestUA(sys universal.SimSystem, layer Layer, batch int, pk Partitioning, op
 						Batch: batch, PercentOfPeak: res.PercentOfPeak,
 						ReplAB: cAB, ReplC: cC,
 						Stationary: res.Stationary, Makespan: res.Makespan,
+						RemoteMB: float64(res.RemoteGetBytes+res.RemoteAccumBytes) / 1e6,
 					}
 				}
 			}

@@ -1,0 +1,45 @@
+package bench
+
+import "strings"
+
+// Throughput expresses one figure point in absolute units rather than
+// percent of peak: aggregate modeled GFLOP/s across the node and the
+// one-sided traffic rate the configuration sustains.
+type Throughput struct {
+	GFlops float64 // 2mnk / makespan, in GFLOP/s
+	MBs    float64 // remote get+accumulate bytes / makespan, in MB/s
+}
+
+// PointThroughput converts a point measured for the given layer into
+// absolute throughput. Points with no makespan (degenerate sweeps) report
+// zeros.
+func PointThroughput(layer Layer, pt Point) Throughput {
+	if pt.Makespan <= 0 {
+		return Throughput{}
+	}
+	m, n, k := layer.Dims(pt.Batch)
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	return Throughput{
+		GFlops: flops / pt.Makespan / 1e9,
+		MBs:    pt.RemoteMB / pt.Makespan,
+	}
+}
+
+// BestUAPoint returns the highest percent-of-peak point among the
+// universal-algorithm series — the figure's headline configuration for the
+// paper's claim. The comparison series (DTensor, COSMA) are excluded: they
+// are reference lines and do not carry traffic measurements.
+func (f Figure) BestUAPoint() Point {
+	best := Point{PercentOfPeak: -1}
+	for _, s := range f.Series {
+		if !strings.HasPrefix(s.Name, "UA - ") {
+			continue
+		}
+		for _, pt := range s.Points {
+			if pt.PercentOfPeak > best.PercentOfPeak {
+				best = pt
+			}
+		}
+	}
+	return best
+}

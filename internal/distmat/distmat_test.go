@@ -646,3 +646,67 @@ func TestSparseReplicasIdentical(t *testing.T) {
 		}
 	})
 }
+
+// The Into variants (TileInto, GetTileIntoAsync, GetSubTileIntoAsync) are
+// the allocation-free fetch primitives of the execution hot path: they must
+// land the same data as their allocating counterparts, in caller-owned
+// buffers, and reject wrongly shaped buffers.
+func TestIntoVariantsMatchAllocatingOnes(t *testing.T) {
+	w := shmem.NewWorld(4)
+	m := New(w, 24, 24, Block2D{}, 1)
+	w.Run(func(pe rt.PE) {
+		m.FillRandom(pe, 7)
+		idx := index.TileIdx{Row: 1, Col: 1}
+		owner := m.OwnerRank(idx, LocalReplica, pe.Rank())
+		b := m.TileBounds(idx)
+		rows, cols := b.Shape()
+
+		if owner == pe.Rank() {
+			var v tile.Matrix
+			m.TileInto(pe, &v, idx, LocalReplica)
+			if !v.Equal(m.Tile(pe, idx, LocalReplica)) {
+				t.Error("TileInto differs from Tile")
+			}
+			if &v.Data[0] != &m.Tile(pe, idx, LocalReplica).Data[0] {
+				t.Error("TileInto must be zero-copy")
+			}
+		} else {
+			var f TileFuture
+			dst := tile.New(rows, cols)
+			m.GetTileIntoAsync(pe, &f, dst, idx, LocalReplica)
+			got := f.Wait()
+			if got != dst {
+				t.Error("future must resolve to the caller's buffer")
+			}
+			if !got.Equal(m.GetTile(pe, idx, LocalReplica)) {
+				t.Error("GetTileIntoAsync data mismatch")
+			}
+
+			sub := index.NewRect(b.Rows.Begin+1, b.Rows.End, b.Cols.Begin, b.Cols.End-1)
+			sr, sc := sub.Shape()
+			var sf TileFuture
+			sdst := tile.New(sr, sc)
+			m.GetSubTileIntoAsync(pe, &sf, sdst, idx, LocalReplica, sub)
+			if !sf.Wait().Equal(m.GetSubTile(pe, idx, LocalReplica, sub)) {
+				t.Error("GetSubTileIntoAsync data mismatch")
+			}
+		}
+	})
+}
+
+func TestGetTileIntoAsyncRejectsWrongShape(t *testing.T) {
+	w := shmem.NewWorld(2)
+	m := New(w, 16, 16, RowBlock{}, 1)
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong-shape buffer should panic")
+			}
+		}()
+		var f TileFuture
+		m.GetTileIntoAsync(pe, &f, tile.New(3, 3), index.TileIdx{Row: 1, Col: 0}, LocalReplica)
+	})
+}

@@ -179,6 +179,22 @@ func (m *Matrix) Tile(pe rt.PE, idx index.TileIdx, replica int) *tile.Matrix {
 	return tile.FromSlice(rows, cols, pe.Local(m.seg)[off:off+rows*cols])
 }
 
+// TileInto fills dst with the zero-copy view of tile idx (the same view
+// Tile returns) without allocating, for hot paths that keep tile headers in
+// recycled storage. The tile must be owned by pe within the requested
+// replica.
+func (m *Matrix) TileInto(pe rt.PE, dst *tile.Matrix, idx index.TileIdx, replica int) {
+	owner := m.OwnerRank(idx, replica, pe.Rank())
+	if owner != pe.Rank() {
+		panic(fmt.Sprintf("distmat: TileInto(%v) is held by rank %d, not caller %d; use GetTile",
+			idx, owner, pe.Rank()))
+	}
+	b := m.grid.TileBounds(idx)
+	rows, cols := b.Shape()
+	off := m.tileOffset[idx.Row][idx.Col]
+	*dst = tile.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: pe.Local(m.seg)[off : off+rows*cols]}
+}
+
 // GetTile returns a fresh local copy of tile idx from the given replica
 // (get_tile). Pass LocalReplica to read from the caller's own replica.
 func (m *Matrix) GetTile(pe rt.PE, idx index.TileIdx, replica int) *tile.Matrix {
@@ -230,6 +246,49 @@ func (m *Matrix) GetTileAsync(pe rt.PE, idx index.TileIdx, replica int) *TileFut
 	dst := tile.New(rows, cols)
 	f := pe.GetAsync(dst.Data, m.seg, owner, m.tileOffset[idx.Row][idx.Col])
 	return &TileFuture{Tile: dst, future: f}
+}
+
+// GetTileIntoAsync starts an asynchronous copy of tile idx into dst — a
+// dense buffer matrix of the tile's exact shape, typically recycled from a
+// pool — and fills f with the in-flight future. It is the allocation-free
+// variant of GetTileAsync: both the destination buffer and the future
+// header are caller-owned, so the steady-state execution loop performs no
+// per-fetch allocation. Unlike GetTileAsync there is no zero-copy local
+// shortcut; the tile always lands in dst.
+func (m *Matrix) GetTileIntoAsync(pe rt.PE, f *TileFuture, dst *tile.Matrix, idx index.TileIdx, replica int) {
+	b := m.grid.TileBounds(idx)
+	rows, cols := b.Shape()
+	if dst.Rows != rows || dst.Cols != cols || !dst.IsDense() {
+		panic(fmt.Sprintf("distmat: GetTileIntoAsync needs dense %dx%d buffer, got %v", rows, cols, dst))
+	}
+	owner := m.OwnerRank(idx, replica, pe.Rank())
+	f.Tile = dst
+	f.future = pe.GetAsync(dst.Data, m.seg, owner, m.tileOffset[idx.Row][idx.Col])
+}
+
+// GetSubTileIntoAsync starts an asynchronous copy of the sub-rectangle sub
+// (global coordinates) of tile idx into dst, the caller-owned counterpart
+// of GetSubTileAsync (see GetTileIntoAsync). dst must be dense with sub's
+// exact shape.
+func (m *Matrix) GetSubTileIntoAsync(pe rt.PE, f *TileFuture, dst *tile.Matrix, idx index.TileIdx, replica int, sub index.Rect) {
+	b := m.grid.TileBounds(idx)
+	if !b.ContainsRect(sub) {
+		panic(fmt.Sprintf("distmat: sub-rect %v outside tile %v bounds %v", sub, idx, b))
+	}
+	rows, cols := sub.Shape()
+	if dst.Rows != rows || dst.Cols != cols || !dst.IsDense() {
+		panic(fmt.Sprintf("distmat: GetSubTileIntoAsync needs dense %dx%d buffer, got %v", rows, cols, dst))
+	}
+	f.Tile = dst
+	if rows == 0 || cols == 0 {
+		f.future = rt.CompletedFuture()
+		return
+	}
+	_, tileCols := b.Shape()
+	local := sub.Localize(b.Rows.Begin, b.Cols.Begin)
+	owner := m.OwnerRank(idx, replica, pe.Rank())
+	off := m.tileOffset[idx.Row][idx.Col] + local.Rows.Begin*tileCols + local.Cols.Begin
+	f.future = pe.GetStridedAsync(dst.Data, cols, m.seg, owner, off, tileCols, rows, cols)
 }
 
 // AccumulateTile atomically adds view into tile idx of the given replica

@@ -45,16 +45,38 @@ func roundSize(n int) int {
 
 // Get returns a zeroed buffer of at least n elements (len == n).
 func (p *Pool) Get(n int) []float32 {
+	buf, recycled := p.get(n)
+	if recycled {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return buf
+}
+
+// GetUninit returns a buffer of at least n elements (len == n) without
+// zeroing recycled contents. Use it for destinations that are fully
+// overwritten before being read — tile-fetch targets in the execution hot
+// path — where Get's clearing pass would be pure overhead.
+func (p *Pool) GetUninit(n int) []float32 {
+	buf, _ := p.get(n)
+	return buf
+}
+
+// get pops a bucketed buffer, reporting whether it was recycled (and may
+// therefore hold stale contents); fresh make() allocations are already
+// zero.
+func (p *Pool) get(n int) (buf []float32, recycled bool) {
 	if n == 0 {
-		return nil
+		return nil, false
 	}
 	bucket := roundSize(n)
 	p.mu.Lock()
-	var buf []float32
 	if stack := p.buckets[bucket]; len(stack) > 0 {
 		buf = stack[len(stack)-1]
 		p.buckets[bucket] = stack[:len(stack)-1]
 		p.hits++
+		recycled = true
 	} else {
 		p.allocs++
 	}
@@ -65,12 +87,8 @@ func (p *Pool) Get(n int) []float32 {
 	p.mu.Unlock()
 	if buf == nil {
 		buf = make([]float32, bucket)
-	} else {
-		for i := range buf {
-			buf[i] = 0
-		}
 	}
-	return buf[:n]
+	return buf[:n], recycled
 }
 
 // Put returns a buffer obtained from Get to the pool. Passing a foreign

@@ -29,14 +29,19 @@ func GoFuture(op func()) Future {
 	return f
 }
 
+// completedFuture is the shared already-done Future. Being a zero-size
+// value it never allocates, which matters because the execution hot path
+// creates one per fetch on backends that complete copies at issue time.
+type completedFuture struct{}
+
+func (completedFuture) Wait()      {}
+func (completedFuture) Done() bool { return true }
+
 // CompletedFuture returns a Future that is already done. It is used when a
-// tile happens to be local and no communication is necessary, so the
-// prefetch pipeline can treat local and remote tiles uniformly.
-func CompletedFuture() Future {
-	f := &goFuture{done: make(chan struct{})}
-	close(f.done)
-	return f
-}
+// tile happens to be local and no communication is necessary — so the
+// prefetch pipeline can treat local and remote tiles uniformly — and by
+// backends whose asynchronous operations complete at issue time.
+func CompletedFuture() Future { return completedFuture{} }
 
 func (f *goFuture) Wait() { <-f.done }
 

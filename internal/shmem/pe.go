@@ -2,9 +2,39 @@ package shmem
 
 import (
 	"fmt"
+	"sync"
 
 	rt "slicing/internal/runtime"
 )
+
+// getPutScratch pools the bounce buffer of AccumulateAddGetPut. Chunked
+// accumulation bounds each critical section to one stripe block, so a
+// single stripeBlock-sized buffer (16 KiB) serves any request size and the
+// hot path performs no allocation.
+var getPutScratch = sync.Pool{
+	New: func() any {
+		buf := make([]float32, stripeBlock)
+		return &buf
+	},
+}
+
+// addInto accumulates src into dst element-wise. The slices must have equal
+// length. The 4-way unrolled body keeps the loop bounds-check-free and
+// exposes four independent dependency chains, which is as
+// vectorization-friendly as scalar Go gets.
+func addInto(dst, src []float32) {
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+3 < len(src); i += 4 {
+		dst[i] += src[i]
+		dst[i+1] += src[i+1]
+		dst[i+2] += src[i+2]
+		dst[i+3] += src[i+3]
+	}
+	for ; i < len(src); i++ {
+		dst[i] += src[i]
+	}
+}
 
 // PE is a processing element's handle to the world. A PE value is only valid
 // inside the World.Run body that created it and must not be shared across
@@ -49,39 +79,40 @@ func (pe *PE) Put(src []float32, seg SegmentID, remote, offset int) {
 }
 
 // AccumulateAdd atomically adds src element-wise into the segment on the
-// remote rank starting at offset. Concurrent accumulates into overlapping
-// regions are serialized; accumulates into disjoint stripe blocks proceed in
-// parallel, mirroring the paper's atomic accumulate kernel.
+// remote rank starting at offset. The update is applied one stripe block at
+// a time: accumulates into disjoint blocks proceed in parallel and spanning
+// accumulates interleave block-by-block, mirroring the element-wise
+// atomicity of the paper's GPU atomic accumulate kernel.
 func (pe *PE) AccumulateAdd(src []float32, seg SegmentID, remote, offset int) {
 	dst := pe.world.storage(seg, remote)
 	checkRange("AccumulateAdd", seg, remote, offset, len(src), len(dst))
-	pe.world.segLocks[seg].lockRange(offset, len(src), func() {
-		region := dst[offset : offset+len(src)]
-		for i, v := range src {
-			region[i] += v
-		}
+	pe.world.segLocks[seg].lockBlocks(offset, len(src), func(lo, hi int) {
+		addInto(dst[lo:hi], src[lo-offset:hi-offset])
 	})
 	pe.world.count(remote != pe.rank, opAccum, len(src))
 }
 
 // AccumulateAddGetPut accumulates src into a remote region using the
-// paper's inter-node scheme (§3): take a coarse-grained lock over the
-// target range, remote-get the current values, add locally, and remote-put
-// the result — the path used when the interconnect offers RDMA get/put but
-// no remote atomics. Semantically identical to AccumulateAdd (both
-// serialize through the same striped locks, so the two paths can be mixed
-// safely); the performance model charges it a full round trip.
+// paper's inter-node scheme (§3): lock a block of the target range,
+// remote-get the current values, add locally, and remote-put the result —
+// the path used when the interconnect offers RDMA get/put but no remote
+// atomics. The round trip is performed per stripe block under that block's
+// lock, so it is element-wise equivalent to AccumulateAdd (both serialize
+// through the same striped locks and the two paths can be mixed safely);
+// the performance model charges it a full round trip. The bounce buffer is
+// pooled, never allocated per call.
 func (pe *PE) AccumulateAddGetPut(src []float32, seg SegmentID, remote, offset int) {
 	dst := pe.world.storage(seg, remote)
 	checkRange("AccumulateAddGetPut", seg, remote, offset, len(src), len(dst))
-	pe.world.segLocks[seg].lockRange(offset, len(src), func() {
-		tmp := make([]float32, len(src))
-		copy(tmp, dst[offset:offset+len(src)]) // remote get
-		for i, v := range src {
-			tmp[i] += v // local add
-		}
-		copy(dst[offset:offset+len(src)], tmp) // remote put
+	scratch := getPutScratch.Get().(*[]float32)
+	tmp := *scratch
+	pe.world.segLocks[seg].lockBlocks(offset, len(src), func(lo, hi int) {
+		t := tmp[:hi-lo]
+		copy(t, dst[lo:hi])                  // remote get
+		addInto(t, src[lo-offset:hi-offset]) // local add
+		copy(dst[lo:hi], t)                  // remote put
 	})
+	getPutScratch.Put(scratch)
 	pe.world.count(remote != pe.rank, opGet, len(src))
 	pe.world.count(remote != pe.rank, opAccum, len(src))
 }
@@ -109,45 +140,47 @@ func (pe *PE) PutStrided(src []float32, srcStride int, seg SegmentID, remote, of
 }
 
 // AccumulateAddStrided atomically adds a rows×cols block from src into a
-// remote segment region. The whole block is guarded as one critical section
-// per stripe range.
+// remote segment region. Each destination row is a contiguous range and is
+// accumulated stripe block by stripe block, like AccumulateAdd; the row
+// gaps are never locked.
 func (pe *PE) AccumulateAddStrided(src []float32, srcStride int, seg SegmentID, remote, offset, dstStride, rows, cols int) {
 	dst := pe.world.storage(seg, remote)
 	checkStrided("AccumulateAddStrided", seg, remote, offset, dstStride, rows, cols, len(dst))
-	span := 0
-	if rows > 0 {
-		span = (rows-1)*dstStride + cols
+	locks := pe.world.segLocks[seg]
+	for r := 0; r < rows; r++ {
+		rowOff := offset + r*dstStride
+		s := src[r*srcStride : r*srcStride+cols]
+		locks.lockBlocks(rowOff, cols, func(lo, hi int) {
+			addInto(dst[lo:hi], s[lo-rowOff:hi-rowOff])
+		})
 	}
-	pe.world.segLocks[seg].lockRange(offset, span, func() {
-		for r := 0; r < rows; r++ {
-			d := dst[offset+r*dstStride : offset+r*dstStride+cols]
-			s := src[r*srcStride : r*srcStride+cols]
-			for i, v := range s {
-				d[i] += v
-			}
-		}
-	})
 	pe.world.count(remote != pe.rank, opAccum, rows*cols)
 }
 
-// GetAsync starts a one-sided read and returns a Future that completes when
-// dst has been filled. It models the host-initiated asynchronous tile copy
-// (get_tile_async in Table 1).
+// GetAsync performs the one-sided read and returns an already-completed
+// Future. It models the host-initiated asynchronous tile copy
+// (get_tile_async in Table 1); in this in-process backend a remote get is a
+// memcpy, so performing it at issue time and returning the shared completed
+// future is both legal under the contract (any moment between issue and
+// Wait) and cheaper than a goroutine-and-channel future per fetch — the
+// same choice the simbackend and gpubackend PEs make.
 func (pe *PE) GetAsync(dst []float32, seg SegmentID, remote, offset int) rt.Future {
-	return rt.GoFuture(func() { pe.Get(dst, seg, remote, offset) })
+	pe.Get(dst, seg, remote, offset)
+	return rt.CompletedFuture()
 }
 
-// GetStridedAsync starts a one-sided strided read and returns a Future that
-// completes when the rows×cols block has landed in dst.
+// GetStridedAsync is the asynchronous strided get; see GetAsync for the
+// completion semantics.
 func (pe *PE) GetStridedAsync(dst []float32, dstStride int, seg SegmentID, remote, offset, srcStride, rows, cols int) rt.Future {
-	return rt.GoFuture(func() {
-		pe.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
-	})
+	pe.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
+	return rt.CompletedFuture()
 }
 
-// AccumulateAddAsync starts a one-sided accumulate and returns a Future.
+// AccumulateAddAsync is the asynchronous accumulate; see GetAsync for the
+// completion semantics.
 func (pe *PE) AccumulateAddAsync(src []float32, seg SegmentID, remote, offset int) rt.Future {
-	return rt.GoFuture(func() { pe.AccumulateAdd(src, seg, remote, offset) })
+	pe.AccumulateAdd(src, seg, remote, offset)
+	return rt.CompletedFuture()
 }
 
 // Barrier blocks until every PE in the world has entered the barrier.

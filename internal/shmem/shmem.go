@@ -244,16 +244,23 @@ const (
 // proceed in parallel, approximating the fine-grained atomics of the paper's
 // GPU accumulate kernel.
 //
-// Why 16 stripes: accumulate concurrency into one segment is bounded by the
-// world size times the per-PE chain concurrency (Config.MaxInflight, default
-// 4), and worlds in this in-process runtime are node-scale (8–12 PEs, the
-// Table 2 systems). 16 stripes keep the expected collision rate for
-// disjoint-region accumulates low at that concurrency while the whole-set
-// acquisition path for range-spanning accumulates (which must take every
-// stripe in order to stay deadlock-free) remains cheap enough not to
-// dominate. Doubling to 32 measurably slows the spanning path without
-// reducing contention in the tier-1 benchmarks; TestAccumulateStripeStress
-// race-tests the overlap invariants.
+// Accumulates are applied one stripe block at a time (lockBlocks): a range
+// spanning several blocks is split into per-block critical sections rather
+// than acquiring every stripe at once, so a large accumulate never blocks
+// the whole segment and two spanning accumulates interleave block-by-block
+// instead of serializing end-to-end. Element-wise atomicity — the only
+// guarantee a commutative `+=` reduction needs, and the one the paper's GPU
+// atomic-add kernel provides — is preserved; whole-range atomicity is not,
+// exactly as on real hardware. TestAccumulateStripeStress race-tests the
+// no-lost-update invariant across same-stripe collisions, spanning ranges,
+// and the get+put path.
+//
+// Why 16 stripes: accumulate concurrency into one segment is bounded by
+// the world size times the per-PE chain concurrency (Config.MaxInflight,
+// default 4), and worlds in this in-process runtime are node-scale (8–12
+// PEs, the Table 2 systems). 16 stripes keep the expected collision rate
+// for disjoint-block accumulates low at that concurrency, and with
+// block-chunked acquisition there is no whole-set path left to pay for.
 type stripedLock struct {
 	stripes [16]sync.Mutex
 }
@@ -262,27 +269,21 @@ func newStripedLock() *stripedLock { return &stripedLock{} }
 
 const stripeBlock = 4096 // float32s per stripe block
 
-func (s *stripedLock) lockRange(offset, n int, f func()) {
-	first := offset / stripeBlock % len(s.stripes)
-	last := (offset + n - 1) / stripeBlock % len(s.stripes)
-	if n <= 0 {
-		f()
-		return
-	}
-	if first == last {
-		s.stripes[first].Lock()
-		defer s.stripes[first].Unlock()
-		f()
-		return
-	}
-	// Range spans stripes: take the whole set in order to avoid deadlock.
-	for i := range s.stripes {
-		s.stripes[i].Lock()
-	}
-	defer func() {
-		for i := range s.stripes {
-			s.stripes[i].Unlock()
+// lockBlocks invokes f(lo, hi) for every stripe-block-aligned chunk of
+// [offset, offset+n), holding exactly that block's stripe mutex during the
+// call. Only one stripe is ever held at a time, so no acquisition ordering
+// is needed and a spanning accumulate cannot deadlock or convoy the whole
+// segment.
+func (s *stripedLock) lockBlocks(offset, n int, f func(lo, hi int)) {
+	for lo, end := offset, offset+n; lo < end; {
+		hi := (lo/stripeBlock + 1) * stripeBlock
+		if hi > end {
+			hi = end
 		}
-	}()
-	f()
+		mu := &s.stripes[lo/stripeBlock%len(s.stripes)]
+		mu.Lock()
+		f(lo, hi)
+		mu.Unlock()
+		lo = hi
+	}
 }

@@ -476,3 +476,70 @@ func TestAccumulateStripeStress(t *testing.T) {
 		}
 	})
 }
+
+// Chunked accumulates must be element-wise exact for ranges that are not
+// block-aligned and span several stripe blocks, including via the strided
+// and get+put paths racing on the same region.
+func TestAccumulateChunkedSpanningRanges(t *testing.T) {
+	const p = 8
+	const n = 2*stripeBlock + 777 // unaligned, spans 3 blocks
+	w := NewWorld(p)
+	seg := w.AllocSymmetric(n + 13)
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i%7) + 1
+	}
+	w.Run(func(pe rt.PE) {
+		if pe.Rank()%2 == 0 {
+			pe.AccumulateAdd(src, seg, 0, 13)
+		} else {
+			pe.AccumulateAddGetPut(src, seg, 0, 13)
+		}
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			local := pe.Local(seg)
+			for i := 0; i < n; i++ {
+				want := float32(p) * (float32(i%7) + 1)
+				if local[13+i] != want {
+					t.Fatalf("element %d = %v, want %v", i, local[13+i], want)
+				}
+			}
+			if local[0] != 0 || local[12] != 0 {
+				t.Fatal("accumulate wrote below its offset")
+			}
+		}
+	})
+}
+
+// The accumulate hot paths must not allocate in the steady state: the
+// atomic-add path writes in place under per-block locks, and the get+put
+// path bounces through a pooled stripe-block scratch buffer.
+func TestAccumulatePathsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and sync.Pool sheds items; alloc counts only meaningful without -race")
+	}
+	w := NewWorld(2)
+	seg := w.AllocSymmetric(3 * stripeBlock)
+	src := make([]float32, 2*stripeBlock+100) // spans blocks
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() != 0 {
+			return
+		}
+		pe.AccumulateAddGetPut(src, seg, 1, 50) // warm the scratch pool
+		if allocs := testing.AllocsPerRun(20, func() {
+			pe.AccumulateAdd(src, seg, 1, 50)
+		}); allocs > 0 {
+			t.Errorf("AccumulateAdd allocates %v objects per call, want 0", allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			pe.AccumulateAddGetPut(src, seg, 1, 50)
+		}); allocs > 0 {
+			t.Errorf("AccumulateAddGetPut allocates %v objects per call, want 0", allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			pe.AccumulateAddStrided(src[:1024], 64, seg, 1, 50, 80, 16, 64)
+		}); allocs > 0 {
+			t.Errorf("AccumulateAddStrided allocates %v objects per call, want 0", allocs)
+		}
+	})
+}

@@ -26,14 +26,38 @@ func GemmNaive(c, a, b *Matrix) {
 	}
 }
 
-// blockSize is the cache-blocking factor for the optimized kernel. 64×64
-// float32 panels (16 KiB each) fit comfortably in L1/L2 on commodity CPUs.
+// blockSize is the cache-blocking factor for GemmBlocked. 64×64 float32
+// panels (16 KiB each) fit comfortably in L1/L2 on commodity CPUs.
 const blockSize = 64
 
-// Gemm computes C += A*B using a cache-blocked kernel. It is the default
-// single-goroutine local GEMM.
+// packThreshold is the problem volume (m·k·n) below which Gemm skips the
+// packed kernel: for tiny products the O(mk + kn) packing traffic is not
+// amortized by the O(mnk) compute, so the cache-blocked kernel wins.
+const packThreshold = 48 * 48 * 48
+
+// Gemm computes C += A*B. It is the default single-goroutine local GEMM:
+// large products go through the packed register-blocked kernel
+// (GemmPacked); tiny ones, where packing cannot be amortized, through the
+// cache-blocked kernel (GemmBlocked).
 func Gemm(c, a, b *Matrix) {
 	checkGemmShapes(c, a, b)
+	if a.Rows*a.Cols*b.Cols < packThreshold {
+		gemmBlocked(c, a, b)
+		return
+	}
+	gemmPacked(c, a, b)
+}
+
+// GemmBlocked computes C += A*B with the cache-blocked, 2-way unrolled
+// kernel (the repository's original local GEMM). It remains exported as the
+// baseline the packed kernel is benchmarked against and as the small-case
+// path of Gemm.
+func GemmBlocked(c, a, b *Matrix) {
+	checkGemmShapes(c, a, b)
+	gemmBlocked(c, a, b)
+}
+
+func gemmBlocked(c, a, b *Matrix) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	for i0 := 0; i0 < m; i0 += blockSize {
 		iMax := min(i0+blockSize, m)
@@ -78,10 +102,11 @@ func gemmBlock(c, a, b *Matrix, i0, iMax, l0, lMax, j0, jMax int) {
 	}
 }
 
-// GemmParallel computes C += A*B splitting row blocks of C across workers
-// goroutines (0 means GOMAXPROCS). Row-block partitioning means no two
-// workers write the same C element, so no synchronization beyond the final
-// join is needed.
+// GemmParallel computes C += A*B splitting row bands of C across workers
+// goroutines (0 means GOMAXPROCS). Each worker drives the packed kernel
+// over its band with its own pooled packing scratch; row-band partitioning
+// means no two workers write the same C element, so no synchronization
+// beyond the final join is needed.
 func GemmParallel(c, a, b *Matrix, workers int) {
 	checkGemmShapes(c, a, b)
 	if workers <= 0 {

@@ -59,15 +59,24 @@ func (m *Matrix) checkIndex(i, j int) {
 // the given shape. The view aliases m's storage: writes through the view are
 // visible in m.
 func (m *Matrix) View(row, col, rows, cols int) *Matrix {
+	dst := new(Matrix)
+	m.ViewInto(dst, row, col, rows, cols)
+	return dst
+}
+
+// ViewInto fills dst with the view m.View(row, col, rows, cols) without
+// allocating, for hot paths that keep view headers in recycled storage.
+func (m *Matrix) ViewInto(dst *Matrix, row, col, rows, cols int) {
 	if row < 0 || col < 0 || rows < 0 || cols < 0 || row+rows > m.Rows || col+cols > m.Cols {
 		panic(fmt.Sprintf("tile: view (%d,%d)+%dx%d out of %dx%d matrix", row, col, rows, cols, m.Rows, m.Cols))
 	}
 	if rows == 0 || cols == 0 {
-		return &Matrix{Rows: rows, Cols: cols, Stride: m.Stride}
+		*dst = Matrix{Rows: rows, Cols: cols, Stride: m.Stride}
+		return
 	}
 	start := row*m.Stride + col
 	end := (row+rows-1)*m.Stride + col + cols
-	return &Matrix{Rows: rows, Cols: cols, Stride: m.Stride, Data: m.Data[start:end]}
+	*dst = Matrix{Rows: rows, Cols: cols, Stride: m.Stride, Data: m.Data[start:end]}
 }
 
 // IsDense reports whether the matrix rows are contiguous in memory.

@@ -1,0 +1,14 @@
+//go:build amd64 && !purego
+
+package tile
+
+// microKernelAccum computes acc = Apanel·Bpanel for one mr×nr register
+// tile: ap points at a packed mr-row strip (kc×mr, k-major), bp at a packed
+// nr-column strip (kc×nr, k-major). acc is overwritten, not accumulated
+// into; the caller masks the valid window into C. Implemented in SSE2
+// assembly (baseline on every amd64, no feature detection needed): the 4×8
+// accumulator tile lives in XMM0-XMM7 for the whole K loop, with two
+// 4-float B vectors and four broadcast A scalars per step.
+//
+//go:noescape
+func microKernelAccum(acc *[mr * nr]float32, ap, bp *float32, kc int)

@@ -1,0 +1,83 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func microKernelAccum(acc *[32]float32, ap, bp *float32, kc int)
+//
+// Register-blocked 4x8 GEMM micro-kernel, SSE2 only. The accumulator tile
+// occupies X0-X7 (row r, column half h in X(2r+h)); X8/X9 hold the current
+// B vectors, X10-X15 are broadcast/product temporaries. Per K step:
+// 2 vector loads of B, 4 scalar broadcasts of A, 8 MULPS and 8 ADDPS.
+TEXT ·microKernelAccum(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DX
+	MOVQ kc+24(FP), CX
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	MOVUPS (DX), X8
+	MOVUPS 16(DX), X9
+
+	// row 0
+	MOVSS  (SI), X10
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X0
+	MULPS  X9, X11
+	ADDPS  X11, X1
+
+	// row 1
+	MOVSS  4(SI), X12
+	SHUFPS $0x00, X12, X12
+	MOVAPS X12, X13
+	MULPS  X8, X12
+	ADDPS  X12, X2
+	MULPS  X9, X13
+	ADDPS  X13, X3
+
+	// row 2
+	MOVSS  8(SI), X14
+	SHUFPS $0x00, X14, X14
+	MOVAPS X14, X15
+	MULPS  X8, X14
+	ADDPS  X14, X4
+	MULPS  X9, X15
+	ADDPS  X15, X5
+
+	// row 3
+	MOVSS  12(SI), X10
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X6
+	MULPS  X9, X11
+	ADDPS  X11, X7
+
+	ADDQ $16, SI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  loop
+
+store:
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, 32(DI)
+	MOVUPS X3, 48(DI)
+	MOVUPS X4, 64(DI)
+	MOVUPS X5, 80(DI)
+	MOVUPS X6, 96(DI)
+	MOVUPS X7, 112(DI)
+	RET

@@ -1,0 +1,52 @@
+//go:build !amd64 || purego
+
+package tile
+
+import "unsafe"
+
+// microKernelAccum computes acc = Apanel·Bpanel for one mr×nr register
+// tile: ap points at a packed mr-row strip (kc×mr, k-major), bp at a
+// packed nr-column strip (kc×nr, k-major). acc is overwritten, not
+// accumulated into. Portable fallback for the SSE2 kernel: fixed-size
+// array accesses keep the inner loop bounds-check-free, and the 4-way K
+// unroll amortizes loop overhead.
+func microKernelAccum(acc *[mr * nr]float32, ap, bp *float32, kc int) {
+	aps := unsafe.Slice(ap, kc*mr)
+	bps := unsafe.Slice(bp, kc*nr)
+	var acc0, acc1, acc2, acc3 [nr]float32
+	kk := 0
+	for ; kk+3 < kc; kk += 4 {
+		a := (*[4 * mr]float32)(aps[kk*mr:])
+		b0 := (*[nr]float32)(bps[kk*nr:])
+		b1 := (*[nr]float32)(bps[(kk+1)*nr:])
+		b2 := (*[nr]float32)(bps[(kk+2)*nr:])
+		b3 := (*[nr]float32)(bps[(kk+3)*nr:])
+		a00, a01, a02, a03 := a[0], a[1], a[2], a[3]
+		a10, a11, a12, a13 := a[4], a[5], a[6], a[7]
+		a20, a21, a22, a23 := a[8], a[9], a[10], a[11]
+		a30, a31, a32, a33 := a[12], a[13], a[14], a[15]
+		for j := 0; j < nr; j++ {
+			v0, v1, v2, v3 := b0[j], b1[j], b2[j], b3[j]
+			acc0[j] += a00*v0 + a10*v1 + a20*v2 + a30*v3
+			acc1[j] += a01*v0 + a11*v1 + a21*v2 + a31*v3
+			acc2[j] += a02*v0 + a12*v1 + a22*v2 + a32*v3
+			acc3[j] += a03*v0 + a13*v1 + a23*v2 + a33*v3
+		}
+	}
+	for ; kk < kc; kk++ {
+		a := (*[mr]float32)(aps[kk*mr:])
+		b0 := (*[nr]float32)(bps[kk*nr:])
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		for j := 0; j < nr; j++ {
+			v := b0[j]
+			acc0[j] += a0 * v
+			acc1[j] += a1 * v
+			acc2[j] += a2 * v
+			acc3[j] += a3 * v
+		}
+	}
+	copy(acc[0*nr:1*nr], acc0[:])
+	copy(acc[1*nr:2*nr], acc1[:])
+	copy(acc[2*nr:3*nr], acc2[:])
+	copy(acc[3*nr:4*nr], acc3[:])
+}

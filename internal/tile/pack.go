@@ -1,0 +1,148 @@
+package tile
+
+import "sync"
+
+// Packed register-blocked GEMM (COSMA/BLIS-style, §4.2's "keep the local
+// GEMM saturated" requirement). The operand panels are copied once into
+// contiguous, cache-friendly scratch — A in mr-row strips stored k-major, B
+// in nr-column strips stored k-major — so the micro-kernel streams both
+// with unit stride, no bounds checks, and no strided-view arithmetic. The
+// micro-kernel holds an mr×nr accumulator tile in registers across the
+// whole K panel (SSE2 on amd64, unrolled scalar elsewhere), touching each C
+// element once per panel instead of once per K step.
+//
+// Blocking parameters: the B micro-panel (kcBlock×nr floats = 8 KiB) is
+// L1-resident across the inner loop over A strips; the A panel
+// (mcBlock×kcBlock = 128 KiB) is L2-resident across the loop over B
+// strips; the packed B panel (kcBlock×ncBlock = 1 MiB) is L2/L3-resident
+// across A panels.
+const (
+	mr      = 4 // micro-kernel rows
+	nr      = 8 // micro-kernel cols (two 4-float vectors)
+	kcBlock = 256
+	mcBlock = 128
+	ncBlock = 1024
+)
+
+// gemmScratch is one worker's packing buffers. Pooled so steady-state
+// Gemm calls perform no allocation (the paper's single up-front allocation
+// discipline, §4.2).
+type gemmScratch struct {
+	a []float32 // mcBlock×kcBlock, mr-padded
+	b []float32 // kcBlock×ncBlock, nr-padded
+}
+
+var gemmScratchPool = sync.Pool{
+	New: func() any {
+		return &gemmScratch{
+			a: make([]float32, (mcBlock+mr)*kcBlock),
+			b: make([]float32, kcBlock*(ncBlock+nr)),
+		}
+	},
+}
+
+// GemmPacked computes C += A*B with the packed register-blocked kernel,
+// regardless of problem size. Gemm dispatches here for all but tiny
+// products; the export exists so tests and benchmarks can drive the packed
+// path directly.
+func GemmPacked(c, a, b *Matrix) {
+	checkGemmShapes(c, a, b)
+	gemmPacked(c, a, b)
+}
+
+func gemmPacked(c, a, b *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	s := gemmScratchPool.Get().(*gemmScratch)
+	defer gemmScratchPool.Put(s)
+	for jc := 0; jc < n; jc += ncBlock {
+		nc := min(ncBlock, n-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kc := min(kcBlock, k-pc)
+			packB(s.b, b, pc, jc, kc, nc)
+			for ic := 0; ic < m; ic += mcBlock {
+				mc := min(mcBlock, m-ic)
+				packA(s.a, a, ic, pc, mc, kc)
+				gemmPanels(c, s.a, s.b, ic, jc, mc, nc, kc)
+			}
+		}
+	}
+}
+
+// packA copies A[ic:ic+mc, pc:pc+kc] into ap as ceil(mc/mr) strips of mr
+// rows, each strip stored k-major (ap[strip*kc*mr + kk*mr + r]). Rows past
+// mc are zero-padded so the micro-kernel never branches on the row edge.
+func packA(ap []float32, a *Matrix, ic, pc, mc, kc int) {
+	for s0 := 0; s0 < mc; s0 += mr {
+		base := (s0 / mr) * kc * mr
+		for r := 0; r < mr; r++ {
+			i := ic + s0 + r
+			if s0+r >= mc {
+				for kk := 0; kk < kc; kk++ {
+					ap[base+kk*mr+r] = 0
+				}
+				continue
+			}
+			arow := a.Data[i*a.Stride+pc : i*a.Stride+pc+kc]
+			for kk, v := range arow {
+				ap[base+kk*mr+r] = v
+			}
+		}
+	}
+}
+
+// packB copies B[pc:pc+kc, jc:jc+nc] into bp as ceil(nc/nr) strips of nr
+// columns, each strip stored k-major (bp[strip*kc*nr + kk*nr + j]).
+// Columns past nc are zero-padded.
+func packB(bp []float32, b *Matrix, pc, jc, kc, nc int) {
+	strips := (nc + nr - 1) / nr
+	for s0 := 0; s0 < strips; s0++ {
+		base := s0 * kc * nr
+		j0 := jc + s0*nr
+		w := min(nr, jc+nc-j0)
+		for kk := 0; kk < kc; kk++ {
+			brow := b.Data[(pc+kk)*b.Stride+j0 : (pc+kk)*b.Stride+j0+w]
+			dst := bp[base+kk*nr : base+kk*nr+nr]
+			copy(dst, brow)
+			for j := w; j < nr; j++ {
+				dst[j] = 0
+			}
+		}
+	}
+}
+
+// gemmPanels multiplies the packed mc×kc A panel by the packed kc×nc B
+// panel into C[ic:ic+mc, jc:jc+nc]. The loop over A strips is innermost so
+// each B micro-panel (kc×nr, 8 KiB) stays L1-resident while every strip
+// of A streams over it.
+func gemmPanels(c *Matrix, ap, bp []float32, ic, jc, mc, nc, kc int) {
+	if kc == 0 {
+		return
+	}
+	for jr := 0; jr < nc; jr += nr {
+		bpanel := bp[(jr/nr)*kc*nr:]
+		cols := min(nr, nc-jr)
+		for ir := 0; ir < mc; ir += mr {
+			apanel := ap[(ir/mr)*kc*mr:]
+			rows := min(mr, mc-ir)
+			microTile(c, apanel, bpanel, kc, ic+ir, jc+jr, rows, cols)
+		}
+	}
+}
+
+// microTile computes a full mr×nr accumulator tile over kc steps from the
+// packed panels (zero-padded at the edges) and adds the valid rows×cols
+// window into C at (i0, j0).
+func microTile(c *Matrix, ap, bp []float32, kc, i0, j0, rows, cols int) {
+	var acc [mr * nr]float32
+	microKernelAccum(&acc, &ap[0], &bp[0], kc)
+	for r := 0; r < rows; r++ {
+		arow := acc[r*nr : r*nr+nr]
+		crow := c.Data[(i0+r)*c.Stride+j0 : (i0+r)*c.Stride+j0+cols]
+		for j := range crow {
+			crow[j] += arow[j]
+		}
+	}
+}

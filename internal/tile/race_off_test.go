@@ -1,0 +1,8 @@
+//go:build !race
+
+package tile
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under -race because the
+// instrumentation itself allocates and sync.Pool sheds items.
+const raceEnabled = false

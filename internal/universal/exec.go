@@ -2,6 +2,7 @@ package universal
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"slicing/internal/distmat"
 	"slicing/internal/gpusim"
@@ -22,7 +23,9 @@ type Config struct {
 	// configurable concurrency limit trading asynchrony for memory.
 	MaxInflight int
 	// CacheTiles bounds the recently-fetched tile cache used for reuse
-	// across consecutive ops.
+	// across consecutive ops. It also bounds the executor's resident tile
+	// buffers: a fetched tile's buffer returns to the pool when the
+	// plan-time LRU would have evicted it.
 	CacheTiles int
 	// SubTileFetch switches to the bandwidth-optimal fetch mode: each op
 	// pulls only its exact (M,K)/(K,N) slices instead of whole tiles. It
@@ -30,8 +33,8 @@ type Config struct {
 	// matrices, but gives up cross-op tile reuse (see the fetch-mode
 	// ablation benchmark).
 	SubTileFetch bool
-	// Pool supplies scratch buffers for partial results; nil allocates one
-	// internally.
+	// Pool supplies scratch buffers for partial results and fetched tiles;
+	// nil allocates one internally.
 	Pool *gpusim.Pool
 	// ReduceOrigin is the replica partial C results are reduced into when C
 	// is replicated.
@@ -94,119 +97,240 @@ func MultiplyAccumulate(pe rt.PE, prob Problem, cfg Config) Stationary {
 	return plan.Stationary
 }
 
+// tileSlot is one fetched tile buffer with its in-flight future and a
+// reference count. A slot is born with one reference held by the tile
+// cache (its plan-time LRU residency); every step using the tile takes a
+// reference for the duration of its GEMM→accumulate chain. When the count
+// reaches zero — the LRU residency has ended and no in-flight chain still
+// reads the buffer — the buffer returns to the pool for the next fetch.
+type tileSlot struct {
+	fut  distmat.TileFuture
+	mat  tile.Matrix
+	buf  []float32
+	pool *gpusim.Pool
+	refs atomic.Int32
+}
+
+// acquire takes a user reference and blocks until the fetch has landed.
+func (s *tileSlot) acquire() *tile.Matrix {
+	s.refs.Add(1)
+	return s.fut.Wait()
+}
+
+// release drops one reference, recycling the buffer on the last one.
+func (s *tileSlot) release() {
+	if s.refs.Add(-1) == 0 && s.buf != nil {
+		s.pool.Put(s.buf)
+		s.buf = nil
+	}
+}
+
+// stepOperands holds one step's sliced operand views. They live in a
+// per-plan array so slicing allocates nothing per step.
+type stepOperands struct {
+	a, b tile.Matrix
+}
+
 // ExecutePlan runs a per-rank plan with the §4.2 optimizations: iteration
 // offset (already baked into the op order), prefetching via
 // get_tile_async, asynchronous GEMM→accumulate chains with bounded
-// concurrency, and pooled scratch memory. It performs no collective
+// concurrency, and pooled scratch memory. The loop is allocation-free in
+// the steady state: fetched tiles land in pooled buffers held in
+// refcounted slots whose eviction mirrors the plan-time tile LRU
+// (planFetchSchedule), operand views live in per-plan arrays, and GEMM
+// partials come from the same pool. It performs no collective
 // synchronization; callers barrier afterwards.
 func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
 	cfg = cfg.withDefaults()
-	fetched := map[cacheKey]*distmat.TileFuture{}
-	subA := map[int]*distmat.TileFuture{}
-	subB := map[int]*distmat.TileFuture{}
+	pool := cfg.Pool
+	nsteps := len(plan.Steps)
+	sched := planFetchSchedule(plan, cfg.CacheTiles)
+	aSlots := make([]tileSlot, nsteps)
+	bSlots := make([]tileSlot, nsteps)
+	operands := make([]stepOperands, nsteps)
+	slotFor := func(ref fetchRef) *tileSlot {
+		if ref.mat == 'A' {
+			return &aSlots[ref.step]
+		}
+		return &bSlots[ref.step]
+	}
+
+	// issueTileFetch starts the async whole-tile copy for step i's operand
+	// into a recycled pooled buffer.
+	issueTileFetch := func(s *tileSlot, m *distmat.Matrix, idx index.TileIdx) {
+		b := m.TileBounds(idx)
+		rows, cols := b.Shape()
+		s.pool = pool
+		s.buf = pool.GetUninit(rows * cols)
+		s.mat = tile.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: s.buf}
+		s.refs.Store(1) // the cache's residency reference
+		m.GetTileIntoAsync(pe, &s.fut, &s.mat, idx, distmat.LocalReplica)
+	}
+	// issueSubFetch starts the async exact-slice copy for a sub-tile step.
+	// Sub-tile fetches are single-use, so their residency reference is
+	// dropped as soon as the step's chain holds its own.
+	issueSubFetch := func(s *tileSlot, m *distmat.Matrix, idx index.TileIdx, sub index.Rect) {
+		rows, cols := sub.Shape()
+		s.pool = pool
+		s.buf = pool.GetUninit(rows * cols)
+		s.mat = tile.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: s.buf}
+		s.refs.Store(1)
+		m.GetSubTileIntoAsync(pe, &s.fut, &s.mat, idx, distmat.LocalReplica, sub)
+	}
 
 	// issueFetches starts the async copies needed by steps [from, to).
 	issueFetches := func(from, to int) {
-		for i := from; i < to && i < len(plan.Steps); i++ {
+		for i := from; i < to && i < nsteps; i++ {
 			s := plan.Steps[i]
 			if s.SubTile {
 				if s.FetchA {
-					subA[i] = prob.A.GetSubTileAsync(pe, s.Op.AIdx, distmat.LocalReplica,
-						index.Rect{Rows: s.Op.M, Cols: s.Op.K})
+					issueSubFetch(&aSlots[i], prob.A, s.Op.AIdx, index.Rect{Rows: s.Op.M, Cols: s.Op.K})
 				}
 				if s.FetchB {
-					subB[i] = prob.B.GetSubTileAsync(pe, s.Op.BIdx, distmat.LocalReplica,
-						index.Rect{Rows: s.Op.K, Cols: s.Op.N})
+					issueSubFetch(&bSlots[i], prob.B, s.Op.BIdx, index.Rect{Rows: s.Op.K, Cols: s.Op.N})
 				}
 				continue
 			}
 			if s.FetchA {
-				key := cacheKey{'A', s.Op.AIdx}
-				fetched[key] = prob.A.GetTileAsync(pe, s.Op.AIdx, distmat.LocalReplica)
+				issueTileFetch(&aSlots[i], prob.A, s.Op.AIdx)
 			}
 			if s.FetchB {
-				key := cacheKey{'B', s.Op.BIdx}
-				fetched[key] = prob.B.GetTileAsync(pe, s.Op.BIdx, distmat.LocalReplica)
+				issueTileFetch(&bSlots[i], prob.B, s.Op.BIdx)
 			}
 		}
 	}
 
-	acquire := func(m *distmat.Matrix, local bool, key cacheKey) *tile.Matrix {
+	// acquireTile resolves a full-tile operand: a zero-copy local view, the
+	// refcounted slot of the fetch serving this step (waiting for it to
+	// land), or — if the plan's fetch decisions don't match the replayed
+	// schedule (plan built with a different cache capacity) — a synchronous
+	// fallback get. Each operand gets its own local-view header (reused
+	// across steps, so slicing allocates nothing) so a step with two local
+	// tiles never aliases them.
+	var aLocalView, bLocalView tile.Matrix
+	acquireTile := func(m *distmat.Matrix, local bool, src int, idx index.TileIdx, slots []tileSlot, localView *tile.Matrix) (*tile.Matrix, *tileSlot) {
 		if local {
-			return m.Tile(pe, key.idx, distmat.LocalReplica)
+			m.TileInto(pe, localView, idx, distmat.LocalReplica)
+			return localView, nil
 		}
-		f, ok := fetched[key]
-		if !ok {
-			// The plan marked this a cache hit of an earlier fetch; the
-			// future map retains completed fetches, so absence means the
-			// fetch was never issued — fall back to a synchronous get.
-			return m.GetTile(pe, key.idx, distmat.LocalReplica)
+		if src >= 0 {
+			slot := &slots[src]
+			return slot.acquire(), slot
 		}
-		return f.Wait()
+		return m.GetTile(pe, idx, distmat.LocalReplica), nil
 	}
 
-	sem := make(chan struct{}, cfg.MaxInflight)
+	// Bounded chain concurrency (§4.2's configurable limit): a fixed crew
+	// of MaxInflight workers drains a channel of ready chains. Tasks are
+	// plain values, so dispatching a step allocates nothing; the unbuffered
+	// send blocks exactly when all workers are busy, which is the same
+	// admission control as a counting semaphore.
+	tasks := make(chan chainTask)
+	evictCursor := 0
 	var wg sync.WaitGroup
+	for w := 0; w < cfg.MaxInflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				gemmAccumulate(pe, prob, t.op, &t.ops.a, &t.ops.b, pool)
+				if t.aSlot != nil {
+					t.aSlot.release()
+				}
+				if t.bSlot != nil {
+					t.bSlot.release()
+				}
+			}
+		}()
+	}
 
 	issueFetches(0, 1+cfg.PrefetchDepth)
 	for i, s := range plan.Steps {
 		issueFetches(i+1+cfg.PrefetchDepth, i+2+cfg.PrefetchDepth)
 
-		var aSlice, bSlice *tile.Matrix
+		ops := &operands[i]
+		var aSlot, bSlot *tileSlot
 		if s.SubTile {
-			aSlice = acquireSub(pe, prob.A, s.ALocal, s.Op.AIdx, index.Rect{Rows: s.Op.M, Cols: s.Op.K}, subA, i)
-			bSlice = acquireSub(pe, prob.B, s.BLocal, s.Op.BIdx, index.Rect{Rows: s.Op.K, Cols: s.Op.N}, subB, i)
+			aSlot = acquireSub(pe, prob.A, s.ALocal, s.Op.AIdx, index.Rect{Rows: s.Op.M, Cols: s.Op.K}, &aSlots[i], &ops.a)
+			bSlot = acquireSub(pe, prob.B, s.BLocal, s.Op.BIdx, index.Rect{Rows: s.Op.K, Cols: s.Op.N}, &bSlots[i], &ops.b)
 		} else {
-			aTile := acquire(prob.A, s.ALocal, cacheKey{'A', s.Op.AIdx})
-			bTile := acquire(prob.B, s.BLocal, cacheKey{'B', s.Op.BIdx})
+			var aTile, bTile *tile.Matrix
+			aTile, aSlot = acquireTile(prob.A, s.ALocal, sched.srcA[i], s.Op.AIdx, aSlots, &aLocalView)
+			bTile, bSlot = acquireTile(prob.B, s.BLocal, sched.srcB[i], s.Op.BIdx, bSlots, &bLocalView)
 			// Slice the tiles down to the op's global (M, K, N) bounds.
 			ab := prob.A.TileBounds(s.Op.AIdx)
+			aTile.ViewInto(&ops.a, s.Op.M.Begin-ab.Rows.Begin, s.Op.K.Begin-ab.Cols.Begin, s.Op.M.Len(), s.Op.K.Len())
 			bb := prob.B.TileBounds(s.Op.BIdx)
-			aSlice = aTile.View(s.Op.M.Begin-ab.Rows.Begin, s.Op.K.Begin-ab.Cols.Begin, s.Op.M.Len(), s.Op.K.Len())
-			bSlice = bTile.View(s.Op.K.Begin-bb.Rows.Begin, s.Op.N.Begin-bb.Cols.Begin, s.Op.K.Len(), s.Op.N.Len())
+			bTile.ViewInto(&ops.b, s.Op.K.Begin-bb.Rows.Begin, s.Op.N.Begin-bb.Cols.Begin, s.Op.K.Len(), s.Op.N.Len())
 		}
 
-		op := s.Op
-		sem <- struct{}{}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			gemmAccumulate(pe, prob, op, aSlice, bSlice, cfg.Pool)
-		}()
+		tasks <- chainTask{op: s.Op, ops: ops, aSlot: aSlot, bSlot: bSlot}
+
+		// Sub-tile fetches are single-use: drop their residency reference
+		// now that the chain holds its own.
+		if s.SubTile {
+			if aSlot != nil {
+				aSlot.release()
+			}
+			if bSlot != nil {
+				bSlot.release()
+			}
+		}
+		// Retire buffers whose plan-time LRU residency ended at this step.
+		for evictCursor < len(sched.evictions) && sched.evictions[evictCursor].atStep == i {
+			slotFor(sched.evictions[evictCursor].ref).release()
+			evictCursor++
+		}
 	}
+	close(tasks)
 	wg.Wait()
+	for ; evictCursor < len(sched.evictions); evictCursor++ {
+		slotFor(sched.evictions[evictCursor].ref).release()
+	}
 }
 
-// acquireSub resolves one operand in sub-tile mode: a strided view of the
-// local tile, or the per-step prefetched slice (falling back to a
-// synchronous sub-tile get if the prefetch was never issued).
+// chainTask is one ready GEMM→accumulate chain handed to the worker crew.
+type chainTask struct {
+	op           LocalOp
+	ops          *stepOperands
+	aSlot, bSlot *tileSlot
+}
+
+// acquireSub resolves one operand in sub-tile mode, filling view: a strided
+// view of the local tile, or the step's prefetched slice (falling back to a
+// synchronous sub-tile get if the prefetch was never issued). It returns
+// the slot whose chain reference the caller must release, nil for local
+// operands.
 func acquireSub(pe rt.PE, m *distmat.Matrix, local bool, idx index.TileIdx,
-	sub index.Rect, prefetched map[int]*distmat.TileFuture, step int) *tile.Matrix {
+	sub index.Rect, slot *tileSlot, view *tile.Matrix) *tileSlot {
 	if local {
 		b := m.TileBounds(idx)
-		t := m.Tile(pe, idx, distmat.LocalReplica)
+		var t tile.Matrix
+		m.TileInto(pe, &t, idx, distmat.LocalReplica)
 		loc := sub.Localize(b.Rows.Begin, b.Cols.Begin)
-		return t.View(loc.Rows.Begin, loc.Cols.Begin, sub.Rows.Len(), sub.Cols.Len())
+		t.ViewInto(view, loc.Rows.Begin, loc.Cols.Begin, sub.Rows.Len(), sub.Cols.Len())
+		return nil
 	}
-	if f, ok := prefetched[step]; ok {
-		delete(prefetched, step)
-		return f.Wait()
+	if slot.buf != nil || slot.fut.Tile != nil {
+		*view = *slot.acquire()
+		return slot
 	}
-	return m.GetSubTile(pe, idx, distmat.LocalReplica, sub)
+	*view = *m.GetSubTile(pe, idx, distmat.LocalReplica, sub)
+	return nil
 }
 
 // gemmAccumulate multiplies the sliced tiles into a pooled scratch buffer
 // and atomically accumulates the result into C — the GEMM→accumulate chain
 // of §4.2. aSlice and bSlice must already be sliced to the op's (M,K) and
-// (K,N) bounds.
+// (K,N) bounds. It performs no heap allocation in the steady state: the
+// partial lives in a pooled buffer and its header on the stack.
 func gemmAccumulate(pe rt.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Matrix, pool *gpusim.Pool) {
 	rows, cols := op.M.Len(), op.N.Len()
 	buf := pool.Get(rows * cols)
-	partial := tile.FromSlice(rows, cols, buf)
-	tile.Gemm(partial, aSlice, bSlice)
+	partial := tile.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: buf}
+	tile.Gemm(&partial, aSlice, bSlice)
 	rt.ChargeGemm(pe, rows, cols, op.K.Len())
-	prob.C.AccumulateSubTile(pe, op.CIdx, distmat.LocalReplica, subRect(op), partial)
+	prob.C.AccumulateSubTile(pe, op.CIdx, distmat.LocalReplica, subRect(op), &partial)
 	pool.Put(buf)
 }
 

@@ -1,0 +1,269 @@
+package universal
+
+import (
+	"testing"
+
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+	"slicing/internal/tile"
+)
+
+// The fetch schedule must mirror the plan builder's LRU exactly: every
+// step's non-local full-tile operand resolves to a step that actually
+// fetched it, and every fetch's residency is released exactly once.
+func TestPlanFetchScheduleMirrorsPlan(t *testing.T) {
+	w := shmem.NewWorld(4)
+	a := distmat.New(w, 96, 96, distmat.RowBlock{}, 1)
+	b := distmat.New(w, 96, 96, distmat.ColBlock{}, 1)
+	c := distmat.New(w, 96, 96, distmat.Block2D{}, 1)
+	prob := NewProblem(c, a, b)
+	for _, cacheTiles := range []int{1, 2, DefaultCacheTiles} {
+		for rank := 0; rank < 4; rank++ {
+			plan := BuildPlan(rank, prob, StationaryC, cacheTiles)
+			sched := planFetchSchedule(plan, cacheTiles)
+			released := map[fetchRef]int{}
+			prevStep := 0
+			for _, ev := range sched.evictions {
+				released[ev.ref]++
+				if ev.atStep < prevStep {
+					t.Fatalf("evictions out of order: step %d after %d", ev.atStep, prevStep)
+				}
+				prevStep = ev.atStep
+				if ev.atStep < len(plan.Steps) && ev.ref.step > ev.atStep {
+					t.Fatalf("rank %d cache %d: fetch %+v released at step %d before it was used",
+						rank, cacheTiles, ev.ref, ev.atStep)
+				}
+			}
+			fetches := 0
+			for i, s := range plan.Steps {
+				if s.SubTile {
+					continue
+				}
+				if s.FetchA {
+					fetches++
+					if sched.srcA[i] != i {
+						t.Fatalf("step %d fetches A but srcA = %d", i, sched.srcA[i])
+					}
+				}
+				if s.FetchB {
+					fetches++
+				}
+				if !s.ALocal && !s.FetchA {
+					f := sched.srcA[i]
+					if f < 0 || f >= i || !plan.Steps[f].FetchA {
+						t.Fatalf("step %d cache-hit A resolves to invalid fetch step %d", i, f)
+					}
+				}
+				if !s.BLocal && !s.FetchB {
+					f := sched.srcB[i]
+					if f < 0 || f >= i || !plan.Steps[f].FetchB {
+						t.Fatalf("step %d cache-hit B resolves to invalid fetch step %d", i, f)
+					}
+				}
+			}
+			total := 0
+			for ref, n := range released {
+				if n != 1 {
+					t.Fatalf("fetch %+v released %d times", ref, n)
+				}
+				total++
+			}
+			if total != fetches {
+				t.Fatalf("rank %d cache %d: %d fetches but %d releases", rank, cacheTiles, fetches, total)
+			}
+		}
+	}
+}
+
+// The executor's resident tile memory must be bounded by the LRU capacity,
+// not by the number of fetches in the plan: on a many-tile problem, running
+// with a tiny tile cache must peak well below running with a cache big
+// enough that nothing is ever evicted (which is what the seed executor
+// did for every cache size — it retained all fetched tiles until the end).
+func TestExecutePoolBoundedByTileCache(t *testing.T) {
+	const p, n = 4, 256
+	run := func(cacheTiles int) int {
+		w := shmem.NewWorld(p)
+		part := distmat.Custom{TileRows: 32, TileCols: 32, ProcRows: 2, ProcCols: 2}
+		a := distmat.New(w, n, n, part, 1)
+		b := distmat.New(w, n, n, part, 1)
+		c := distmat.New(w, n, n, distmat.Block2D{}, 1)
+		pool := gpusim.NewPool()
+		cfg := DefaultConfig()
+		cfg.Stationary = StationaryC
+		cfg.CacheTiles = cacheTiles
+		cfg.Pool = pool
+		w.Run(func(pe rt.PE) {
+			a.FillRandom(pe, 1)
+			b.FillRandom(pe, 2)
+			Multiply(pe, c, a, b, cfg)
+		})
+		return pool.Stats().HighWater
+	}
+	small := run(2)
+	unbounded := run(1 << 20) // nothing ever evicted: the seed behaviour
+	if small == 0 || unbounded == 0 {
+		t.Fatal("pool was never used")
+	}
+	if small >= unbounded {
+		t.Fatalf("high water with 2-tile cache (%d elems) not below unbounded cache (%d elems): eviction is not recycling buffers",
+			small, unbounded)
+	}
+}
+
+// Executing the same multiply twice over one shared pool must not grow the
+// pool on the second pass: the steady state reuses recycled tile buffers
+// and partials instead of allocating (the allocation-free hot path).
+func TestExecuteSteadyStateReusesPool(t *testing.T) {
+	const p, n = 4, 192
+	w := shmem.NewWorld(p)
+	a := distmat.New(w, n, n, distmat.RowBlock{}, 1)
+	b := distmat.New(w, n, n, distmat.ColBlock{}, 1)
+	c := distmat.New(w, n, n, distmat.Block2D{}, 1)
+	pool := gpusim.NewPool()
+	cfg := DefaultConfig()
+	cfg.Pool = pool
+	cfg.Stationary = StationaryC
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 1)
+		b.FillRandom(pe, 2)
+		Multiply(pe, c, a, b, cfg)
+	})
+	after1 := pool.Stats()
+	w.Run(func(pe rt.PE) {
+		Multiply(pe, c, a, b, cfg)
+	})
+	after2 := pool.Stats()
+	if after2.Allocs != after1.Allocs {
+		t.Fatalf("second multiply allocated %d fresh pool buffers (want 0: all recycled)",
+			after2.Allocs-after1.Allocs)
+	}
+	if after2.Live != 0 {
+		t.Fatalf("%d pool elements still live after execution", after2.Live)
+	}
+}
+
+// gemmAccumulate — the per-step GEMM→accumulate chain — must be heap
+// allocation free in the steady state: pooled partial buffer, stack view
+// headers, chunked in-place accumulate.
+func TestGemmAccumulateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only meaningful without -race")
+	}
+	const p, n = 2, 128
+	w := shmem.NewWorld(p)
+	a := distmat.New(w, n, n, distmat.RowBlock{}, 1)
+	b := distmat.New(w, n, n, distmat.RowBlock{}, 1)
+	c := distmat.New(w, n, n, distmat.RowBlock{}, 1)
+	prob := NewProblem(c, a, b)
+	pool := gpusim.NewPool()
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 1)
+		b.FillRandom(pe, 2)
+		pe.Barrier()
+		if pe.Rank() != 0 {
+			return
+		}
+		plan := BuildPlan(0, prob, StationaryC, DefaultCacheTiles)
+		var op LocalOp
+		found := false
+		for _, s := range plan.Steps {
+			if s.ALocal && s.BLocal {
+				op, found = s.Op, true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("no fully local step in plan")
+		}
+		var aT, bT, aSlice, bSlice tile.Matrix
+		prob.A.TileInto(pe, &aT, op.AIdx, distmat.LocalReplica)
+		prob.B.TileInto(pe, &bT, op.BIdx, distmat.LocalReplica)
+		ab := prob.A.TileBounds(op.AIdx)
+		bb := prob.B.TileBounds(op.BIdx)
+		aT.ViewInto(&aSlice, op.M.Begin-ab.Rows.Begin, op.K.Begin-ab.Cols.Begin, op.M.Len(), op.K.Len())
+		bT.ViewInto(&bSlice, op.K.Begin-bb.Rows.Begin, op.N.Begin-bb.Cols.Begin, op.K.Len(), op.N.Len())
+		gemmAccumulate(pe, prob, op, &aSlice, &bSlice, pool) // warm pools
+		allocs := testing.AllocsPerRun(10, func() {
+			gemmAccumulate(pe, prob, op, &aSlice, &bSlice, pool)
+		})
+		if allocs > 0 {
+			t.Errorf("gemmAccumulate allocates %v objects per call in steady state, want 0", allocs)
+		}
+	})
+}
+
+// ExecutePlan run with a cache capacity different from the one the plan
+// was built with (legal: both are exported) must stay correct and must not
+// leak pooled buffers — a plan re-fetch of a tile the executor's larger
+// replay cache still holds shadows the old slot, whose residency must end
+// there and then (the planFetchSchedule shadowed-fetch eviction).
+func TestExecuteWithMismatchedCacheCapacity(t *testing.T) {
+	const p, m, n, k = 4, 100, 90, 110
+	for _, caps := range [][2]int{{1, 8}, {8, 1}, {2, 1 << 10}} {
+		planCap, execCap := caps[0], caps[1]
+		w := shmem.NewWorld(p)
+		a := distmat.New(w, m, k, distmat.Custom{TileRows: 7, TileCols: 11, ProcRows: 2, ProcCols: 2}, 1)
+		b := distmat.New(w, k, n, distmat.ColBlock{}, 1)
+		c := distmat.New(w, m, n, distmat.Block2D{}, 1)
+		prob := NewProblem(c, a, b)
+		pool := gpusim.NewPool()
+		cfg := DefaultConfig()
+		cfg.CacheTiles = execCap
+		cfg.Pool = pool
+		var got, want *tile.Matrix
+		w.Run(func(pe rt.PE) {
+			a.FillRandom(pe, 8)
+			b.FillRandom(pe, 9)
+			c.Zero(pe)
+			plan := BuildPlan(pe.Rank(), prob, StationaryC, planCap)
+			ExecutePlan(pe, prob, plan, cfg)
+			pe.Barrier()
+			if pe.Rank() == 0 {
+				got = c.Gather(pe, 0)
+				want = tile.New(m, n)
+				tile.GemmNaive(want, a.Gather(pe, 0), b.Gather(pe, 0))
+			}
+		})
+		if !got.AllClose(want, 1e-4) {
+			t.Fatalf("plan cache %d / exec cache %d: mismatch %g", planCap, execCap, got.MaxAbsDiff(want))
+		}
+		if live := pool.Stats().Live; live != 0 {
+			t.Fatalf("plan cache %d / exec cache %d: %d pool elements leaked", planCap, execCap, live)
+		}
+	}
+}
+
+// Multiplies driven through the slot-based executor must stay correct when
+// evictions are frequent (CacheTiles=1) and in sub-tile mode, where every
+// step's slices are single-use pooled buffers.
+func TestExecuteCorrectUnderEvictionPressure(t *testing.T) {
+	const p, m, n, k = 4, 100, 90, 110
+	for _, sub := range []bool{false, true} {
+		w := shmem.NewWorld(p)
+		a := distmat.New(w, m, k, distmat.Custom{TileRows: 7, TileCols: 11, ProcRows: 2, ProcCols: 2}, 1)
+		b := distmat.New(w, k, n, distmat.ColBlock{}, 1)
+		c := distmat.New(w, m, n, distmat.Block2D{}, 1)
+		cfg := DefaultConfig()
+		cfg.CacheTiles = 1
+		cfg.SubTileFetch = sub
+		cfg.Stationary = StationaryC
+		var got, want *tile.Matrix
+		w.Run(func(pe rt.PE) {
+			a.FillRandom(pe, 5)
+			b.FillRandom(pe, 6)
+			Multiply(pe, c, a, b, cfg)
+			pe.Barrier()
+			if pe.Rank() == 0 {
+				got = c.Gather(pe, 0)
+				want = tile.New(m, n)
+				tile.GemmNaive(want, a.Gather(pe, 0), b.Gather(pe, 0))
+			}
+		})
+		if !got.AllClose(want, 1e-4) {
+			t.Fatalf("subTile=%v: executor mismatch under eviction pressure: %g", sub, got.MaxAbsDiff(want))
+		}
+	}
+}

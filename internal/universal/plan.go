@@ -116,6 +116,92 @@ func (l *tileLRU) touch(k cacheKey) (hit bool, evicted cacheKey, didEvict bool) 
 	return false, cacheKey{}, false
 }
 
+// fetchRef names one fetch in a plan: the step that issued it and the
+// operand matrix it was issued for.
+type fetchRef struct {
+	step int
+	mat  byte // 'A' or 'B'
+}
+
+// fetchEvict records that a fetch's cache residency ends once step atStep
+// has been dispatched; atStep == len(steps) marks fetches still resident at
+// the end of the plan.
+type fetchEvict struct {
+	atStep int
+	ref    fetchRef
+}
+
+// fetchSchedule is the executor's precomputed view of the plan-time tile
+// LRU: where each step's non-local full-tile operand comes from, and when
+// each fetched buffer's cache residency ends. Replaying the same LRU the
+// plan builder used makes the executor's buffer lifetimes mirror the plan's
+// fetch decisions by construction — a tile buffer is recycled exactly when
+// the plan would have re-fetched it — so steady-state execution holds at
+// most CacheTiles tile buffers per operand instead of retaining every fetch
+// for the whole plan.
+type fetchSchedule struct {
+	// srcA[i] / srcB[i] give the step whose fetch serves step i's operand
+	// (srcX[i] == i when the step fetches it itself); -1 marks operands
+	// with no backing fetch: local tiles, sub-tile steps, and — if the
+	// plan was built with a different cache capacity than the executor's —
+	// hits the replay cannot resolve, which fall back to a synchronous get.
+	srcA, srcB []int
+	// evictions lists every fetch's residency end in non-decreasing atStep
+	// order (each fetch appears exactly once), so the executor retires
+	// buffers by walking a cursor instead of per-step slices.
+	evictions []fetchEvict
+}
+
+// planFetchSchedule replays the tile LRU over a plan's steps. cacheTiles
+// must match the capacity the plan was built with for the replay to mirror
+// its fetch decisions exactly.
+func planFetchSchedule(pl Plan, cacheTiles int) fetchSchedule {
+	n := len(pl.Steps)
+	sched := fetchSchedule{
+		srcA: make([]int, n),
+		srcB: make([]int, n),
+	}
+	cache := newTileLRU(cacheTiles)
+	lastFetch := map[cacheKey]fetchRef{}
+	resolve := func(i int, src *int, fetched, local bool, key cacheKey) {
+		*src = -1
+		if local {
+			return
+		}
+		if fetched {
+			// A re-fetch while the replay still holds the key only happens
+			// when the executor's cache capacity exceeds the plan's; end
+			// the shadowed fetch's residency here so its buffer is not
+			// leaked (every fetch must appear in evictions exactly once).
+			if old, ok := lastFetch[key]; ok {
+				sched.evictions = append(sched.evictions, fetchEvict{atStep: i, ref: old})
+			}
+			lastFetch[key] = fetchRef{step: i, mat: key.mat}
+		}
+		if ref, ok := lastFetch[key]; ok {
+			*src = ref.step
+		}
+		if _, evicted, did := cache.touch(key); did {
+			if ref, ok := lastFetch[evicted]; ok {
+				sched.evictions = append(sched.evictions, fetchEvict{atStep: i, ref: ref})
+				delete(lastFetch, evicted)
+			}
+		}
+	}
+	for i, s := range pl.Steps {
+		sched.srcA[i], sched.srcB[i] = -1, -1
+		if s.SubTile {
+			continue
+		}
+		resolve(i, &sched.srcA[i], s.FetchA, s.ALocal, cacheKey{'A', s.Op.AIdx})
+		resolve(i, &sched.srcB[i], s.FetchB, s.BLocal, cacheKey{'B', s.Op.BIdx})
+	}
+	for _, ref := range lastFetch {
+		sched.evictions = append(sched.evictions, fetchEvict{atStep: n, ref: ref})
+	}
+	return sched
+}
+
 // BuildPlan resolves the ops rank must execute into a Step sequence:
 // which tiles are local, which fetches hit the tile cache, where updates
 // go, and how many bytes move.
