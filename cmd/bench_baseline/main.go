@@ -22,9 +22,11 @@ import (
 
 	"slicing/internal/bench"
 	"slicing/internal/distmat"
+	"slicing/internal/fabric"
 	"slicing/internal/gpusim"
 	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
+	"slicing/internal/simnet"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
 )
@@ -68,6 +70,14 @@ type Baseline struct {
 		Fig2MLP1BestPct float64 `json:"fig2_mlp1_best_pct"`
 		Fig3MLP1BestPct float64 `json:"fig3_mlp1_best_pct"`
 	} `json:"model"`
+
+	// Fabric anchors the link-graph network model: the predicted slowdown
+	// of an 8-node incast storm on a single-NIC fat-tree versus the scalar
+	// cluster topology (the regime PR 4's per-link contention exists to
+	// expose; the scalar model prices the storm as fully parallel).
+	Fabric struct {
+		IncastSlowdownX float64 `json:"incast_slowdown_x"`
+	} `json:"fabric"`
 }
 
 func gflopsOf(res testing.BenchmarkResult, flops float64) float64 {
@@ -155,8 +165,25 @@ func benchExecute() (gflops float64, steps int, allocsPerStep float64) {
 	return
 }
 
+// benchFabricIncast prices the 8→node-0 incast storm (4 MB per flow,
+// bench.IncastStorm — the same driver the acceptance test and the
+// examples/fabric_incast walkthrough run) on the scalar H100 cluster and
+// on the single-NIC fat-tree fabric and returns the predicted slowdown
+// ratio — a pure model number, stable across machines.
+func benchFabricIncast() float64 {
+	const nodes, perNode, elems = 9, 8, 1 << 20
+	dev := gpusim.PresetH100Device()
+	fromGPU0 := func(int) int { return 0 }
+	scalar, _ := bench.IncastStorm(simnet.PresetH100Cluster(nodes), dev, perNode, elems, fromGPU0)
+	if scalar <= 0 {
+		return 0
+	}
+	routed, _ := bench.IncastStorm(fabric.H100FatTree(nodes, 1, 1).Topology(), dev, perNode, elems, fromGPU0)
+	return routed / scalar
+}
+
 func main() {
-	pr := flag.Int("pr", 3, "PR number for the default output name")
+	pr := flag.Int("pr", 4, "PR number for the default output name")
 	out := flag.String("out", "", "output path (default BENCH_PR<pr>.json)")
 	flag.Parse()
 	path := *out
@@ -186,6 +213,9 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "measuring real-execution universal algorithm...")
 	base.Execute.GFlops, base.Execute.Steps, base.Execute.AllocsPerStep = benchExecute()
+
+	fmt.Fprintln(os.Stderr, "pricing the fabric incast anchor...")
+	base.Fabric.IncastSlowdownX = benchFabricIncast()
 
 	fmt.Fprintln(os.Stderr, "running quick figure sweeps...")
 	opts := bench.Options{Replications: []int{1, 2, 4}, Batches: []int{1024, 8192}}

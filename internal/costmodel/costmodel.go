@@ -38,10 +38,17 @@ func (md *Model) FetchCost(src, dst, bytes int) float64 {
 }
 
 // AccumCost returns the seconds for an accumulate of bytes from rank into
-// dst's memory, at the measured fraction of copy bandwidth.
+// dst's memory, at the measured fraction of copy bandwidth. Across a node
+// boundary (simnet.NodeMapper topologies) the accumulate is the §3
+// get+put round trip — two full transfers — matching what the timed
+// backends charge, so plan estimates and timed runs price the inter-node
+// regime identically.
 func (md *Model) AccumCost(rank, dst, bytes int) float64 {
 	if rank == dst {
 		return 2*float64(bytes)/md.Dev.MemBW + md.Dev.LaunchOverhead
+	}
+	if nm, ok := md.Topo.(simnet.NodeMapper); ok && nm.NodeOf(rank) != nm.NodeOf(dst) {
+		return md.FetchCost(dst, rank, bytes) + md.FetchCost(rank, dst, bytes)
 	}
 	bw := md.Topo.Bandwidth(rank, dst)
 	return md.Dev.AccumTime(float64(bytes), bw) + md.Topo.Latency(rank, dst) + md.Dev.LaunchOverhead

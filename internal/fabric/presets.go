@@ -1,0 +1,170 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"slicing/internal/simnet"
+)
+
+const (
+	gb = 1e9
+	us = 1e-6
+)
+
+// SingleSwitch builds the simplest routed node: p PEs hanging off one
+// ideal switch, each with a full-duplex port of linkBW. Every transfer
+// occupies the source's up-link and the destination's down-link — the
+// same contention structure as the legacy per-PE ports, now expressed as
+// links. The end-to-end latency of a PE→PE transfer is `latency` (split
+// evenly across the two hops).
+func SingleSwitch(p int, linkBW, localBW, latency float64, name string) *Fabric {
+	f := New(name, localBW)
+	sw := f.AddSwitch("sw")
+	for i := 0; i < p; i++ {
+		pe := f.AddPE(fmt.Sprintf("pe%d", i), 0)
+		f.Connect(pe, sw, linkBW, latency/2, fmt.Sprintf("pe%d.up", i))
+		f.Connect(sw, pe, linkBW, latency/2, fmt.Sprintf("pe%d.down", i))
+	}
+	return f.Freeze()
+}
+
+// H100Node is the routed 8-GPU H100 node of Table 2: every GPU owns a
+// 450 GB/s full-duplex NVLink port into the node's NVSwitch complex,
+// 3 µs end to end — the link-graph form of simnet.PresetH100.
+func H100Node() *Fabric {
+	return SingleSwitch(8, 450*gb, 2000*gb, 3*us, "8xH100 NVLink fabric")
+}
+
+// PVCNode is the routed 12-tile Intel PVC node of Table 2: 6 dual-tile
+// packages whose tiles share a 230 GB/s inter-tile bridge, plus a
+// 26.5 GB/s Xe Link port per tile into the node-level fabric. Unlike the
+// scalar simnet.PresetPVC — where one egress port serializes a tile's
+// inter-tile and Xe Link traffic — the two ports are distinct links here,
+// as they are in hardware.
+func PVCNode() *Fabric {
+	f := New("12xPVC XeLink fabric", 1000*gb)
+	xe := f.AddSwitch("xe")
+	for pkg := 0; pkg < 6; pkg++ {
+		hub := f.AddSwitch(fmt.Sprintf("pkg%d", pkg))
+		for t := 0; t < 2; t++ {
+			tile := f.AddPE(fmt.Sprintf("t%d", 2*pkg+t), 0)
+			f.BiConnect(tile, hub, 230*gb, 1*us, fmt.Sprintf("t%d.mdfi", 2*pkg+t))
+			f.BiConnect(tile, xe, 26.5*gb, 2.5*us, fmt.Sprintf("t%d.xe", 2*pkg+t))
+		}
+	}
+	return f.Freeze()
+}
+
+// H100FatTree builds a cluster of H100 nodes behind a rail-optimized IB
+// fat-tree:
+//
+//   - per node: 8 GPUs on an NVSwitch (450 GB/s ports, 3 µs end to end),
+//     used for intra-node traffic only;
+//   - railsPerNode NICs per node at 50 GB/s (400 Gb/s class); GPU j is
+//     PCIe-attached to NIC j mod railsPerNode and all its inter-node
+//     traffic enters the IB fabric there (GPUs do not forward, so there
+//     is no NVLink detour onto another GPU's rail); NIC r of every node
+//     connects to the shared rail switch r, so rail-aligned traffic (same
+//     NIC index at both ends) crosses exactly one switch;
+//   - when railsPerNode > 1, two spine planes join the rails for
+//     cross-rail traffic; each rail→spine uplink carries
+//     nodes·50 GB/s / oversub, so oversub is the fat-tree's
+//     oversubscription ratio and the equal-cost spine planes are spread
+//     across flows by ECMP hashing.
+//
+// railsPerNode = 1 is the DGX-style single-NIC node: the whole node's
+// inter-node traffic squeezes through one 50 GB/s port pair, the regime
+// where incast storms serialize. railsPerNode = 8 is the fully
+// rail-optimized build (400 GB/s aggregate per node).
+func H100FatTree(nodes, railsPerNode int, oversub float64) *Fabric {
+	if nodes <= 1 || railsPerNode < 1 || railsPerNode > 8 || 8%railsPerNode != 0 {
+		panic(fmt.Sprintf("fabric: invalid fat-tree %d nodes x %d rails", nodes, railsPerNode))
+	}
+	if oversub < 1 || math.IsNaN(oversub) {
+		panic(fmt.Sprintf("fabric: invalid oversubscription %g", oversub))
+	}
+	if railsPerNode == 1 && oversub != 1 {
+		// A single rail has no spine, so there is nothing to oversubscribe;
+		// refusing the parameter beats silently labeling identical fabrics
+		// with different ratios in a sweep.
+		panic(fmt.Sprintf("fabric: single-rail fat-tree has no spine to oversubscribe (%g:1)", oversub))
+	}
+	const nicBW = 50 * gb
+	name := fmt.Sprintf("%dx8xH100 fat-tree (%d rails, %g:1)", nodes, railsPerNode, oversub)
+	if railsPerNode == 1 {
+		name = fmt.Sprintf("%dx8xH100 fat-tree (single NIC)", nodes)
+	}
+	f := New(name, 2000*gb)
+
+	rails := make([]int, railsPerNode)
+	for r := range rails {
+		rails[r] = f.AddSwitch(fmt.Sprintf("rail%d", r))
+	}
+	if railsPerNode > 1 {
+		uplinkBW := float64(nodes) * nicBW / oversub
+		for s := 0; s < 2; s++ {
+			spine := f.AddSwitch(fmt.Sprintf("spine%d", s))
+			for r, rail := range rails {
+				f.BiConnect(rail, spine, uplinkBW, 1*us, fmt.Sprintf("rail%d.spine%d", r, s))
+			}
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		nvsw := f.AddSwitch(fmt.Sprintf("n%d.nvsw", n))
+		nics := make([]int, railsPerNode)
+		for r := range nics {
+			nics[r] = f.AddNIC(fmt.Sprintf("n%d.nic%d", n, r))
+			f.BiConnect(nics[r], rails[r], nicBW, 3.25*us, fmt.Sprintf("n%d.nic%d.ib", n, r))
+		}
+		for g := 0; g < 8; g++ {
+			gpu := f.AddPE(fmt.Sprintf("n%d.gpu%d", n, g), n)
+			f.BiConnect(gpu, nvsw, 450*gb, 1.5*us, fmt.Sprintf("n%d.gpu%d.nvl", n, g))
+			// PCIe hop priced so that two GPUs sharing a NIC still prefer
+			// NVLink for intra-node traffic (3.5 µs via the NIC vs 3 µs via
+			// the NVSwitch) while the inter-node end-to-end stays at 10 µs.
+			f.BiConnect(gpu, nics[g%railsPerNode], 450*gb, 1.75*us, fmt.Sprintf("n%d.gpu%d.pcie", n, g))
+		}
+	}
+	return f.Freeze()
+}
+
+// Degenerate lifts a scalar topology into the fabric model with the exact
+// legacy contention structure: each PE gets an ideal egress-port link and
+// ingress-port link (infinite bandwidth, zero latency), and every ordered
+// pair (s,d) gets a dedicated pair link carrying the scalar model's
+// Bandwidth(s,d) and Latency(s,d). The unique s→d route is then
+// [s.egress, pair, d.ingress], so a transfer contends on exactly the
+// initiator's egress and the target's ingress — the legacy per-PE ports —
+// and is priced at exactly the scalar numbers. The conformance suite uses
+// this to pin the fabric-backed backends to the scalar ones within 1e-9.
+//
+// When topo is multi-node (simnet.NodeMapper), the node mapping carries
+// over, so the §3 cross-node accumulate routing behaves identically.
+func Degenerate(topo simnet.Topology) *Fabric {
+	p := topo.NumPE()
+	nodeOf := func(int) int { return 0 }
+	if nm, ok := topo.(simnet.NodeMapper); ok {
+		nodeOf = nm.NodeOf
+	}
+	f := New(topo.Name(), topo.Bandwidth(0, 0))
+	eg := make([]int, p)
+	in := make([]int, p)
+	for i := 0; i < p; i++ {
+		pe := f.AddPE(fmt.Sprintf("pe%d", i), nodeOf(i))
+		eg[i] = f.AddSwitch(fmt.Sprintf("pe%d.eg", i))
+		in[i] = f.AddSwitch(fmt.Sprintf("pe%d.in", i))
+		f.Connect(pe, eg[i], math.Inf(1), 0, fmt.Sprintf("pe%d.egress", i))
+		f.Connect(in[i], pe, math.Inf(1), 0, fmt.Sprintf("pe%d.ingress", i))
+	}
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s == d {
+				continue
+			}
+			f.Connect(eg[s], in[d], topo.Bandwidth(s, d), topo.Latency(s, d),
+				fmt.Sprintf("pe%d->pe%d", s, d))
+		}
+	}
+	return f.Freeze()
+}

@@ -1,0 +1,116 @@
+package fabric
+
+import "fmt"
+
+// Routing: latency-weighted shortest paths from every source PE, computed
+// once at Freeze. Transit is restricted to forwarding nodes (switches and
+// NICs) — a route never passes through another PE, matching hardware
+// where GPUs do not forward fabric traffic. When several shortest paths
+// tie within floating-point tolerance, the choice at each junction is a
+// deterministic hash of (src, dst, junction) — static ECMP: the same flow
+// always takes the same path (so modeled runs are reproducible), while
+// different pairs spread across the parallel planes of a fat-tree.
+
+// routeEq is the tolerance for "equal cost" when collecting ECMP
+// candidates: sums of the same latencies in different orders may differ in
+// the last few ulps.
+func routeEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= 1e-15+1e-12*m
+}
+
+// routeFrom fills f.routes[src*P+dst] for all dst with a Dijkstra pass
+// from src's node. Graphs are small (tens to hundreds of nodes), so the
+// O(V²) scan is simpler and deterministic.
+func (f *Fabric) routeFrom(src int) {
+	p := len(f.peNodes)
+	start := f.peNodes[src]
+	const unreached = -1
+
+	dist := make([]float64, len(f.nodes))
+	done := make([]bool, len(f.nodes))
+	reached := make([]bool, len(f.nodes))
+	// preds[v] lists the incoming link of every shortest path to v.
+	preds := make([][]int, len(f.nodes))
+	dist[start] = 0
+	reached[start] = true
+
+	for {
+		u := unreached
+		for v := range f.nodes {
+			if reached[v] && !done[v] && (u == unreached || dist[v] < dist[u]) {
+				u = v
+			}
+		}
+		if u == unreached {
+			break
+		}
+		done[u] = true
+		// Only the source PE and forwarding nodes relay traffic onward.
+		if u != start && f.nodes[u].Kind == KindPE {
+			continue
+		}
+		for _, li := range f.out[u] {
+			l := f.links[li]
+			if done[l.To] {
+				// A finalized node's distance cannot improve; appending an
+				// equal-cost predecessor here could only be a zero-latency
+				// tie, which risks a predecessor cycle — skip it.
+				continue
+			}
+			d := dist[u] + l.Lat
+			switch {
+			case !reached[l.To] || d < dist[l.To] && !routeEq(d, dist[l.To]):
+				reached[l.To] = true
+				dist[l.To] = d
+				preds[l.To] = append(preds[l.To][:0], li)
+			case routeEq(d, dist[l.To]):
+				preds[l.To] = append(preds[l.To], li)
+			}
+		}
+	}
+
+	for dst := 0; dst < p; dst++ {
+		if dst == src {
+			f.routes[src*p+dst] = nil
+			continue
+		}
+		end := f.peNodes[dst]
+		if !reached[end] {
+			panic(fmt.Sprintf("fabric %s: PE %d cannot reach PE %d", f.name, src, dst))
+		}
+		// Walk predecessors back from dst, breaking ECMP ties by hash.
+		var rev []int
+		for v := end; v != start; {
+			cands := preds[v]
+			li := cands[int(ecmpHash(src, dst, v)%uint32(len(cands)))]
+			rev = append(rev, li)
+			v = f.links[li].From
+		}
+		route := make([]int, len(rev))
+		for i, li := range rev {
+			route[len(rev)-1-i] = li
+		}
+		f.routes[src*p+dst] = route
+	}
+}
+
+// ecmpHash is FNV-1a over the flow identity and the junction node, the
+// static per-flow spreading of hash-based ECMP.
+func ecmpHash(src, dst, node int) uint32 {
+	h := uint32(2166136261)
+	for _, v := range [3]int{src, dst, node} {
+		for i := 0; i < 4; i++ {
+			h ^= uint32(v>>(8*i)) & 0xff
+			h *= 16777619
+		}
+	}
+	return h
+}

@@ -12,11 +12,25 @@
 //     executors through runtime.ChargeGemm), its local accumulate kernels,
 //     and — on devices with Device.AccumComputeInterference set (H100,
 //     §5.2) — remote accumulate kernels other PEs launch into it;
-//   - a copy-in engine, which serializes the DMA of gets this PE issues;
-//   - a copy-out engine, which serializes puts and the egress half of
-//     accumulates this PE issues;
-//   - shared egress/ingress network ports per PE, the same fabric
-//     contention simbackend models.
+//   - Device.CopyInEngines copy-in engines, which carry the DMA of gets
+//     this PE issues (each op lands on the least-loaded engine and queues
+//     only when all are busy — an H100 has more DMA engines than a PVC
+//     tile, so the same prefetch depth queues on one device and overlaps
+//     on the other);
+//   - Device.CopyOutEngines copy-out engines, which carry puts and the
+//     egress half of accumulates this PE issues;
+//   - the network: per-PE egress/ingress ports on scalar topologies (the
+//     same contention simbackend models), or — when the topology is
+//     link-routed (internal/fabric via simnet.Routed) — one resource per
+//     fabric link, with every transfer occupying its whole static route,
+//     so transfers with different endpoints contend on shared switch
+//     uplinks, NICs, and rails, and per-link accounting is reported
+//     through runtime.FabricStatsOf.
+//
+// On multi-node topologies (simnet.NodeMapper), AccumulateAdd between PEs
+// on different machines is automatically rerouted through the §3 get+put
+// path — RDMA-only inter-node fabrics offer no remote atomics — with the
+// put's stream op gated on the get's completion event.
 //
 // Every operation is enqueued as a gpusim.StreamOp: it may not start before
 // the issuing PE's host clock (NotBefore), before the events it waits on
@@ -79,40 +93,72 @@ func (b Backend) NewWorld(p int) rt.World {
 		host:     make([]float64, p),
 		snapshot: make([]float64, p),
 		compute:  make([]*gpusim.Stream, p),
-		copyIn:   make([]*gpusim.Stream, p),
-		copyOut:  make([]*gpusim.Stream, p),
-		egress:   make([]gpusim.ResourceID, p),
-		ingress:  make([]gpusim.ResourceID, p),
+		copyIn:   make([][]*gpusim.Stream, p),
+		copyOut:  make([][]*gpusim.Stream, p),
 	}
+	w.routed, _ = b.Topo.(simnet.Routed)
+	w.nodes, _ = b.Topo.(simnet.NodeMapper)
+	nIn, nOut := b.Dev.NumCopyInEngines(), b.Dev.NumCopyOutEngines()
 	for i := 0; i < p; i++ {
 		w.compute[i] = w.tl.NewStream(fmt.Sprintf("pe%d.compute", i))
-		w.copyIn[i] = w.tl.NewStream(fmt.Sprintf("pe%d.copy-in", i))
-		w.copyOut[i] = w.tl.NewStream(fmt.Sprintf("pe%d.copy-out", i))
-		w.egress[i] = w.tl.AddResource(fmt.Sprintf("pe%d.egress", i))
-		w.ingress[i] = w.tl.AddResource(fmt.Sprintf("pe%d.ingress", i))
+		w.copyIn[i] = engineStreams(w.tl, fmt.Sprintf("pe%d.copy-in", i), nIn)
+		w.copyOut[i] = engineStreams(w.tl, fmt.Sprintf("pe%d.copy-out", i), nOut)
+	}
+	if w.routed != nil {
+		n := w.routed.NumLinks()
+		w.linkRes = make([]gpusim.ResourceID, n)
+		w.linkBytes = make([]int64, n)
+		for i := 0; i < n; i++ {
+			w.linkRes[i] = w.tl.AddResource(w.routed.LinkName(i))
+		}
+	} else {
+		w.egress = make([]gpusim.ResourceID, p)
+		w.ingress = make([]gpusim.ResourceID, p)
+		for i := 0; i < p; i++ {
+			w.egress[i] = w.tl.AddResource(fmt.Sprintf("pe%d.egress", i))
+			w.ingress[i] = w.tl.AddResource(fmt.Sprintf("pe%d.ingress", i))
+		}
 	}
 	return w
+}
+
+// engineStreams registers n same-role DMA engine streams for one PE. A
+// single engine keeps the historical name; multiple engines are numbered.
+func engineStreams(tl *gpusim.Timeline, base string, n int) []*gpusim.Stream {
+	streams := make([]*gpusim.Stream, n)
+	for e := 0; e < n; e++ {
+		name := base
+		if n > 1 {
+			name = fmt.Sprintf("%s%d", base, e)
+		}
+		streams[e] = tl.NewStream(name)
+	}
+	return streams
 }
 
 // World is a stream/event-timed world: real symmetric memory (delegated to
 // an inner shmem world) plus modeled per-device engines on a shared
 // timeline and a host clock per PE.
 type World struct {
-	inner *shmem.World
-	topo  simnet.Topology
-	dev   gpusim.Device
-	cost  *costmodel.Model
+	inner  *shmem.World
+	topo   simnet.Topology
+	dev    gpusim.Device
+	cost   *costmodel.Model
+	routed simnet.Routed     // non-nil when topo models individual links
+	nodes  simnet.NodeMapper // non-nil when topo spans machines
 
 	tl      *gpusim.Timeline
 	compute []*gpusim.Stream    // per-PE compute stream (GEMMs, accumulate kernels)
-	copyIn  []*gpusim.Stream    // per-PE get DMA engine
-	copyOut []*gpusim.Stream    // per-PE put/accumulate-egress DMA engine
-	egress  []gpusim.ResourceID // per-PE fabric egress port
-	ingress []gpusim.ResourceID // per-PE fabric ingress port
+	copyIn  [][]*gpusim.Stream  // per-PE get DMA engines (Device.CopyInEngines)
+	copyOut [][]*gpusim.Stream  // per-PE put/accumulate-egress DMA engines
+	egress  []gpusim.ResourceID // per-PE fabric egress port (scalar topologies)
+	ingress []gpusim.ResourceID // per-PE fabric ingress port (scalar topologies)
+	linkRes []gpusim.ResourceID // per-fabric-link resource (routed topologies)
 
 	mu           sync.Mutex
 	host         []float64 // per-PE host clock: when the PE's thread is at
 	snapshot     []float64 // host-clock snapshots for barrier time-sync
+	linkBytes    []int64   // per-link payload bytes (routed topologies)
 	interference float64   // seconds remote accums occupied victim compute streams
 }
 
@@ -122,6 +168,7 @@ var (
 	_ rt.World       = (*World)(nil)
 	_ rt.TimedWorld  = (*World)(nil)
 	_ rt.StreamTimer = (*World)(nil)
+	_ rt.FabricTimer = (*World)(nil)
 	_ rt.PE          = (*pe)(nil)
 	_ rt.Clock       = (*pe)(nil)
 	_ rt.GemmTimer   = (*pe)(nil)
@@ -187,15 +234,93 @@ func (w *World) PETime(rank int) float64 {
 }
 
 // ResetTime rewinds the model to t=0: host clocks, engine schedules, queue
-// and interference accounting.
+// and interference accounting, and per-link byte counters.
 func (w *World) ResetTime() {
 	w.mu.Lock()
 	for i := range w.host {
 		w.host[i] = 0
 	}
+	for i := range w.linkBytes {
+		w.linkBytes[i] = 0
+	}
 	w.interference = 0
 	w.mu.Unlock()
 	w.tl.Reset()
+}
+
+// FabricLinkStats reports per-link busy/queue/byte accounting from the
+// timeline's link resources (runtime.FabricTimer). It returns nil on
+// scalar topologies — absence is information, like StreamStatsOf.
+func (w *World) FabricLinkStats() []rt.LinkStats {
+	if w.routed == nil {
+		return nil
+	}
+	out := make([]rt.LinkStats, len(w.linkRes))
+	w.mu.Lock()
+	for i := range out {
+		out[i].Bytes = w.linkBytes[i]
+	}
+	w.mu.Unlock()
+	for i, res := range w.linkRes {
+		out[i].Link = w.routed.LinkName(i)
+		out[i].BusySeconds = w.tl.BusyFor(res)
+		out[i].QueueDelaySeconds = w.tl.QueueDelayFor(res)
+	}
+	return out
+}
+
+// crossNode reports whether two PEs live on different machines of a
+// multi-node topology — the boundary past which remote atomics are
+// unavailable and AccumulateAdd must take the §3 get+put path.
+func (w *World) crossNode(a, b int) bool {
+	return w.nodes != nil && w.nodes.NodeOf(a) != w.nodes.NodeOf(b)
+}
+
+// netResources returns the network resources a src→dst transfer occupies:
+// the whole static link route on a routed topology, or the legacy
+// egress/ingress port pair on a scalar one. nil for device-local copies.
+func (w *World) netResources(src, dst, bytes int) []gpusim.ResourceID {
+	if src == dst {
+		return nil
+	}
+	if w.routed == nil {
+		return []gpusim.ResourceID{w.egress[src], w.ingress[dst]}
+	}
+	route := w.routed.RouteIDs(src, dst)
+	res := make([]gpusim.ResourceID, len(route))
+	w.mu.Lock()
+	for i, li := range route {
+		res[i] = w.linkRes[li]
+		w.linkBytes[li] += int64(bytes)
+	}
+	w.mu.Unlock()
+	return res
+}
+
+// nextCopyIn picks the engine for this PE's next get: the one whose
+// queue drains earliest, the dispatch a hardware runtime's
+// least-loaded engine selection approximates. Ops therefore queue only
+// when every engine is busy.
+func (w *World) nextCopyIn(rank int) *gpusim.Stream {
+	return leastLoaded(w.copyIn[rank])
+}
+
+// nextCopyOut picks the engine for this PE's next put/accumulate egress.
+func (w *World) nextCopyOut(rank int) *gpusim.Stream {
+	return leastLoaded(w.copyOut[rank])
+}
+
+// leastLoaded returns the stream whose tail event fires earliest (ties
+// go to the lowest-numbered engine, keeping schedules deterministic).
+func leastLoaded(streams []*gpusim.Stream) *gpusim.Stream {
+	best := streams[0]
+	bestT := best.LastEvent().Time()
+	for _, s := range streams[1:] {
+		if t := s.LastEvent().Time(); t < bestT {
+			best, bestT = s, t
+		}
+	}
+	return best
 }
 
 // StreamStats reports the run's stream-level delay signals

@@ -115,6 +115,48 @@ func TestRemoteAccumulateOccupiesVictimCompute(t *testing.T) {
 	}
 }
 
+// TestCopyEngineCountFromDeviceModel pins the per-device DMA engine
+// satellite: the same pair of back-to-back local gets serializes on a
+// one-engine device and overlaps fully on a two-engine device (local
+// copies touch no network ports, so the engines are the only resource).
+func TestCopyEngineCountFromDeviceModel(t *testing.T) {
+	const n = 250
+	dev := flatDevice(false)
+	dev.MemBW = 1e9 // 1000 bytes per local get = 1 µs
+	const dur = 1e-6
+
+	run := func(engines int) float64 {
+		d := dev
+		d.CopyInEngines = engines
+		w := gpubackend.New(pairTopo(), d).NewWorld(2).(*gpubackend.World)
+		seg := w.AllocSymmetric(n)
+		w.Run(func(pe rt.PE) {
+			if pe.Rank() != 0 {
+				return
+			}
+			f1 := pe.GetAsync(make([]float32, n), seg, 0, 0)
+			f2 := pe.GetAsync(make([]float32, n), seg, 0, 0)
+			f1.Wait()
+			f2.Wait()
+		})
+		return w.PredictedSeconds()
+	}
+
+	if got := run(1); !approx(got, 2*dur) {
+		t.Fatalf("one copy engine: two local gets should serialize to %g, got %g", 2*dur, got)
+	}
+	if got := run(2); !approx(got, dur) {
+		t.Fatalf("two copy engines: two local gets should overlap to %g, got %g", dur, got)
+	}
+	h100, pvc := gpusim.PresetH100Device(), gpusim.PresetPVCDevice()
+	if h100.NumCopyInEngines() <= pvc.NumCopyInEngines() ||
+		h100.NumCopyOutEngines() <= pvc.NumCopyOutEngines() {
+		t.Fatalf("H100 must model more DMA engines than a PVC tile: %d/%d vs %d/%d",
+			h100.NumCopyInEngines(), h100.NumCopyOutEngines(),
+			pvc.NumCopyInEngines(), pvc.NumCopyOutEngines())
+	}
+}
+
 // TestGemmChargeMatchesDeviceModel mirrors the simbackend test: a 1-PE
 // world multiplying two local tiles must spend at least the device model's
 // GEMM time and no more than GEMM + local accumulate + launch overheads.

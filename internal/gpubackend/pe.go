@@ -28,43 +28,44 @@ func (p *pe) AllocSymmetric(n int) rt.SegmentID { return p.inner.AllocSymmetric(
 // through it is device-local and free, like dereferencing HBM.
 func (p *pe) Local(seg rt.SegmentID) []float32 { return p.inner.Local(seg) }
 
-// enqueueGet models an n-element get from remote on this PE's copy-in
-// engine (plus the fabric ports when the source is another device) and
-// returns the modeled completion time.
-func (p *pe) enqueueGet(remote, n int) float64 {
+// enqueueGet models an n-element get from remote on one of this PE's
+// copy-in engines (plus the route's fabric links, or the legacy port pair,
+// when the source is another device) and returns its completion event.
+// waits, when valid, gates the DMA on earlier modeled work (the §3
+// get-before-put ordering).
+func (p *pe) enqueueGet(remote, n int, waits ...gpusim.Event) gpusim.Event {
 	w := p.w
 	op := gpusim.StreamOp{
 		Label: "get", Kind: gpusim.OpComm,
 		NotBefore: w.hostNow(p.rank),
 		Duration:  w.cost.FetchCost(remote, p.rank, 4*n),
+		Waits:     waits,
+		Resources: w.netResources(remote, p.rank, 4*n),
 	}
-	if remote != p.rank {
-		op.Resources = []gpusim.ResourceID{w.egress[remote], w.ingress[p.rank]}
-	}
-	return w.copyIn[p.rank].Enqueue(op).Time()
+	return w.nextCopyIn(p.rank).Enqueue(op)
 }
 
-// enqueuePut models an n-element put to remote on this PE's copy-out
-// engine plus the fabric ports.
-func (p *pe) enqueuePut(remote, n int) float64 {
+// enqueuePut models an n-element put to remote on one of this PE's
+// copy-out engines plus the route's network resources.
+func (p *pe) enqueuePut(remote, n int, waits ...gpusim.Event) gpusim.Event {
 	w := p.w
 	op := gpusim.StreamOp{
 		Label: "put", Kind: gpusim.OpComm,
 		NotBefore: w.hostNow(p.rank),
 		Duration:  w.cost.FetchCost(p.rank, remote, 4*n),
+		Waits:     waits,
+		Resources: w.netResources(p.rank, remote, 4*n),
 	}
-	if remote != p.rank {
-		op.Resources = []gpusim.ResourceID{w.egress[p.rank], w.ingress[remote]}
-	}
-	return w.copyOut[p.rank].Enqueue(op).Time()
+	return w.nextCopyOut(p.rank).Enqueue(op)
 }
 
 // enqueueAccum models an n-element accumulate into remote. A local
 // accumulate is a kernel on this device's own compute stream. A remote
-// accumulate moves data through this PE's copy-out engine and the fabric
-// ports; on devices that model accumulate/GEMM interference (§5.2) the
-// accumulate kernel additionally occupies the *target's* compute engine
-// for its whole duration, delaying the victim's own GEMMs.
+// accumulate moves data through one of this PE's copy-out engines and the
+// route's network resources; on devices that model accumulate/GEMM
+// interference (§5.2) the accumulate kernel additionally occupies the
+// *target's* compute engine for its whole duration, delaying the victim's
+// own GEMMs.
 func (p *pe) enqueueAccum(remote, n int) float64 {
 	w := p.w
 	dur := w.cost.AccumCost(p.rank, remote, 4*n)
@@ -76,50 +77,75 @@ func (p *pe) enqueueAccum(remote, n int) float64 {
 	if remote == p.rank {
 		return w.compute[p.rank].Enqueue(op).Time()
 	}
-	op.Resources = []gpusim.ResourceID{w.egress[p.rank], w.ingress[remote]}
+	op.Resources = w.netResources(p.rank, remote, 4*n)
 	if w.dev.AccumComputeInterference {
 		op.Resources = append(op.Resources, w.compute[remote].Resource())
 		w.noteInterference(dur)
 	}
-	return w.copyOut[p.rank].Enqueue(op).Time()
+	return w.nextCopyOut(p.rank).Enqueue(op).Time()
+}
+
+// enqueueAccumGetPut models the §3 inter-node accumulate: a get of the
+// remote region, then — gated on the get's completion event, as the
+// coarse lock requires — a put of the summed result. It returns the put's
+// completion time.
+func (p *pe) enqueueAccumGetPut(remote, n int) float64 {
+	get := p.enqueueGet(remote, n)
+	return p.enqueuePut(remote, n, get).Time()
 }
 
 func (p *pe) Get(dst []float32, seg rt.SegmentID, remote, offset int) {
 	p.inner.Get(dst, seg, remote, offset)
-	p.w.hostAdvanceTo(p.rank, p.enqueueGet(remote, len(dst)))
+	p.w.hostAdvanceTo(p.rank, p.enqueueGet(remote, len(dst)).Time())
 }
 
 func (p *pe) Put(src []float32, seg rt.SegmentID, remote, offset int) {
 	p.inner.Put(src, seg, remote, offset)
-	p.w.hostAdvanceTo(p.rank, p.enqueuePut(remote, len(src)))
+	p.w.hostAdvanceTo(p.rank, p.enqueuePut(remote, len(src)).Time())
 }
 
 func (p *pe) AccumulateAdd(src []float32, seg rt.SegmentID, remote, offset int) {
+	if p.w.crossNode(p.rank, remote) {
+		// §3: across a node boundary the RDMA fabric offers no remote
+		// atomics, so the accumulate is automatically rerouted through the
+		// coarse-lock get+put scheme and priced as the round trip it is.
+		p.AccumulateAddGetPut(src, seg, remote, offset)
+		return
+	}
 	p.inner.AccumulateAdd(src, seg, remote, offset)
 	p.w.hostAdvanceTo(p.rank, p.enqueueAccum(remote, len(src)))
 }
 
 // AccumulateAddGetPut is the inter-node path (§3): priced as the full
-// get + put round trip it performs on RDMA-only fabrics, with the two
-// halves serialized on the host as the coarse lock requires.
+// get + put round trip it performs on RDMA-only fabrics, the put's stream
+// op gated on the get's completion event as the coarse lock requires.
 func (p *pe) AccumulateAddGetPut(src []float32, seg rt.SegmentID, remote, offset int) {
 	p.inner.AccumulateAddGetPut(src, seg, remote, offset)
-	n := len(src)
-	p.w.hostAdvanceTo(p.rank, p.enqueueGet(remote, n))
-	p.w.hostAdvanceTo(p.rank, p.enqueuePut(remote, n))
+	p.w.hostAdvanceTo(p.rank, p.enqueueAccumGetPut(remote, len(src)))
 }
 
 func (p *pe) GetStrided(dst []float32, dstStride int, seg rt.SegmentID, remote, offset, srcStride, rows, cols int) {
 	p.inner.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
-	p.w.hostAdvanceTo(p.rank, p.enqueueGet(remote, rows*cols))
+	p.w.hostAdvanceTo(p.rank, p.enqueueGet(remote, rows*cols).Time())
 }
 
 func (p *pe) PutStrided(src []float32, srcStride int, seg rt.SegmentID, remote, offset, dstStride, rows, cols int) {
 	p.inner.PutStrided(src, srcStride, seg, remote, offset, dstStride, rows, cols)
-	p.w.hostAdvanceTo(p.rank, p.enqueuePut(remote, rows*cols))
+	p.w.hostAdvanceTo(p.rank, p.enqueuePut(remote, rows*cols).Time())
 }
 
 func (p *pe) AccumulateAddStrided(src []float32, srcStride int, seg rt.SegmentID, remote, offset, dstStride, rows, cols int) {
+	if p.w.crossNode(p.rank, remote) {
+		// §3 applies to strided accumulates too: per-row get+put round
+		// trips on the data path (each destination row is contiguous),
+		// priced as one rows×cols round trip — and, unlike the atomic
+		// path, no accumulate kernel lands on the victim's compute stream.
+		for r := 0; r < rows; r++ {
+			p.inner.AccumulateAddGetPut(src[r*srcStride:r*srcStride+cols], seg, remote, offset+r*dstStride)
+		}
+		p.w.hostAdvanceTo(p.rank, p.enqueueAccumGetPut(remote, rows*cols))
+		return
+	}
 	p.inner.AccumulateAddStrided(src, srcStride, seg, remote, offset, dstStride, rows, cols)
 	p.w.hostAdvanceTo(p.rank, p.enqueueAccum(remote, rows*cols))
 }
@@ -132,15 +158,22 @@ func (p *pe) AccumulateAddStrided(src []float32, srcStride int, seg rt.SegmentID
 // depth beyond what the engine can absorb surfaces as queue delay.
 func (p *pe) GetAsync(dst []float32, seg rt.SegmentID, remote, offset int) rt.Future {
 	p.inner.Get(dst, seg, remote, offset)
-	return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueGet(remote, len(dst))}
+	return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueGet(remote, len(dst)).Time()}
 }
 
 func (p *pe) GetStridedAsync(dst []float32, dstStride int, seg rt.SegmentID, remote, offset, srcStride, rows, cols int) rt.Future {
 	p.inner.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
-	return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueGet(remote, rows*cols)}
+	return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueGet(remote, rows*cols).Time()}
 }
 
 func (p *pe) AccumulateAddAsync(src []float32, seg rt.SegmentID, remote, offset int) rt.Future {
+	if p.w.crossNode(p.rank, remote) {
+		// §3 inter-node path, asynchronous flavour: the get DMA is enqueued
+		// at issue and the put is event-gated on it; only Wait charges the
+		// round trip to the host clock.
+		p.inner.AccumulateAddGetPut(src, seg, remote, offset)
+		return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueAccumGetPut(remote, len(src))}
+	}
 	p.inner.AccumulateAdd(src, seg, remote, offset)
 	return &streamFuture{w: p.w, rank: p.rank, end: p.enqueueAccum(remote, len(src))}
 }

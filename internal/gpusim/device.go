@@ -46,6 +46,25 @@ type Device struct {
 	// LaunchOverhead is the fixed host-side cost of launching one kernel or
 	// copy, which penalizes schedules with many tiny operations.
 	LaunchOverhead float64
+	// CopyInEngines and CopyOutEngines count the device's DMA engines per
+	// direction: how many gets (respectively puts/accumulate egress) the
+	// device can have in flight before they queue on an engine. H100s carry
+	// more copy engines than a PVC tile. Zero means one (the historical
+	// single engine pair), so hand-built devices keep their behaviour.
+	CopyInEngines, CopyOutEngines int
+}
+
+// NumCopyInEngines returns the copy-in engine count (minimum 1).
+func (d Device) NumCopyInEngines() int { return engineCount(d.CopyInEngines) }
+
+// NumCopyOutEngines returns the copy-out engine count (minimum 1).
+func (d Device) NumCopyOutEngines() int { return engineCount(d.CopyOutEngines) }
+
+func engineCount(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // PresetPVCDevice returns an Intel Data Center GPU Max 1550 tile from
@@ -58,6 +77,8 @@ func PresetPVCDevice() Device {
 		AccumBWFactor: 0.8,
 		GranM:         48, GranN: 48, GranK: 48,
 		LaunchOverhead: 5e-6,
+		// One main copy engine per direction per tile (the blitter).
+		CopyInEngines: 1, CopyOutEngines: 1,
 	}
 }
 
@@ -73,6 +94,10 @@ func PresetH100Device() Device {
 		AccumComputeInterference: true,
 		GranM:                    48, GranN: 48, GranK: 48,
 		LaunchOverhead: 5e-6,
+		// Hopper exposes several async copy engines per direction; three
+		// per direction is what concurrent NVLink + PCIe/IB traffic can
+		// actually drive.
+		CopyInEngines: 3, CopyOutEngines: 3,
 	}
 }
 

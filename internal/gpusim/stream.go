@@ -149,6 +149,14 @@ func (tl *Timeline) submitLocked(op StreamOp) Event {
 	return eventAt(end)
 }
 
+// NumResources returns the number of registered resources (engines and
+// ports/links), so renderers can walk them with ResourceName/BusyFor.
+func (tl *Timeline) NumResources() int {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return len(tl.names)
+}
+
 // NumOps returns the number of ops submitted so far.
 func (tl *Timeline) NumOps() int {
 	tl.mu.Lock()

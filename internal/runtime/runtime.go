@@ -236,3 +236,41 @@ func StreamStatsOf(w World) (StreamStats, bool) {
 	}
 	return StreamStats{}, false
 }
+
+// LinkStats reports one fabric link's share of a timed run: how long it
+// was occupied, how long transfers queued behind it, and the payload it
+// carried. Only backends running over a link-routed topology
+// (internal/fabric via simnet.Routed) can report these — the legacy
+// scalar topologies have ports, not links.
+type LinkStats struct {
+	// Link is the fabric link's name (e.g. "n0.nic0.ib>", "rail0.spine1<").
+	Link string
+	// BusySeconds totals the time transfers occupied the link.
+	BusySeconds float64
+	// QueueDelaySeconds totals the time transfers sat queued because this
+	// link was the binding constraint on their route.
+	QueueDelaySeconds float64
+	// Bytes totals the payload carried over the link.
+	Bytes int64
+}
+
+// FabricTimer is implemented by worlds of timed backends that can report
+// per-link fabric accounting. Worlds built over a scalar (non-routed)
+// topology return nil — absence of a link model is information, mirroring
+// the StreamTimer convention.
+type FabricTimer interface {
+	// FabricLinkStats returns one entry per fabric link, in link order, or
+	// nil when the world's topology has no link model. Call it after Run.
+	FabricLinkStats() []LinkStats
+}
+
+// FabricStatsOf returns w's per-link fabric accounting, and ok=false when
+// w's backend is untimed or its topology has no link model.
+func FabricStatsOf(w World) ([]LinkStats, bool) {
+	if ft, ok := w.(FabricTimer); ok {
+		if ls := ft.FabricLinkStats(); ls != nil {
+			return ls, true
+		}
+	}
+	return nil, false
+}

@@ -110,6 +110,15 @@ func TestUniversalConformanceAcrossBackends(t *testing.T) {
 	}{
 		{"pvc", universal.PVCSystem()},
 		{"h100", universal.H100System()},
+		// The same systems with the link-routed fabric installed: the timed
+		// backends reserve individual links instead of per-PE ports, and the
+		// numeric results must not move at all.
+		{"pvc-fabric", universal.PVCFabricSystem()},
+		{"h100-fabric", universal.H100FabricSystem()},
+		// A 2-node rail-optimized fat-tree: cross-node accumulates take the
+		// §3 get+put path on the timed backends, which must stay numerically
+		// identical to the shmem reference's atomic accumulates.
+		{"h100-fattree", universal.H100FatTreeSystem(2, 8, 1)},
 	}
 	for _, system := range systems {
 		p := system.sys.Topo.NumPE()

@@ -4,7 +4,7 @@ import rt "slicing/internal/runtime"
 
 // pe is a timed processing element: every one-sided operation delegates the
 // real data movement to the inner shmem PE and charges its modeled duration
-// to the PE's virtual clock and the involved network ports.
+// to the PE's virtual clock and the involved network ports or fabric links.
 type pe struct {
 	inner rt.PE
 	w     *World
@@ -27,63 +27,95 @@ func (p *pe) Local(seg rt.SegmentID) []float32 { return p.inner.Local(seg) }
 
 func (p *pe) Get(dst []float32, seg rt.SegmentID, remote, offset int) {
 	p.inner.Get(dst, seg, remote, offset)
-	p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, len(dst)), true)
+	p.w.chargeTransfer(p.rank, remote, p.rank, len(dst), p.w.transferDur(remote, p.rank, len(dst)), 0, true)
 }
 
 func (p *pe) Put(src []float32, seg rt.SegmentID, remote, offset int) {
 	p.inner.Put(src, seg, remote, offset)
-	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.transferDur(p.rank, remote, len(src)), true)
+	p.w.chargeTransfer(p.rank, p.rank, remote, len(src), p.w.transferDur(p.rank, remote, len(src)), 0, true)
 }
 
 func (p *pe) AccumulateAdd(src []float32, seg rt.SegmentID, remote, offset int) {
+	if p.w.crossNode(p.rank, remote) {
+		// §3: across a node boundary the RDMA fabric offers no remote
+		// atomics, so the accumulate is automatically rerouted through the
+		// coarse-lock get+put scheme and priced as the round trip it is.
+		p.AccumulateAddGetPut(src, seg, remote, offset)
+		return
+	}
 	p.inner.AccumulateAdd(src, seg, remote, offset)
-	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.accumDur(p.rank, remote, len(src)), true)
+	p.w.chargeTransfer(p.rank, p.rank, remote, len(src), p.w.accumDur(p.rank, remote, len(src)), 0, true)
 }
 
 // AccumulateAddGetPut is the inter-node path (§3): priced as the full
-// get + put round trip it performs on RDMA-only fabrics.
+// get + put round trip it performs on RDMA-only fabrics, the put gated on
+// the get's completion as the coarse lock requires.
 func (p *pe) AccumulateAddGetPut(src []float32, seg rt.SegmentID, remote, offset int) {
 	p.inner.AccumulateAddGetPut(src, seg, remote, offset)
 	n := len(src)
-	p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, n), true)
-	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.transferDur(p.rank, remote, n), true)
+	p.w.chargeTransfer(p.rank, remote, p.rank, n, p.w.transferDur(remote, p.rank, n), 0, true)
+	p.w.chargeTransfer(p.rank, p.rank, remote, n, p.w.transferDur(p.rank, remote, n), 0, true)
 }
 
 func (p *pe) GetStrided(dst []float32, dstStride int, seg rt.SegmentID, remote, offset, srcStride, rows, cols int) {
 	p.inner.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
-	p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, rows*cols), true)
+	p.w.chargeTransfer(p.rank, remote, p.rank, rows*cols, p.w.transferDur(remote, p.rank, rows*cols), 0, true)
 }
 
 func (p *pe) PutStrided(src []float32, srcStride int, seg rt.SegmentID, remote, offset, dstStride, rows, cols int) {
 	p.inner.PutStrided(src, srcStride, seg, remote, offset, dstStride, rows, cols)
-	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.transferDur(p.rank, remote, rows*cols), true)
+	p.w.chargeTransfer(p.rank, p.rank, remote, rows*cols, p.w.transferDur(p.rank, remote, rows*cols), 0, true)
 }
 
 func (p *pe) AccumulateAddStrided(src []float32, srcStride int, seg rt.SegmentID, remote, offset, dstStride, rows, cols int) {
+	if p.w.crossNode(p.rank, remote) {
+		// §3 applies to strided accumulates too: each destination row is a
+		// contiguous range, so the block decomposes into per-row get+put
+		// round trips under the same stripe locks, and the whole block is
+		// priced as one rows×cols round trip (matching the strided get/put
+		// transfers, which also move the block as one DMA).
+		for r := 0; r < rows; r++ {
+			p.inner.AccumulateAddGetPut(src[r*srcStride:r*srcStride+cols], seg, remote, offset+r*dstStride)
+		}
+		n := rows * cols
+		p.w.chargeTransfer(p.rank, remote, p.rank, n, p.w.transferDur(remote, p.rank, n), 0, true)
+		p.w.chargeTransfer(p.rank, p.rank, remote, n, p.w.transferDur(p.rank, remote, n), 0, true)
+		return
+	}
 	p.inner.AccumulateAddStrided(src, srcStride, seg, remote, offset, dstStride, rows, cols)
-	p.w.chargeTransfer(p.rank, p.rank, remote, p.w.accumDur(p.rank, remote, rows*cols), true)
+	p.w.chargeTransfer(p.rank, p.rank, remote, rows*cols, p.w.accumDur(p.rank, remote, rows*cols), 0, true)
 }
 
 // GetAsync performs the copy immediately (any moment between issue and Wait
 // is a legal completion time for a one-sided read, and the source region is
 // stable under the algorithms' barrier discipline) but reserves the network
-// ports now and defers the clock charge to Wait — the timed analogue of
-// get_tile_async overlapping transfers with compute.
+// ports/links now and defers the clock charge to Wait — the timed analogue
+// of get_tile_async overlapping transfers with compute.
 func (p *pe) GetAsync(dst []float32, seg rt.SegmentID, remote, offset int) rt.Future {
 	p.inner.Get(dst, seg, remote, offset)
-	end := p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, len(dst)), false)
+	end := p.w.chargeTransfer(p.rank, remote, p.rank, len(dst), p.w.transferDur(remote, p.rank, len(dst)), 0, false)
 	return &timedFuture{w: p.w, rank: p.rank, end: end}
 }
 
 func (p *pe) GetStridedAsync(dst []float32, dstStride int, seg rt.SegmentID, remote, offset, srcStride, rows, cols int) rt.Future {
 	p.inner.GetStrided(dst, dstStride, seg, remote, offset, srcStride, rows, cols)
-	end := p.w.chargeTransfer(p.rank, remote, p.rank, p.w.transferDur(remote, p.rank, rows*cols), false)
+	end := p.w.chargeTransfer(p.rank, remote, p.rank, rows*cols, p.w.transferDur(remote, p.rank, rows*cols), 0, false)
 	return &timedFuture{w: p.w, rank: p.rank, end: end}
 }
 
 func (p *pe) AccumulateAddAsync(src []float32, seg rt.SegmentID, remote, offset int) rt.Future {
+	n := len(src)
+	if p.w.crossNode(p.rank, remote) {
+		// §3 inter-node path, asynchronous flavour: the data movement is
+		// the get+put scheme, the get is reserved at issue, and the put may
+		// not start before the get's modeled completion.
+		p.inner.AccumulateAddGetPut(src, seg, remote, offset)
+		getEnd := p.w.chargeTransfer(p.rank, remote, p.rank, n, p.w.transferDur(remote, p.rank, n), 0, false)
+		end := p.w.chargeTransfer(p.rank, p.rank, remote, n, p.w.transferDur(p.rank, remote, n), getEnd, false)
+		return &timedFuture{w: p.w, rank: p.rank, end: end}
+	}
 	p.inner.AccumulateAdd(src, seg, remote, offset)
-	end := p.w.chargeTransfer(p.rank, p.rank, remote, p.w.accumDur(p.rank, remote, len(src)), false)
+	end := p.w.chargeTransfer(p.rank, p.rank, remote, n, p.w.accumDur(p.rank, remote, n), 0, false)
 	return &timedFuture{w: p.w, rank: p.rank, end: end}
 }
 

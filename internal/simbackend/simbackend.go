@@ -17,7 +17,17 @@
 // egress port, and the destination's ingress port are all free; it then
 // occupies both ports for latency + bytes/bandwidth (+ kernel-launch
 // overhead), the same serialization that produces the network hot-spotting
-// the paper's iteration offset (§4.2) exists to avoid. Synchronous
+// the paper's iteration offset (§4.2) exists to avoid. When the topology
+// is link-routed (internal/fabric via simnet.Routed), the two ports are
+// replaced by the transfer's whole route: every link on the static
+// src→dst path is reserved for the transfer's duration, so transfers with
+// different endpoints still contend when they share a switch uplink, a
+// NIC, or a rail, and per-link busy/queue/byte accounting is reported
+// through runtime.FabricStatsOf. On multi-node topologies
+// (simnet.NodeMapper), AccumulateAdd between PEs on different machines is
+// automatically routed through the §3 get+put path — RDMA-only inter-node
+// fabrics offer no remote atomics — and priced as the full round trip it
+// performs. Synchronous
 // operations advance the caller's clock to the transfer's end; asynchronous
 // operations reserve the ports at issue and advance the clock only when the
 // future is waited on, which is what lets prefetch depth and bounded chain
@@ -42,6 +52,7 @@ import (
 	"sync"
 
 	"slicing/internal/costmodel"
+	"slicing/internal/fabric"
 	"slicing/internal/gpusim"
 	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
@@ -70,7 +81,7 @@ func (b Backend) NewWorld(p int) rt.World {
 		panic(fmt.Sprintf("simbackend: world of %d PEs over %d-PE topology %s",
 			p, b.Topo.NumPE(), b.Topo.Name()))
 	}
-	return &World{
+	w := &World{
 		inner:       shmem.NewWorld(p),
 		topo:        b.Topo,
 		dev:         b.Dev,
@@ -80,21 +91,31 @@ func (b Backend) NewWorld(p int) rt.World {
 		ingressFree: make([]float64, p),
 		snapshot:    make([]float64, p),
 	}
+	if routed, ok := b.Topo.(simnet.Routed); ok {
+		w.routed = routed
+		w.links = fabric.NewQueues(routed.NumLinks())
+	}
+	w.nodes, _ = b.Topo.(simnet.NodeMapper)
+	return w
 }
 
 // World is a timed world: real symmetric memory (delegated to an inner
-// shmem world) plus per-PE virtual clocks and network port schedules.
+// shmem world) plus per-PE virtual clocks and network port (or, on
+// link-routed topologies, per-link) schedules.
 type World struct {
-	inner *shmem.World
-	topo  simnet.Topology
-	dev   gpusim.Device
-	cost  *costmodel.Model // the shared §4.3 pricing of transfers/accumulates/GEMMs
+	inner  *shmem.World
+	topo   simnet.Topology
+	dev    gpusim.Device
+	cost   *costmodel.Model  // the shared §4.3 pricing of transfers/accumulates/GEMMs
+	routed simnet.Routed     // non-nil when topo models individual links
+	nodes  simnet.NodeMapper // non-nil when topo spans machines
 
-	mu          sync.Mutex // protects all timing state below
-	clock       []float64  // per-PE virtual time, seconds
-	egressFree  []float64  // per-PE egress port availability
-	ingressFree []float64  // per-PE ingress port availability
-	snapshot    []float64  // clock snapshots for barrier time-sync
+	mu          sync.Mutex     // protects all timing state below
+	clock       []float64      // per-PE virtual time, seconds
+	egressFree  []float64      // per-PE egress port availability (scalar topologies)
+	ingressFree []float64      // per-PE ingress port availability (scalar topologies)
+	links       *fabric.Queues // per-link availability (routed topologies)
+	snapshot    []float64      // clock snapshots for barrier time-sync
 }
 
 // Compile-time checks against the runtime contract. Note the absence of
@@ -102,12 +123,13 @@ type World struct {
 // depth or accumulate/GEMM interference; internal/gpubackend exists for
 // that.
 var (
-	_ rt.Backend    = Backend{}
-	_ rt.World      = (*World)(nil)
-	_ rt.TimedWorld = (*World)(nil)
-	_ rt.PE         = (*pe)(nil)
-	_ rt.Clock      = (*pe)(nil)
-	_ rt.GemmTimer  = (*pe)(nil)
+	_ rt.Backend     = Backend{}
+	_ rt.World       = (*World)(nil)
+	_ rt.TimedWorld  = (*World)(nil)
+	_ rt.FabricTimer = (*World)(nil)
+	_ rt.PE          = (*pe)(nil)
+	_ rt.Clock       = (*pe)(nil)
+	_ rt.GemmTimer   = (*pe)(nil)
 )
 
 // World returns the world itself, satisfying runtime.Allocator.
@@ -164,7 +186,7 @@ func (w *World) PETime(rank int) float64 {
 	return w.clock[rank]
 }
 
-// ResetTime zeroes all clocks and port schedules.
+// ResetTime zeroes all clocks and port/link schedules.
 func (w *World) ResetTime() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -173,6 +195,37 @@ func (w *World) ResetTime() {
 		w.egressFree[i] = 0
 		w.ingressFree[i] = 0
 	}
+	if w.links != nil {
+		w.links.Reset()
+	}
+}
+
+// FabricLinkStats reports per-link busy/queue/byte accounting
+// (runtime.FabricTimer). It returns nil on scalar topologies, whose ports
+// are not links — absence is information, like StreamStatsOf.
+func (w *World) FabricLinkStats() []rt.LinkStats {
+	if w.links == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]rt.LinkStats, w.routed.NumLinks())
+	for i := range out {
+		out[i] = rt.LinkStats{
+			Link:              w.routed.LinkName(i),
+			BusySeconds:       w.links.BusyFor(i),
+			QueueDelaySeconds: w.links.QueueDelayFor(i),
+			Bytes:             w.links.BytesFor(i),
+		}
+	}
+	return out
+}
+
+// crossNode reports whether two PEs live on different machines of a
+// multi-node topology — the boundary past which remote atomics are
+// unavailable and AccumulateAdd must take the §3 get+put path.
+func (w *World) crossNode(a, b int) bool {
+	return w.nodes != nil && w.nodes.NodeOf(a) != w.nodes.NodeOf(b)
 }
 
 // Topology returns the modeled interconnect.
@@ -194,23 +247,36 @@ func (w *World) accumDur(rank, dst, n int) float64 {
 	return w.cost.AccumCost(rank, dst, 4*n)
 }
 
-// chargeTransfer schedules a port-contended transfer initiated by rank,
-// with data flowing src→dst. It returns the transfer's modeled end time;
-// when sync is true the initiator's clock advances to it.
-func (w *World) chargeTransfer(rank, src, dst int, dur float64, sync bool) float64 {
+// chargeTransfer schedules a contended transfer of n float32 initiated by
+// rank, with data flowing src→dst: on scalar topologies it reserves the
+// source's egress and the destination's ingress port; on link-routed
+// topologies it reserves every link of the static src→dst route, so the
+// busiest link on the route governs the start time. The transfer may not
+// start before floor (used to serialize the get and put halves of the §3
+// inter-node accumulate); pass 0 when only the initiator's clock gates
+// it. It returns the transfer's modeled end time; when sync is true the
+// initiator's clock advances to it.
+func (w *World) chargeTransfer(rank, src, dst, n int, dur, floor float64, sync bool) float64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	start := w.clock[rank]
-	if src != dst {
+	if floor > start {
+		start = floor
+	}
+	var end float64
+	switch {
+	case src == dst:
+		end = start + dur
+	case w.links != nil:
+		_, end = w.links.Reserve(w.routed.RouteIDs(src, dst), start, dur, int64(4*n))
+	default:
 		if w.egressFree[src] > start {
 			start = w.egressFree[src]
 		}
 		if w.ingressFree[dst] > start {
 			start = w.ingressFree[dst]
 		}
-	}
-	end := start + dur
-	if src != dst {
+		end = start + dur
 		w.egressFree[src] = end
 		w.ingressFree[dst] = end
 	}

@@ -26,6 +26,37 @@ type Topology interface {
 	Name() string
 }
 
+// Routed is implemented by topologies that model individual fabric links
+// (internal/fabric): every src→dst pair follows a static route of directed
+// links, and timed backends reserve those links — rather than the legacy
+// per-PE egress/ingress ports — so transfers that share a switch uplink, a
+// NIC, or a rail contend with each other even when their endpoints differ.
+// For a Routed topology, Bandwidth(src,dst) must return the route's
+// bottleneck-link bandwidth and Latency(src,dst) the route's total latency,
+// so the scalar consumers (costmodel, the plan-replay estimators) price the
+// same numbers the link model charges.
+type Routed interface {
+	Topology
+	// NumLinks returns the number of directed links in the fabric.
+	NumLinks() int
+	// LinkName names one link for stats and trace rendering.
+	LinkName(link int) string
+	// RouteIDs returns the static route from src to dst as link indices in
+	// traversal order. It is empty for src == dst (device-local copies use
+	// no fabric links). Callers must not modify the returned slice.
+	RouteIDs(src, dst int) []int
+}
+
+// NodeMapper is implemented by multi-node topologies (MultiNode, fabric
+// clusters): it maps each PE to the machine hosting it. Timed backends use
+// it to route AccumulateAdd through the §3 get+put path automatically when
+// src and dst sit on different machines, where the RDMA fabric offers no
+// remote atomics.
+type NodeMapper interface {
+	// NodeOf returns the node (machine) index hosting a PE.
+	NodeOf(pe int) int
+}
+
 // TransferTime returns the unloaded (contention-free) time in seconds to
 // move bytes from src to dst over topo.
 func TransferTime(topo Topology, src, dst int, bytes float64) float64 {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
 )
 
 // WriteGantt renders a discrete-event schedule as an ASCII timeline: one
@@ -16,23 +17,52 @@ import (
 // the comm rows work in the background. A per-resource utilization figure
 // is printed at the end of each row.
 func WriteGantt(w io.Writer, eng *gpusim.Engine, res gpusim.Result, width int) {
+	names := make([]string, eng.NumResources())
+	util := make([]float64, len(names))
+	for r := range names {
+		names[r] = eng.ResourceName(gpusim.ResourceID(r))
+		util[r] = res.Utilization(gpusim.ResourceID(r))
+	}
+	renderGantt(w, names, res.Timings, res.Makespan, util, width)
+}
+
+// WriteTimelineGantt renders an online stream/event schedule — a
+// gpubackend World's Timeline() — in the same Gantt form as WriteGantt:
+// one row per engine, port, or fabric link. On a world built over a
+// link-routed topology the fabric links are timeline resources, so the
+// rendering carries a per-link utilization lane alongside the compute and
+// copy-engine lanes.
+func WriteTimelineGantt(w io.Writer, tl *gpusim.Timeline, width int) {
+	makespan := tl.End()
+	names := make([]string, tl.NumResources())
+	util := make([]float64, len(names))
+	for r := range names {
+		names[r] = tl.ResourceName(gpusim.ResourceID(r))
+		if makespan > 0 {
+			util[r] = tl.BusyFor(gpusim.ResourceID(r)) / makespan
+		}
+	}
+	renderGantt(w, names, tl.Timings(), makespan, util, width)
+}
+
+func renderGantt(w io.Writer, names []string, timings []gpusim.OpTiming, makespan float64, util []float64, width int) {
 	if width <= 0 {
 		width = 80
 	}
-	if res.Makespan <= 0 {
+	if makespan <= 0 {
 		fmt.Fprintln(w, "(empty schedule)")
 		return
 	}
-	rows := make([][]byte, eng.NumResources())
+	rows := make([][]byte, len(names))
 	for i := range rows {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
-	for _, tm := range res.Timings {
+	for _, tm := range timings {
 		if tm.End <= tm.Start {
 			continue
 		}
-		from := int(tm.Start / res.Makespan * float64(width))
-		to := int(tm.End / res.Makespan * float64(width))
+		from := int(tm.Start / makespan * float64(width))
+		to := int(tm.End / makespan * float64(width))
 		if to <= from {
 			to = from + 1
 		}
@@ -47,11 +77,54 @@ func WriteGantt(w io.Writer, eng *gpusim.Engine, res gpusim.Result, width int) {
 			}
 		}
 	}
-	fmt.Fprintf(w, "makespan %.6fs  (C=compute G=get A=accum)\n", res.Makespan)
-	for r := 0; r < eng.NumResources(); r++ {
-		fmt.Fprintf(w, "%2d %-8s |%s| %5.1f%%\n",
-			r, eng.ResourceName(gpusim.ResourceID(r)), rows[r],
-			res.Utilization(gpusim.ResourceID(r))*100)
+	nameWidth := 8
+	for _, n := range names {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+	fmt.Fprintf(w, "makespan %.6fs  (C=compute G=get A=accum)\n", makespan)
+	for r := range names {
+		fmt.Fprintf(w, "%2d %-*s |%s| %5.1f%%\n", r, nameWidth, names[r], rows[r], util[r]*100)
+	}
+}
+
+// WriteLinkUtilization renders the per-link fabric accounting of a timed
+// run (runtime.FabricStatsOf) as one utilization bar per link: occupancy
+// over the run, queue delay the link imposed, and payload carried. Links
+// that never carried traffic are skipped so fat-tree reports stay
+// readable; pass makespan = TimedWorld.PredictedSeconds().
+func WriteLinkUtilization(w io.Writer, links []rt.LinkStats, makespan float64, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	var shown []rt.LinkStats
+	nameWidth := 8
+	for _, l := range links {
+		if l.Bytes == 0 && l.BusySeconds == 0 {
+			continue
+		}
+		shown = append(shown, l)
+		if len(l.Link) > nameWidth {
+			nameWidth = len(l.Link)
+		}
+	}
+	fmt.Fprintf(w, "per-link fabric utilization over %.6fs\n", makespan)
+	for _, l := range shown {
+		frac := 0.0
+		if makespan > 0 {
+			frac = l.BusySeconds / makespan
+		}
+		fill := int(frac*float64(width) + 0.5)
+		if fill > width {
+			fill = width
+		}
+		bar := strings.Repeat("#", fill) + strings.Repeat(".", width-fill)
+		fmt.Fprintf(w, "%-*s |%s| %5.1f%%  %8.2f MB  queue %.3gs\n",
+			nameWidth, l.Link, bar, frac*100, float64(l.Bytes)/1e6, l.QueueDelaySeconds)
+	}
+	if len(shown) == 0 {
+		fmt.Fprintln(w, "(no fabric traffic)")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"slicing/internal/bench"
 	"slicing/internal/gpusim"
+	"slicing/internal/runtime"
 	"slicing/internal/universal"
 )
 
@@ -116,5 +117,56 @@ func TestWriteGanttEmpty(t *testing.T) {
 	WriteGantt(&sb, eng, eng.Run(), 20)
 	if !strings.Contains(sb.String(), "empty") {
 		t.Fatal("empty schedule not reported")
+	}
+}
+
+func TestWriteTimelineGantt(t *testing.T) {
+	tl := gpusim.NewTimeline()
+	comp := tl.NewStream("pe0.compute")
+	link := tl.AddResource("n0.nic0.ib>")
+	tl.Submit(gpusim.StreamOp{Label: "get", Kind: gpusim.OpComm, Duration: 1.0,
+		Resources: []gpusim.ResourceID{link}})
+	comp.Enqueue(gpusim.StreamOp{Label: "gemm", Kind: gpusim.OpCompute, NotBefore: 1.0, Duration: 2.0})
+	var sb strings.Builder
+	WriteTimelineGantt(&sb, tl, 30)
+	out := sb.String()
+	if !strings.Contains(out, "pe0.compute") || !strings.Contains(out, "n0.nic0.ib>") {
+		t.Fatalf("timeline gantt missing resource rows:\n%s", out)
+	}
+	if !strings.Contains(out, "C") || !strings.Contains(out, "G") {
+		t.Fatalf("timeline gantt missing op markers:\n%s", out)
+	}
+	// The link worked 1s of a 3s makespan, the compute stream 2s.
+	if !strings.Contains(out, "33.3%") || !strings.Contains(out, "66.7%") {
+		t.Fatalf("timeline gantt missing utilization figures:\n%s", out)
+	}
+
+	sb.Reset()
+	WriteTimelineGantt(&sb, gpusim.NewTimeline(), 20)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty timeline not reported")
+	}
+}
+
+func TestWriteLinkUtilization(t *testing.T) {
+	links := []runtime.LinkStats{
+		{Link: "n0.nic0.ib<", BusySeconds: 0.5, QueueDelaySeconds: 0.25, Bytes: 32e6},
+		{Link: "rail0.spine1>", BusySeconds: 0, Bytes: 0}, // idle: skipped
+	}
+	var sb strings.Builder
+	WriteLinkUtilization(&sb, links, 1.0, 20)
+	out := sb.String()
+	if !strings.Contains(out, "n0.nic0.ib<") || !strings.Contains(out, "50.0%") ||
+		!strings.Contains(out, "32.00 MB") {
+		t.Fatalf("link utilization missing the busy link:\n%s", out)
+	}
+	if strings.Contains(out, "rail0.spine1>") {
+		t.Fatalf("idle link should be skipped:\n%s", out)
+	}
+
+	sb.Reset()
+	WriteLinkUtilization(&sb, nil, 0, 20)
+	if !strings.Contains(sb.String(), "no fabric traffic") {
+		t.Fatal("empty link set not reported")
 	}
 }

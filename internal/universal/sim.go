@@ -1,6 +1,7 @@
 package universal
 
 import (
+	"slicing/internal/fabric"
 	"slicing/internal/gpusim"
 	"slicing/internal/simnet"
 )
@@ -20,6 +21,33 @@ func PVCSystem() SimSystem {
 // H100System returns the 8-GPU Nvidia H100 node of Table 2.
 func H100System() SimSystem {
 	return SimSystem{Topo: simnet.PresetH100(), Dev: gpusim.PresetH100Device()}
+}
+
+// PVCFabricSystem is PVCSystem with the link-routed fabric installed:
+// per-package MDFI bridges and per-tile Xe Link ports are individual
+// links, so timed backends observe per-link contention (and, unlike the
+// scalar model, a tile's inter-tile and Xe Link traffic no longer share
+// one egress port).
+func PVCFabricSystem() SimSystem {
+	return SimSystem{Topo: fabric.PVCNode().Topology(), Dev: gpusim.PresetPVCDevice()}
+}
+
+// H100FabricSystem is H100System with the link-routed fabric installed:
+// each GPU's NVLink port pair into the node's NVSwitch is a link.
+func H100FabricSystem() SimSystem {
+	return SimSystem{Topo: fabric.H100Node().Topology(), Dev: gpusim.PresetH100Device()}
+}
+
+// H100FatTreeSystem is a cluster of H100 nodes behind a rail-optimized IB
+// fat-tree (see fabric.H100FatTree): nodes×8 PEs, railsPerNode NICs per
+// node, leaf→spine uplinks oversubscribed by oversub. Timed backends over
+// this system congest on individual NICs, rails, and spine uplinks, and
+// route cross-node accumulates through the §3 get+put path.
+func H100FatTreeSystem(nodes, railsPerNode int, oversub float64) SimSystem {
+	return SimSystem{
+		Topo: fabric.H100FatTree(nodes, railsPerNode, oversub).Topology(),
+		Dev:  gpusim.PresetH100Device(),
+	}
 }
 
 // SimResult reports one simulated distributed multiply.

@@ -202,6 +202,36 @@ func PVCSystem() SimSystem { return universal.PVCSystem() }
 // H100System returns the 8-GPU Nvidia H100 node of Table 2.
 func H100System() SimSystem { return universal.H100System() }
 
+// PVCFabricSystem is PVCSystem with the link-routed network fabric
+// (internal/fabric) installed: timed backends contend on individual MDFI
+// bridges and Xe Link ports instead of one scalar port pair per tile.
+func PVCFabricSystem() SimSystem { return universal.PVCFabricSystem() }
+
+// H100FabricSystem is H100System with the link-routed fabric installed.
+func H100FabricSystem() SimSystem { return universal.H100FabricSystem() }
+
+// H100FatTreeSystem is a cluster of H100 nodes behind a rail-optimized IB
+// fat-tree: nodes×8 PEs, railsPerNode NICs per node (1 = DGX-style single
+// NIC, 8 = fully rail-optimized), leaf→spine uplinks oversubscribed by
+// oversub. Timed worlds over it congest on individual NICs, rails, and
+// spine uplinks — incast and oversubscription regimes the scalar
+// topologies cannot express — and report per-link accounting through
+// FabricStatsOf.
+func H100FatTreeSystem(nodes, railsPerNode int, oversub float64) SimSystem {
+	return universal.H100FatTreeSystem(nodes, railsPerNode, oversub)
+}
+
+// LinkStats reports one fabric link's busy seconds, imposed queue delay,
+// and carried payload for a timed run over a link-routed topology.
+type LinkStats = runtime.LinkStats
+
+// FabricStatsOf returns w's per-link fabric accounting, and ok=false when
+// w's backend is untimed or its topology has no link model (the scalar
+// simnet presets).
+func FabricStatsOf(w World) ([]LinkStats, bool) {
+	return runtime.FabricStatsOf(w)
+}
+
 // SimulateMultiply runs the algorithm through the discrete-event
 // performance model instead of real arithmetic.
 func SimulateMultiply(p Problem, cfg Config, sys SimSystem) SimResult {
