@@ -247,6 +247,39 @@ func BenchmarkExecuteSteadyStateAllocs(b *testing.B) {
 	b.ReportMetric(allocs/float64(steps), "allocs/step")
 }
 
+// BenchmarkSimulateFatTree64 measures scheduler throughput (scheduled
+// ops/sec) of the indexed-heap engine on the 64-PE fat-tree DAG
+// (bench.FatTree64SchedulerDAG — the same DAG cmd/bench_baseline anchors
+// in BENCH_PR*.json) — the PR 5 acceptance metric. The DAG is built once;
+// the benchmark times Run alone.
+func BenchmarkSimulateFatTree64(b *testing.B) {
+	eng, _ := bench.FatTree64SchedulerDAG()
+	ops := eng.NumOps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+	b.ReportMetric(float64(ops), "dag_ops")
+}
+
+// BenchmarkSimulateFatTree64ListOracle is the same DAG through the legacy
+// O(ready)-scan list scheduler, kept as the baseline the >=10x acceptance
+// ratio is measured against (both schedulers produce identical schedules;
+// see TestSchedulerEquivalenceAcrossConformanceSystems).
+func BenchmarkSimulateFatTree64ListOracle(b *testing.B) {
+	eng, _ := bench.FatTree64SchedulerDAG()
+	ops := eng.NumOps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunListOracle()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+}
+
 // Fetch-mode ablation (DESIGN.md design choice): whole-tile fetches with
 // an LRU cache versus exact sub-tile fetches. Whole tiles over-fetch when
 // a replicated stationary C needs only a k-slice of each tile, but they

@@ -78,6 +78,20 @@ type Baseline struct {
 	Fabric struct {
 		IncastSlowdownX float64 `json:"incast_slowdown_x"`
 	} `json:"fabric"`
+
+	// Sim anchors the PR 5 estimator hot path: scheduler throughput of the
+	// indexed-heap engine on the 64-PE fat-tree DAG (and its speedup over
+	// the legacy list scheduler, which must produce the identical
+	// makespan), plus the incast slowdown the fabric-aware plan-replay
+	// estimator predicts where the scalar estimator prices the storm
+	// near-parallel.
+	Sim struct {
+		OpsPerSec              float64 `json:"ops_per_sec"`
+		OracleOpsPerSec        float64 `json:"oracle_ops_per_sec"`
+		SchedSpeedupX          float64 `json:"sched_speedup_x"`
+		DagOps                 int     `json:"dag_ops"`
+		FabricIncastEstimatorX float64 `json:"fabric_incast_estimator_x"`
+	} `json:"sim"`
 }
 
 func gflopsOf(res testing.BenchmarkResult, flops float64) float64 {
@@ -182,8 +196,37 @@ func benchFabricIncast() float64 {
 	return routed / scalar
 }
 
+// benchScheduler measures scheduled ops/sec of the heap engine and of the
+// legacy list scheduler on the shared 64-PE fat-tree DAG
+// (bench.FatTree64SchedulerDAG — the same DAG BenchmarkSimulateFatTree64
+// times in CI), verifying their makespans agree before reporting.
+func benchScheduler() (opsPerSec, oracleOpsPerSec float64, dagOps int) {
+	eng, res := bench.FatTree64SchedulerDAG()
+	if oracle := eng.RunListOracle(); oracle.Makespan != res.Makespan {
+		panic(fmt.Sprintf("bench_baseline: scheduler mismatch (heap %g, oracle %g)", res.Makespan, oracle.Makespan))
+	}
+	dagOps = eng.NumOps()
+	heap := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.Run()
+		}
+	})
+	oracle := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.RunListOracle()
+		}
+	})
+	perSec := func(res testing.BenchmarkResult) float64 {
+		if res.T <= 0 {
+			return 0
+		}
+		return float64(dagOps) * float64(res.N) / res.T.Seconds()
+	}
+	return perSec(heap), perSec(oracle), dagOps
+}
+
 func main() {
-	pr := flag.Int("pr", 4, "PR number for the default output name")
+	pr := flag.Int("pr", 5, "PR number for the default output name")
 	out := flag.String("out", "", "output path (default BENCH_PR<pr>.json)")
 	flag.Parse()
 	path := *out
@@ -216,6 +259,16 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "pricing the fabric incast anchor...")
 	base.Fabric.IncastSlowdownX = benchFabricIncast()
+
+	fmt.Fprintln(os.Stderr, "measuring scheduler throughput (64-PE fat-tree DAG)...")
+	base.Sim.OpsPerSec, base.Sim.OracleOpsPerSec, base.Sim.DagOps = benchScheduler()
+	if base.Sim.OracleOpsPerSec > 0 {
+		base.Sim.SchedSpeedupX = base.Sim.OpsPerSec / base.Sim.OracleOpsPerSec
+	}
+	fmt.Fprintln(os.Stderr, "pricing the estimator incast anchor...")
+	if fabricSec, scalarSec := bench.EstimatorIncast(9); scalarSec > 0 {
+		base.Sim.FabricIncastEstimatorX = fabricSec / scalarSec
+	}
 
 	fmt.Fprintln(os.Stderr, "running quick figure sweeps...")
 	opts := bench.Options{Replications: []int{1, 2, 4}, Batches: []int{1024, 8192}}

@@ -5,9 +5,20 @@
 // DTensor (and, on H100, COSMA) comparison series, and prints the data
 // behind Figures 2 and 3 as an aligned table.
 //
-//	mlp_experiments -system pvc  -layer mlp1
-//	mlp_experiments -system h100 -layer mlp2
-//	mlp_experiments -quick           # smaller sweep for smoke testing
+// Two annotations ground the estimator curves in real (timed) execution:
+//
+//   - validation points: each UA series' winning configuration re-runs at
+//     1/scale dimensions through both timed backends, and the spread
+//     around the estimator is printed as an error bar per series;
+//
+//   - pipeline tuning: the headline configuration's PrefetchDepth ×
+//     MaxInflight grid is swept per timed backend (autotune.TunePipeline),
+//     surfacing how the optimum depends on the backend's contention model.
+//
+//     mlp_experiments -system pvc  -layer mlp1
+//     mlp_experiments -system h100 -layer mlp2
+//     mlp_experiments -quick           # smaller sweep for smoke testing
+//     mlp_experiments -validate=false -tune=false   # estimator table only
 package main
 
 import (
@@ -15,16 +26,23 @@ import (
 	"fmt"
 	"os"
 
+	"slicing/internal/autotune"
 	"slicing/internal/bench"
+	"slicing/internal/gpubackend"
+	rt "slicing/internal/runtime"
+	"slicing/internal/simbackend"
 	"slicing/internal/trace"
 	"slicing/internal/universal"
 )
 
 func main() {
 	var (
-		sysID = flag.String("system", "pvc", "pvc | h100")
-		layer = flag.String("layer", "mlp1", "mlp1 | mlp2")
-		quick = flag.Bool("quick", false, "restrict the sweep (fewer batches and factors)")
+		sysID    = flag.String("system", "pvc", "pvc | h100")
+		layer    = flag.String("layer", "mlp1", "mlp1 | mlp2")
+		quick    = flag.Bool("quick", false, "restrict the sweep (fewer batches and factors)")
+		validate = flag.Bool("validate", true, "annotate UA series with timed-backend validation points")
+		tune     = flag.Bool("tune", true, "sweep the headline point's pipeline depth per timed backend")
+		scale    = flag.Int("scale", 16, "divide dimensions by this factor for timed validation runs")
 	)
 	flag.Parse()
 
@@ -63,4 +81,63 @@ func main() {
 	sum := trace.Summarize(fig)
 	fmt.Printf("\nheadline: %s = %.1f%% vs %s = %.1f%% (UA competitive: %v)\n",
 		sum.BestUA, sum.BestUAPct, sum.BestOther, sum.BestOtherPct, sum.UAWinsOrTies)
+
+	if *validate {
+		fmt.Println()
+		trace.WriteValidationTable(os.Stdout, bench.ValidateFigure(sys, fig, *scale))
+	}
+
+	if *tune {
+		fmt.Println()
+		tunePipelines(sys, l, fig, *scale)
+	}
+}
+
+// tunePipelines sweeps the figure's headline UA configuration over the
+// PrefetchDepth × MaxInflight grid on both timed backends and prints the
+// per-backend ranking head — the open-ROADMAP comparison of how queue
+// depth moves the optimum between the single-clock and stream/event
+// contention models.
+func tunePipelines(sys universal.SimSystem, l bench.Layer, fig bench.Figure, scale int) {
+	pk, pt, ok := headlineUA(fig)
+	if !ok {
+		return
+	}
+	if scale <= 0 {
+		scale = 16
+	}
+	m, n, k := l.Dims(pt.Batch)
+	m, n, k = m/scale, n/scale, k/scale
+	cand := autotune.Candidate{Part: pk, ReplAB: pt.ReplAB, ReplC: pt.ReplC, Stationary: pt.Stationary}
+	fmt.Printf("pipeline tuning: UA - %v cAB=%d cC=%d %v @ batch %d (1/%d scale)\n",
+		pk, pt.ReplAB, pt.ReplC, pt.Stationary, pt.Batch, scale)
+	backends := []rt.Backend{simbackend.New(sys.Topo, sys.Dev), gpubackend.New(sys.Topo, sys.Dev)}
+	for _, b := range backends {
+		choices := autotune.TunePipeline(b, sys, m, n, k, cand, autotune.PipelineOptions{})
+		best := choices[0]
+		fmt.Printf("  %-22s best prefetch=%d inflight=%d (%.4gs, queue %.4gs)",
+			b.Name(), best.PrefetchDepth, best.MaxInflight, best.Seconds, best.QueueDelaySeconds)
+		if len(choices) > 1 {
+			worst := choices[len(choices)-1]
+			fmt.Printf("  [worst %d/%d: %.4gs]", worst.PrefetchDepth, worst.MaxInflight, worst.Seconds)
+		}
+		fmt.Println()
+	}
+}
+
+// headlineUA finds the best UA point in the figure along with its
+// partitioning (Figure.BestUAPoint drops the series identity).
+func headlineUA(fig bench.Figure) (bench.Partitioning, bench.Point, bool) {
+	var bestPk bench.Partitioning
+	best := bench.Point{PercentOfPeak: -1}
+	found := false
+	for _, pk := range bench.UAPartitionings {
+		s := fig.ByName("UA - " + pk.String())
+		for _, pt := range s.Points {
+			if pt.PercentOfPeak > best.PercentOfPeak {
+				best, bestPk, found = pt, pk, true
+			}
+		}
+	}
+	return bestPk, best, found
 }

@@ -81,7 +81,22 @@ func Search(sys universal.SimSystem, m, n, k int, opt Options) []Candidate {
 		}
 	}
 
-	var out []Candidate
+	// Enumerate the (cheap) layout specs sequentially, then price them —
+	// plan construction plus the §4.3 cost model, the expensive part —
+	// concurrently, both stationary strategies per spec so each Problem is
+	// built once and shared. Every spec owns its problem metadata, so
+	// pricing shares nothing; slot-indexed writes keep the result order
+	// (and therefore the sort's tie-breaking) identical to a sequential
+	// sweep.
+	stats := []universal.Stationary{universal.StationaryB, universal.StationaryC}
+	type spec struct {
+		part     bench.Partitioning
+		cAB, cC  int
+		mem      float64
+		cands    [2]Candidate
+		eligible [2]bool
+	}
+	var specs []spec
 	for _, part := range bench.UAPartitionings {
 		for _, cAB := range divisors {
 			for _, cC := range divisors {
@@ -89,17 +104,29 @@ func Search(sys universal.SimSystem, m, n, k int, opt Options) []Candidate {
 				if mem > budget {
 					continue
 				}
-				prob := buildProblem(sys, m, n, k, part, cAB, cC)
-				for _, stat := range []universal.Stationary{universal.StationaryB, universal.StationaryC} {
-					if !opt.AllowZeroComm && zeroComm(prob, stat) {
-						continue
-					}
-					cost := md.ProblemCost(prob, stat)
-					out = append(out, Candidate{
-						Part: part, ReplAB: cAB, ReplC: cC, Stationary: stat,
-						CostSeconds: cost, MemElems: mem,
-					})
-				}
+				specs = append(specs, spec{part: part, cAB: cAB, cC: cC, mem: mem})
+			}
+		}
+	}
+	rt.ForEachIndex(len(specs), func(i int) {
+		sp := &specs[i]
+		prob := buildProblem(sys, m, n, k, sp.part, sp.cAB, sp.cC)
+		for si, stat := range stats {
+			if !opt.AllowZeroComm && zeroComm(prob, stat) {
+				continue
+			}
+			sp.cands[si] = Candidate{
+				Part: sp.part, ReplAB: sp.cAB, ReplC: sp.cC, Stationary: stat,
+				CostSeconds: md.ProblemCost(prob, stat), MemElems: sp.mem,
+			}
+			sp.eligible[si] = true
+		}
+	})
+	out := make([]Candidate, 0, 2*len(specs))
+	for i := range specs {
+		for si := range stats {
+			if specs[i].eligible[si] {
+				out = append(out, specs[i].cands[si])
 			}
 		}
 	}
@@ -113,13 +140,16 @@ func Search(sys universal.SimSystem, m, n, k int, opt Options) []Candidate {
 		if top > len(out) {
 			top = len(out)
 		}
-		for i := 0; i < top; i++ {
+		// Each refinement builds and runs its own discrete-event engine, so
+		// the leaders simulate concurrently; the stable re-sort on the
+		// deterministic per-slot results keeps the ranking reproducible.
+		rt.ForEachIndex(top, func(i int) {
 			c := &out[i]
 			prob := buildProblem(sys, m, n, k, c.Part, c.ReplAB, c.ReplC)
 			cfg := universal.DefaultConfig()
 			cfg.Stationary = c.Stationary
 			c.SimSeconds = universal.SimulateMultiply(prob, cfg, sys).Makespan
-		}
+		})
 		sort.SliceStable(out[:top], func(i, j int) bool { return out[i].SimSeconds < out[j].SimSeconds })
 	}
 	return out
@@ -202,21 +232,25 @@ func (o PipelineOptions) withDefaults() PipelineOptions {
 // best-first.
 func TunePipeline(b rt.Backend, sys universal.SimSystem, m, n, k int, c Candidate, opt PipelineOptions) []PipelineChoice {
 	opt = opt.withDefaults()
-	out := make([]PipelineChoice, 0, len(opt.Depths)*len(opt.Inflights))
-	for _, d := range opt.Depths {
-		for _, fl := range opt.Inflights {
-			cfg := c.Config()
-			cfg.PrefetchDepth = d
-			cfg.MaxInflight = fl
-			res := bench.RunUATimedOn(b, sys, m, n, k, c.Part, c.ReplAB, c.ReplC, cfg)
-			out = append(out, PipelineChoice{
-				PrefetchDepth:     d,
-				MaxInflight:       fl,
-				Seconds:           res.Makespan,
-				QueueDelaySeconds: res.QueueDelaySeconds,
-			})
+	out := make([]PipelineChoice, len(opt.Depths)*len(opt.Inflights))
+	// Every grid point executes the multiply on its own world (the backend
+	// only carries the immutable topology and device models), so the sweep
+	// runs concurrently; slot-indexed results plus the stable final sort
+	// keep the ranking deterministic.
+	rt.ForEachIndex(len(out), func(i int) {
+		d := opt.Depths[i/len(opt.Inflights)]
+		fl := opt.Inflights[i%len(opt.Inflights)]
+		cfg := c.Config()
+		cfg.PrefetchDepth = d
+		cfg.MaxInflight = fl
+		res := bench.RunUATimedOn(b, sys, m, n, k, c.Part, c.ReplAB, c.ReplC, cfg)
+		out[i] = PipelineChoice{
+			PrefetchDepth:     d,
+			MaxInflight:       fl,
+			Seconds:           res.Makespan,
+			QueueDelaySeconds: res.QueueDelaySeconds,
 		}
-	}
+	})
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
 	return out
 }

@@ -209,3 +209,52 @@ func TestTunePipelineSweepsPerBackend(t *testing.T) {
 		t.Fatal("stream/event backend observed no queue delay in any swept config")
 	}
 }
+
+// PR 5: candidate pricing, simulator refinement, and pipeline sweeps run
+// concurrently now; repeated searches must stay bit-identical (slot-indexed
+// writes plus stable sorts — completion order must not leak into results).
+func TestSearchDeterministicUnderConcurrency(t *testing.T) {
+	opt := Options{SimulateTop: 4}
+	want := Search(universal.PVCSystem(), 1024, 768, 512, opt)
+	for trial := 0; trial < 3; trial++ {
+		got := Search(universal.PVCSystem(), 1024, 768, 512, opt)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d candidates, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d candidate %d: %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTunePipelineConcurrentSweepCoversGridSorted(t *testing.T) {
+	// The measured Seconds of a timed execution depend on the real run's
+	// dynamic schedule (they always have), so the concurrency contract is
+	// structural: the concurrent sweep must return every grid point exactly
+	// once, sorted best-first — never a dropped, duplicated, or misfiled
+	// slot from a racing worker.
+	sys := universal.H100System()
+	c := Best(sys, 256, 256, 256, Options{})
+	opt := PipelineOptions{Depths: []int{1, 4}, Inflights: []int{1, 2, 4}}
+	for trial := 0; trial < 3; trial++ {
+		got := TunePipeline(simbackend.New(sys.Topo, sys.Dev), sys, 256, 256, 256, c, opt)
+		if len(got) != len(opt.Depths)*len(opt.Inflights) {
+			t.Fatalf("trial %d: %d choices, want %d", trial, len(got), len(opt.Depths)*len(opt.Inflights))
+		}
+		seen := map[[2]int]bool{}
+		for i, ch := range got {
+			if ch.Seconds <= 0 {
+				t.Fatalf("trial %d: choice %v has non-positive seconds", trial, ch)
+			}
+			if i > 0 && got[i-1].Seconds > ch.Seconds {
+				t.Fatalf("trial %d: choices not sorted at %d", trial, i)
+			}
+			seen[[2]int{ch.PrefetchDepth, ch.MaxInflight}] = true
+		}
+		if len(seen) != len(got) {
+			t.Fatalf("trial %d: grid points dropped or duplicated: %v", trial, got)
+		}
+	}
+}

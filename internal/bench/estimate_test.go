@@ -1,0 +1,63 @@
+package bench
+
+// PR 5 acceptance: the fabric-aware plan-replay estimator must land in the
+// timed backend's regime on the incast-style sweep exactly where the
+// scalar estimator provably diverges, and the figure-point validation
+// helper must produce comparable estimator/timed numbers.
+
+import (
+	"testing"
+
+	"slicing/internal/universal"
+)
+
+func TestFabricEstimatorAgreesWithSimbackendOnIncast(t *testing.T) {
+	const nodes = 3
+	fabricSec, scalarSec := EstimatorIncast(nodes)
+	if fabricSec <= 0 || scalarSec <= 0 {
+		t.Fatalf("degenerate estimates: fabric %g, scalar %g", fabricSec, scalarSec)
+	}
+	timed := TimedIncastReduce(universal.H100FatTreeSystem(nodes, 1, 1), nodes).Makespan
+
+	// The scalar estimator prices the single-NIC storm near-parallel and
+	// must diverge from the timed run by at least 2x; the fabric-aware
+	// estimator must land within a modest factor of it. (The estimator
+	// replays static plans, the backend times a dynamic execution, so exact
+	// agreement is not expected — regime agreement is.)
+	if timed < 2*scalarSec {
+		t.Fatalf("scalar estimator (%.6gs) should provably diverge >=2x from the timed storm (%.6gs): got %.2fx",
+			scalarSec, timed, timed/scalarSec)
+	}
+	if ratio := fabricSec / timed; ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("fabric estimator (%.6gs) should agree with simbackend (%.6gs) within 2x: got %.2fx",
+			fabricSec, timed, ratio)
+	}
+	if fabricSec < 2*scalarSec {
+		t.Fatalf("fabric estimator (%.6gs) should price the storm >=2x the scalar estimator (%.6gs)",
+			fabricSec, scalarSec)
+	}
+}
+
+func TestValidatePointProducesComparableNumbers(t *testing.T) {
+	sys := universal.H100System()
+	pt := BestUA(sys, MLP1, 1024, PartOuterProd, Options{Replications: []int{1, 2}})
+	v := ValidatePoint(sys, MLP1, PartOuterProd, pt, 16)
+	if v.EstimatorPct <= 0 || v.SimbackendPct <= 0 || v.GpubackendPct <= 0 {
+		t.Fatalf("validation point has non-positive percentages: %+v", v)
+	}
+	if v.EstimatorPct > 100 || v.SimbackendPct > 100 || v.GpubackendPct > 100 {
+		t.Fatalf("validation point exceeds peak: %+v", v)
+	}
+	lo, hi := v.ErrBar()
+	if lo > hi {
+		t.Fatalf("error bar inverted: [%g, %g]", lo, hi)
+	}
+	// The estimator and the timed backends model the same §4.3 costs; at
+	// validation scale they must agree within a small factor, or the error
+	// bars would be meaningless decoration.
+	for _, timed := range []float64{v.SimbackendPct, v.GpubackendPct} {
+		if r := timed / v.EstimatorPct; r < 0.25 || r > 4 {
+			t.Fatalf("timed %.2f%% vs estimator %.2f%%: ratio %.2f outside [0.25, 4]", timed, v.EstimatorPct, r)
+		}
+	}
+}

@@ -306,3 +306,40 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// TestQueuesTiedBlockerAttributionDeterministic (PR 5): when several route
+// links tie as the binding constraint, the queue delay must be attributed
+// to the lowest link index — a fixed rule independent of route traversal
+// order, so per-link delay stats are reproducible across equivalent routes.
+func TestQueuesTiedBlockerAttributionDeterministic(t *testing.T) {
+	const dur = 1e-3
+	run := func(route []int) *fabric.Queues {
+		q := fabric.NewQueues(4)
+		// Occupy links 1 and 3 until the same instant, so both tie as the
+		// binding constraint of the next reservation.
+		q.Reserve([]int{1}, 0, dur, 0)
+		q.Reserve([]int{3}, 0, dur, 0)
+		q.Reserve(route, 0, dur, 0)
+		return q
+	}
+	for _, route := range [][]int{{1, 3}, {3, 1}, {3, 0, 1}} {
+		q := run(route)
+		if got := q.QueueDelayFor(1); !approx(got, dur) {
+			t.Fatalf("route %v: delay on link 1 = %g, want %g (lowest tied index)", route, got, dur)
+		}
+		if got := q.QueueDelayFor(3); got != 0 {
+			t.Fatalf("route %v: delay leaked to link 3 (%g); the lowest tied index must win", route, got)
+		}
+	}
+	// A strictly later link must still win over a lower tied-but-earlier one.
+	q := fabric.NewQueues(4)
+	q.Reserve([]int{1}, 0, dur, 0)
+	q.Reserve([]int{3}, 0, 2*dur, 0)
+	q.Reserve([]int{1, 3}, 0, dur, 0)
+	if got := q.QueueDelayFor(3); !approx(got, 2*dur) {
+		t.Fatalf("delay on link 3 = %g, want %g (unique binding constraint)", got, 2*dur)
+	}
+	if got := q.QueueDelayFor(1); got != 0 {
+		t.Fatalf("delay on link 1 = %g, want 0", got)
+	}
+}

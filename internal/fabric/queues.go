@@ -42,12 +42,20 @@ func NewQueues(numLinks int) *Queues {
 // occupies all of them for dur seconds, and returns the start and end
 // times. An empty route (device-local copy) starts at ready and touches
 // no link state.
+//
+// The queue delay (start − ready) is attributed to the binding constraint:
+// the route link whose availability set the start time. When several links
+// tie as the binding constraint, the lowest link index wins — a fixed rule,
+// so per-link delay attribution is independent of route traversal order.
 func (q *Queues) Reserve(route []int, ready, dur float64, payload int64) (start, end float64) {
 	start = ready
 	blocker := -1
 	for _, li := range route {
-		if q.free[li] > start {
+		switch {
+		case q.free[li] > start:
 			start = q.free[li]
+			blocker = li
+		case blocker >= 0 && q.free[li] == start && li < blocker:
 			blocker = li
 		}
 	}

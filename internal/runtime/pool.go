@@ -1,0 +1,42 @@
+package runtime
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachIndex runs fn(0..n-1) across a worker pool sized to the machine.
+// Each index must write only its own output slot, which keeps results
+// deterministic regardless of completion order. It is the shared fan-out
+// primitive behind the estimator's parallel plan building and the
+// autotuner's concurrent candidate evaluation — every caller's unit of
+// work owns its world/engine and shares nothing mutable.
+func ForEachIndex(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

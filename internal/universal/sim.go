@@ -3,6 +3,7 @@ package universal
 import (
 	"slicing/internal/fabric"
 	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
 	"slicing/internal/simnet"
 )
 
@@ -76,38 +77,146 @@ type SimResult struct {
 // through the discrete-event performance model instead of real arithmetic:
 // the same per-rank plans (iteration offset, tile cache, prefetch depth,
 // bounded GEMM/accumulate concurrency) drive a schedule over compute
-// engines and network ports, reproducing the overlap behaviour that
+// engines and the network, reproducing the overlap behaviour that
 // determines percent-of-peak in Figures 2-3.
 func SimulateMultiply(prob Problem, cfg Config, sys SimSystem) SimResult {
 	res, _, _ := SimulateMultiplyTrace(prob, cfg, sys)
 	return res
 }
 
+// buildPlans constructs every rank's plan. The calls are independent and
+// touch only immutable problem metadata, so they fan out across a worker
+// pool (cluster-scale sweeps build hundreds of plans per estimate); each
+// worker writes its rank's slot, keeping the result deterministic, and the
+// single-threaded engine assembly that follows consumes them in rank
+// order.
+func buildPlans(prob Problem, cfg Config, p int) []Plan {
+	plans := make([]Plan, p)
+	rt.ForEachIndex(p, func(rank int) {
+		plans[rank] = BuildPlanMode(rank, prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
+	})
+	return plans
+}
+
+// simBuilder maps the estimator's transfers onto engine resources the same
+// way the timed backends do: on a scalar topology a src→dst transfer
+// occupies the source's egress port and the destination's ingress port; on
+// a link-routed topology (simnet.Routed) it occupies every link of the
+// static src→dst route, so transfers that share a NIC, a rail, or a spine
+// uplink contend even when their endpoints differ. Across a node boundary
+// (simnet.NodeMapper) accumulates decompose into the §3 get+put round
+// trip — two chained transfers, each claiming its own route — matching
+// both timed backends and costmodel.AccumCost.
+type simBuilder struct {
+	eng     *gpusim.Engine
+	sys     SimSystem
+	compute []gpusim.ResourceID
+	// Scalar port model (routed == nil).
+	egress, ingress []gpusim.ResourceID
+	// Link-routed model.
+	routed  simnet.Routed
+	linkRes []gpusim.ResourceID
+	nodes   simnet.NodeMapper
+
+	scratch []gpusim.ResourceID // reused per-op resource list (AddOp copies)
+}
+
+func newSimBuilder(eng *gpusim.Engine, sys SimSystem, p int) *simBuilder {
+	b := &simBuilder{eng: eng, sys: sys, compute: make([]gpusim.ResourceID, p)}
+	b.routed, _ = sys.Topo.(simnet.Routed)
+	b.nodes, _ = sys.Topo.(simnet.NodeMapper)
+	for pe := 0; pe < p; pe++ {
+		b.compute[pe] = eng.AddResource("compute")
+		if b.routed == nil {
+			b.egress = append(b.egress, eng.AddResource("egress"))
+			b.ingress = append(b.ingress, eng.AddResource("ingress"))
+		}
+	}
+	if b.routed != nil {
+		b.linkRes = make([]gpusim.ResourceID, b.routed.NumLinks())
+		for li := range b.linkRes {
+			b.linkRes[li] = eng.AddResource(b.routed.LinkName(li))
+		}
+	}
+	return b
+}
+
+// netRes returns the engine resources a src→dst transfer occupies. The
+// returned slice is the builder's scratch, valid until the next call
+// (AddOp copies it into the engine's CSR storage).
+func (b *simBuilder) netRes(src, dst int) []gpusim.ResourceID {
+	b.scratch = b.scratch[:0]
+	if src == dst {
+		return b.scratch // device-local copies use no network
+	}
+	if b.routed == nil {
+		b.scratch = append(b.scratch, b.egress[src], b.ingress[dst])
+		return b.scratch
+	}
+	for _, li := range b.routed.RouteIDs(src, dst) {
+		b.scratch = append(b.scratch, b.linkRes[li])
+	}
+	return b.scratch
+}
+
+// crossNode reports whether two PEs live on different machines, past which
+// the RDMA fabric offers no remote atomics (§3).
+func (b *simBuilder) crossNode(x, y int) bool {
+	return b.nodes != nil && b.nodes.NodeOf(x) != b.nodes.NodeOf(y)
+}
+
+// transferDur prices a src→dst copy of bytes, matching the timed backends'
+// costmodel.FetchCost for remote transfers.
+func (b *simBuilder) transferDur(src, dst, bytes int) float64 {
+	return simnet.TransferTime(b.sys.Topo, src, dst, float64(bytes)) + b.sys.Dev.LaunchOverhead
+}
+
+// addAccum appends the engine ops for an accumulate of bytes from rank
+// into dst's memory, gated on deps, and returns the op that completes it.
+// Within a node it is a single accumulate at the measured fraction of copy
+// bandwidth (claiming the initiator's compute engine too on devices that
+// model accumulate/GEMM interference); across nodes it is the §3 get+put
+// round trip, the put gated on the get as the coarse lock requires.
+func (b *simBuilder) addAccum(label string, rank, dst, bytes int, deps []gpusim.OpID) gpusim.OpID {
+	if b.crossNode(rank, dst) {
+		get := b.eng.AddOp(label+"_get", gpusim.OpAccum, b.transferDur(dst, rank, bytes),
+			deps, b.netRes(dst, rank))
+		return b.eng.AddOp(label+"_put", gpusim.OpAccum, b.transferDur(rank, dst, bytes),
+			[]gpusim.OpID{get}, b.netRes(rank, dst))
+	}
+	bw := b.sys.Topo.Bandwidth(rank, dst)
+	dur := b.sys.Dev.AccumTime(float64(bytes), bw) + b.sys.Topo.Latency(rank, dst) + b.sys.Dev.LaunchOverhead
+	res := b.netRes(rank, dst)
+	if b.sys.Dev.AccumComputeInterference {
+		res = append(res, b.compute[rank])
+	}
+	return b.eng.AddOp(label, gpusim.OpAccum, dur, deps, res)
+}
+
 // SimulateMultiplyTrace is SimulateMultiply but additionally returns the
 // discrete-event engine and raw schedule, so callers can render the
-// timeline (trace.WriteGantt) or inspect per-op timings.
+// timeline (trace.WriteGantt) or inspect per-op timings. The returned
+// Result's slices are owned by the engine (see gpusim.Result).
 func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, *gpusim.Engine, gpusim.Result) {
 	cfg = cfg.withDefaults()
 	p := prob.A.World().NumPE()
 	if p != sys.Topo.NumPE() {
 		panic("universal: world size does not match topology")
 	}
+	plans := buildPlans(prob, cfg, p)
 	eng := gpusim.NewEngine()
-	compute := make([]gpusim.ResourceID, p)
-	egress := make([]gpusim.ResourceID, p)
-	ingress := make([]gpusim.ResourceID, p)
-	for pe := 0; pe < p; pe++ {
-		compute[pe] = eng.AddResource("compute")
-		egress[pe] = eng.AddResource("egress")
-		ingress[pe] = eng.AddResource("ingress")
-	}
+	b := newSimBuilder(eng, sys, p)
 
 	result := SimResult{}
 	lastOpPerRank := make([]gpusim.OpID, 0, p)
 	var resolved Stationary
 
+	// Reused dependency scratch: AddOp copies its deps, so one buffer
+	// serves every op.
+	var deps []gpusim.OpID
+
 	for rank := 0; rank < p; rank++ {
-		plan := BuildPlanMode(rank, prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
+		plan := plans[rank]
 		resolved = plan.Stationary
 		result.Ops += len(plan.Steps)
 		result.RemoteGetBytes += plan.RemoteFetchBytes()
@@ -122,13 +231,12 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 		// of step i-1-PrefetchDepth has been issued (§4.2 prefetches the
 		// next two tiles while computing the current one).
 		addFetch := func(i int, src, bytes int) gpusim.OpID {
-			var deps []gpusim.OpID
+			deps = deps[:0]
 			if gate := i - 1 - cfg.PrefetchDepth; gate >= 0 {
 				deps = append(deps, gemmIDs[gate])
 			}
-			dur := simnet.TransferTime(sys.Topo, src, rank, float64(bytes)) + sys.Dev.LaunchOverhead
-			return eng.AddOp("get", gpusim.OpComm, dur, deps,
-				[]gpusim.ResourceID{egress[src], ingress[rank]})
+			return eng.AddOp("get", gpusim.OpComm, b.transferDur(src, rank, bytes),
+				deps, b.netRes(src, rank))
 		}
 
 		for i, s := range plan.Steps {
@@ -138,12 +246,12 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 			if s.FetchB {
 				fetchFor[i] = append(fetchFor[i], addFetch(i, s.BSrc, s.BBytes))
 			}
-			deps := append([]gpusim.OpID(nil), fetchFor[i]...)
+			deps = append(deps[:0], fetchFor[i]...)
 			// Tile-cache hits must still wait for the step that fetched the
 			// tile; the engine's per-resource serialization of fetches on
-			// ingress[rank] plus program order makes that fetch precede this
-			// GEMM's other dependencies in practice, so an explicit edge to
-			// the earlier fetch is redundant for timing.
+			// rank's ingress side plus program order makes that fetch precede
+			// this GEMM's other dependencies in practice, so an explicit edge
+			// to the earlier fetch is redundant for timing.
 			// Bounded chain concurrency: the semaphore of §4.2.
 			if gate := i - cfg.MaxInflight; gate >= 0 {
 				deps = append(deps, chainEnd[gate])
@@ -151,26 +259,18 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 			op := s.Op
 			gemmDur := sys.Dev.GemmTime(op.M.Len(), op.N.Len(), op.K.Len()) + sys.Dev.LaunchOverhead
 			gemmIDs[i] = eng.AddOp("gemm", gpusim.OpCompute, gemmDur, deps,
-				[]gpusim.ResourceID{compute[rank]})
+				[]gpusim.ResourceID{b.compute[rank]})
 			chainEnd[i] = gemmIDs[i]
 
 			if s.AccumBytes > 0 {
-				var accDur float64
-				var accRes []gpusim.ResourceID
+				deps = append(deps[:0], gemmIDs[i])
 				if s.CLocal {
 					// Local accumulate: read-modify-write in HBM.
-					accDur = 2 * float64(s.AccumBytes) / sys.Dev.MemBW
+					accDur := 2*float64(s.AccumBytes)/sys.Dev.MemBW + sys.Dev.LaunchOverhead
+					chainEnd[i] = eng.AddOp("accum", gpusim.OpAccum, accDur, deps, nil)
 				} else {
-					bw := sys.Topo.Bandwidth(rank, s.CDst)
-					accDur = sys.Dev.AccumTime(float64(s.AccumBytes), bw) + sys.Topo.Latency(rank, s.CDst)
-					accRes = []gpusim.ResourceID{egress[rank], ingress[s.CDst]}
-					if sys.Dev.AccumComputeInterference {
-						accRes = append(accRes, compute[rank])
-					}
+					chainEnd[i] = b.addAccum("accum", rank, s.CDst, s.AccumBytes, deps)
 				}
-				accDur += sys.Dev.LaunchOverhead
-				chainEnd[i] = eng.AddOp("accum", gpusim.OpAccum, accDur,
-					[]gpusim.OpID{gemmIDs[i]}, accRes)
 			}
 		}
 		if n := len(plan.Steps); n > 0 {
@@ -190,13 +290,7 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 			dst := prob.C.RankFor(prob.C.SlotOf(rank), origin)
 			for _, idx := range prob.C.OwnedTiles(rank) {
 				bytes := prob.C.TileBounds(idx).Area() * 4
-				bw := sys.Topo.Bandwidth(rank, dst)
-				dur := sys.Dev.AccumTime(float64(bytes), bw) + sys.Topo.Latency(rank, dst) + sys.Dev.LaunchOverhead
-				res := []gpusim.ResourceID{egress[rank], ingress[dst]}
-				if sys.Dev.AccumComputeInterference {
-					res = append(res, compute[rank])
-				}
-				eng.AddOp("reduce", gpusim.OpAccum, dur, lastOpPerRank, res)
+				b.addAccum("reduce", rank, dst, bytes, lastOpPerRank)
 				result.RemoteAccumBytes += bytes
 			}
 		}
@@ -212,7 +306,7 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 	}
 	var util float64
 	for pe := 0; pe < p; pe++ {
-		util += run.Utilization(compute[pe])
+		util += run.Utilization(b.compute[pe])
 	}
 	result.AvgComputeUtil = util / float64(p)
 	return result, eng, run
