@@ -1,0 +1,51 @@
+//go:build amd64 && !purego
+
+package tile
+
+// Runtime CPU-feature detection for the GEMM micro-kernel dispatch. The
+// module is dependency-free, so this is raw CPUID/XGETBV (two instructions
+// of assembly, cpuid_amd64.s) rather than golang.org/x/sys/cpu. Detection
+// covers exactly what the kernels need:
+//
+//   - avx2 kernel:   AVX2 + FMA, and the OS saving YMM state (XCR0[2:1]).
+//   - avx512 kernel: AVX-512F (the kernel uses only F-level instructions:
+//     VPXORQ/VBROADCASTSS/VFMADD231PS/VMOVUPS on ZMM), and the OS saving
+//     opmask + ZMM state (XCR0[7:5]).
+//
+// SSE2 is architectural on amd64 and needs no check.
+
+// cpuid executes CPUID for (leaf, sub); implemented in cpuid_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the XSAVE feature-enabled mask; implemented in
+// cpuid_amd64.s. Only valid when CPUID.1:ECX.OSXSAVE is set.
+func xgetbv0() (eax, edx uint32)
+
+var (
+	hasAVX2FMA bool // AVX2 + FMA usable (CPU and OS)
+	hasAVX512  bool // AVX-512F usable (CPU and OS)
+)
+
+func detectCPU() {
+	const (
+		cpuid1FMA     = 1 << 12 // CPUID.1:ECX
+		cpuid1OSXSAVE = 1 << 27
+		cpuid1AVX     = 1 << 28
+		cpuid7AVX2    = 1 << 5  // CPUID.7.0:EBX
+		cpuid7AVX512F = 1 << 16 // CPUID.7.0:EBX
+		xcr0YMM       = 0x6     // XMM (bit 1) + YMM (bit 2)
+		xcr0ZMM       = 0xe6    // XMM+YMM + opmask (5) + ZMM_Hi256 (6) + Hi16_ZMM (7)
+	)
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&cpuid1OSXSAVE == 0 || ecx1&cpuid1AVX == 0 {
+		return // OS does not manage extended state; stay on SSE2
+	}
+	xlo, _ := xgetbv0()
+	_, ebx7, _, _ := cpuid(7, 0)
+	hasAVX2FMA = ecx1&cpuid1FMA != 0 && ebx7&cpuid7AVX2 != 0 && xlo&xcr0YMM == xcr0YMM
+	hasAVX512 = ebx7&cpuid7AVX512F != 0 && xlo&xcr0ZMM == xcr0ZMM
+}

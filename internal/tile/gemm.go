@@ -1,10 +1,6 @@
 package tile
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
 // GemmNaive computes C += A*B with the textbook triple loop. It is the
 // correctness oracle for the optimized kernels and for every distributed
@@ -100,43 +96,6 @@ func gemmBlock(c, a, b *Matrix, i0, iMax, l0, lMax, j0, jMax int) {
 			}
 		}
 	}
-}
-
-// GemmParallel computes C += A*B splitting row bands of C across workers
-// goroutines (0 means GOMAXPROCS). Each worker drives the packed kernel
-// over its band with its own pooled packing scratch; row-band partitioning
-// means no two workers write the same C element, so no synchronization
-// beyond the final join is needed.
-func GemmParallel(c, a, b *Matrix, workers int) {
-	checkGemmShapes(c, a, b)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	m := a.Rows
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 || m*a.Cols*b.Cols < 64*64*64 {
-		Gemm(c, a, b)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, m)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			cv := c.View(lo, 0, hi-lo, c.Cols)
-			av := a.View(lo, 0, hi-lo, a.Cols)
-			Gemm(cv, av, b)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 func checkGemmShapes(c, a, b *Matrix) {

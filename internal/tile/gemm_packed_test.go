@@ -12,14 +12,16 @@ import (
 // kcBlock, mcBlock, ncBlock ± 1), and empty matrices.
 func TestGemmPackedMatchesNaiveOddShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(40))
+	kn := activeKern
+	mr, nr := kn.mr, kn.nr
 	shapes := [][3]int{
 		{1, 1, 1}, {1, 1, 64}, {1, 64, 1}, {64, 1, 1},
 		{1, 128, 128}, {128, 128, 1}, {128, 1, 128},
 		{2, 3, 4}, {5, 7, 9},
 		{mr - 1, 10, nr - 1}, {mr + 1, 10, nr + 1},
-		{mcBlock - 1, kcBlock - 1, ncBlock/4 - 1},
-		{mcBlock + 1, kcBlock + 1, 2*nr + 3},
-		{3*mr + 2, 2*kcBlock + 5, 3*nr + 7},
+		{kn.mc - 1, kn.kc - 1, kn.nc/4 - 1},
+		{kn.mc + 1, kn.kc + 1, 2*nr + 3},
+		{3*mr + 2, 2*kn.kc + 5, 3*nr + 7},
 		{100, 257, 33}, {65, 63, 67},
 		{0, 5, 5}, {5, 0, 5}, {5, 5, 0},
 	}

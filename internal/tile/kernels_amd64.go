@@ -1,0 +1,76 @@
+//go:build amd64 && !purego
+
+package tile
+
+// The amd64 kernel table. Shapes and blocking per variant:
+//
+//   - avx512: 14×32 accumulator in ZMM0–ZMM27 (28 of 32 registers), two
+//     ZMM B loads + 14 VBROADCASTSS + 28 VFMADD231PS per K step. kc=192
+//     keeps the B micro-panel (kc×32×4 = 24 KiB) plus the A strip
+//     (kc×14×4 ≈ 10.5 KiB) L1-resident; mc=140 (10 strips of 14) makes
+//     the packed A panel ~105 KiB, safely L2-resident.
+//   - avx2: 6×16 accumulator in YMM0–YMM11 (the classic FMA shape), two
+//     YMM B loads + 6 VBROADCASTSS + 12 VFMADD231PS per K step. kc=256:
+//     B micro-panel 16 KiB + A strip 6 KiB in L1; mc=132 (22 strips of
+//     6) → ~132 KiB packed A panel in L2.
+//   - sse2: the baseline 4×8 kernel (no feature detection needed),
+//     unchanged from PR 3.
+//
+// buildKernelTable runs during package variable initialization (before any
+// init function that could call Gemm), best variant first.
+func buildKernelTable() []*kernelImpl {
+	detectCPU()
+	var t []*kernelImpl
+	if hasAVX512 {
+		t = append(t, &kernelImpl{
+			name: "avx512",
+			mr:   14, nr: 32,
+			kc: 256, mc: 140, nc: 2048,
+			id: kidAVX512,
+		})
+	}
+	if hasAVX2FMA {
+		t = append(t, &kernelImpl{
+			name: "avx2",
+			mr:   6, nr: 16,
+			kc: 256, mc: 132, nc: 2048,
+			id: kidAVX2,
+		})
+	}
+	t = append(t, &kernelImpl{
+		name: "sse2",
+		mr:   4, nr: 8,
+		kc: 256, mc: 128, nc: 1024,
+		id: kidSSE2,
+	}, goKernel)
+	return t
+}
+
+// callKernel dispatches a micro-kernel id as a direct call so the
+// //go:noescape annotations hold and acc stays on the caller's stack.
+func callKernel(id kernID, acc, ap, bp *float32, kc int) {
+	switch id {
+	case kidAVX512:
+		microKernelAVX512(acc, ap, bp, kc)
+	case kidAVX2:
+		microKernelAVX2(acc, ap, bp, kc)
+	case kidSSE2:
+		microKernelSSE2(acc, ap, bp, kc)
+	default:
+		microKernelGo(acc, ap, bp, kc)
+	}
+}
+
+// callKernelC runs the direct-into-C interior-tile variant when the id has
+// one, returning false to send the caller down the acc+masked-add path.
+func callKernelC(id kernID, c *float32, ldc int, ap, bp *float32, kc int) bool {
+	switch id {
+	case kidAVX512:
+		microKernelAVX512C(c, ldc, ap, bp, kc)
+		return true
+	case kidAVX2:
+		microKernelAVX2C(c, ldc, ap, bp, kc)
+		return true
+	}
+	return false
+}

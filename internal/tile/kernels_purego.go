@@ -1,0 +1,17 @@
+//go:build !amd64 || purego
+
+package tile
+
+// Without amd64 assembly (foreign architectures, or -tags purego) the
+// portable Go micro-kernel is the only variant.
+func buildKernelTable() []*kernelImpl { return []*kernelImpl{goKernel} }
+
+// callKernel has a single target here; the indirection mirrors the amd64
+// dispatch so pack.go is identical across builds.
+func callKernel(_ kernID, acc, ap, bp *float32, kc int) {
+	microKernelGo(acc, ap, bp, kc)
+}
+
+// callKernelC: no direct-into-C variants without assembly; every tile
+// takes the acc+masked-add path.
+func callKernelC(kernID, *float32, int, *float32, *float32, int) bool { return false }

@@ -2,13 +2,45 @@
 
 package tile
 
-// microKernelAccum computes acc = Apanel·Bpanel for one mr×nr register
-// tile: ap points at a packed mr-row strip (kc×mr, k-major), bp at a packed
-// nr-column strip (kc×nr, k-major). acc is overwritten, not accumulated
-// into; the caller masks the valid window into C. Implemented in SSE2
-// assembly (baseline on every amd64, no feature detection needed): the 4×8
-// accumulator tile lives in XMM0-XMM7 for the whole K loop, with two
-// 4-float B vectors and four broadcast A scalars per step.
+// The assembly micro-kernels (microkernel_amd64.s). All three share one
+// contract: acc[0:mr*nr] = Apanel·Bpanel for their register-tile shape,
+// where ap points at a packed mr-row strip (kc×mr, k-major), bp at a
+// packed nr-column strip (kc×nr, k-major), and acc (row-major, stride nr)
+// is overwritten, not accumulated into; the caller masks the valid window
+// into C. Which one runs is decided by the dispatch table
+// (kernels_amd64.go) from CPUID feature detection.
+
+// microKernelSSE2 is the baseline 4×8 kernel: the accumulator tile lives
+// in XMM0–XMM7 for the whole K loop, with two 4-float B loads and four
+// broadcast A scalars per step (MULPS+ADDPS; SSE2 is architectural on
+// amd64, so it needs no feature check).
 //
 //go:noescape
-func microKernelAccum(acc *[mr * nr]float32, ap, bp *float32, kc int)
+func microKernelSSE2(acc, ap, bp *float32, kc int)
+
+// microKernelAVX2 is the 6×16 AVX2/FMA kernel: the accumulator tile lives
+// in YMM0–YMM11, each K step is two 8-float B loads, six VBROADCASTSS of
+// A, and twelve VFMADD231PS. Requires AVX2+FMA with OS-saved YMM state.
+//
+//go:noescape
+func microKernelAVX2(acc, ap, bp *float32, kc int)
+
+// microKernelAVX512 is the 14×32 AVX-512F kernel: the accumulator tile
+// lives in ZMM0–ZMM27, each K step is two 16-float B loads, fourteen
+// VBROADCASTSS of A, and twenty-eight VFMADD231PS. Uses only AVX-512F
+// instructions; requires OS-saved opmask/ZMM state.
+//
+//go:noescape
+func microKernelAVX512(acc, ap, bp *float32, kc int)
+
+// microKernelAVX2C / microKernelAVX512C are the interior-tile variants:
+// same K loop, but the register tile is added directly into C (row stride
+// ldc floats) with vector loads/adds/stores — interior tiles skip the
+// scalar acc→C pass entirely, which at AVX-512 speeds is worth tens of
+// percent. Callers must guarantee a full mr×nr window at c.
+//
+//go:noescape
+func microKernelAVX2C(c *float32, ldc int, ap, bp *float32, kc int)
+
+//go:noescape
+func microKernelAVX512C(c *float32, ldc int, ap, bp *float32, kc int)

@@ -1,0 +1,58 @@
+package tile
+
+import "unsafe"
+
+// goMR/goNR is the register-tile shape of the portable Go micro-kernel
+// (goKernel in dispatch.go).
+const (
+	goMR = 4
+	goNR = 8
+)
+
+// microKernelGo computes acc = Apanel·Bpanel for one 4×8 register tile: ap
+// points at a packed 4-row strip (kc×4, k-major), bp at a packed 8-column
+// strip (kc×8, k-major). acc (row-major, stride 8) is overwritten, not
+// accumulated into. Portable fallback and reference for the assembly
+// kernels: fixed-size-array accesses keep the inner loop
+// bounds-check-free, and the 4-way K unroll amortizes loop overhead.
+func microKernelGo(acc, ap, bp *float32, kc int) {
+	aps := unsafe.Slice(ap, kc*goMR)
+	bps := unsafe.Slice(bp, kc*goNR)
+	var acc0, acc1, acc2, acc3 [goNR]float32
+	kk := 0
+	for ; kk+3 < kc; kk += 4 {
+		a := (*[4 * goMR]float32)(aps[kk*goMR:])
+		b0 := (*[goNR]float32)(bps[kk*goNR:])
+		b1 := (*[goNR]float32)(bps[(kk+1)*goNR:])
+		b2 := (*[goNR]float32)(bps[(kk+2)*goNR:])
+		b3 := (*[goNR]float32)(bps[(kk+3)*goNR:])
+		a00, a01, a02, a03 := a[0], a[1], a[2], a[3]
+		a10, a11, a12, a13 := a[4], a[5], a[6], a[7]
+		a20, a21, a22, a23 := a[8], a[9], a[10], a[11]
+		a30, a31, a32, a33 := a[12], a[13], a[14], a[15]
+		for j := 0; j < goNR; j++ {
+			v0, v1, v2, v3 := b0[j], b1[j], b2[j], b3[j]
+			acc0[j] += a00*v0 + a10*v1 + a20*v2 + a30*v3
+			acc1[j] += a01*v0 + a11*v1 + a21*v2 + a31*v3
+			acc2[j] += a02*v0 + a12*v1 + a22*v2 + a32*v3
+			acc3[j] += a03*v0 + a13*v1 + a23*v2 + a33*v3
+		}
+	}
+	for ; kk < kc; kk++ {
+		a := (*[goMR]float32)(aps[kk*goMR:])
+		b0 := (*[goNR]float32)(bps[kk*goNR:])
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		for j := 0; j < goNR; j++ {
+			v := b0[j]
+			acc0[j] += a0 * v
+			acc1[j] += a1 * v
+			acc2[j] += a2 * v
+			acc3[j] += a3 * v
+		}
+	}
+	out := unsafe.Slice(acc, goMR*goNR)
+	copy(out[0*goNR:1*goNR], acc0[:])
+	copy(out[1*goNR:2*goNR], acc1[:])
+	copy(out[2*goNR:3*goNR], acc2[:])
+	copy(out[3*goNR:4*goNR], acc3[:])
+}

@@ -1,45 +1,51 @@
 package tile
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Packed register-blocked GEMM (COSMA/BLIS-style, §4.2's "keep the local
 // GEMM saturated" requirement). The operand panels are copied once into
-// contiguous, cache-friendly scratch — A in mr-row strips stored k-major, B
-// in nr-column strips stored k-major — so the micro-kernel streams both
+// contiguous, cache-friendly scratch — A in mr-row strips stored k-major,
+// B in nr-column strips stored k-major — so the micro-kernel streams both
 // with unit stride, no bounds checks, and no strided-view arithmetic. The
 // micro-kernel holds an mr×nr accumulator tile in registers across the
-// whole K panel (SSE2 on amd64, unrolled scalar elsewhere), touching each C
-// element once per panel instead of once per K step.
-//
-// Blocking parameters: the B micro-panel (kcBlock×nr floats = 8 KiB) is
-// L1-resident across the inner loop over A strips; the A panel
-// (mcBlock×kcBlock = 128 KiB) is L2-resident across the loop over B
-// strips; the packed B panel (kcBlock×ncBlock = 1 MiB) is L2/L3-resident
-// across A panels.
-const (
-	mr      = 4 // micro-kernel rows
-	nr      = 8 // micro-kernel cols (two 4-float vectors)
-	kcBlock = 256
-	mcBlock = 128
-	ncBlock = 1024
-)
+// whole K panel, touching each C element once per panel instead of once
+// per K step. The register-tile shape (mr×nr), the micro-kernel, and the
+// cache-blocking parameters (kc/mc/nc) all come from the dispatched
+// variant (dispatch.go): 14×32 AVX-512, 6×16 AVX2/FMA, 4×8 SSE2, or the
+// portable Go kernel.
 
 // gemmScratch is one worker's packing buffers. Pooled so steady-state
 // Gemm calls perform no allocation (the paper's single up-front allocation
-// discipline, §4.2).
+// discipline, §4.2). Buffers grow to the largest blocking in use and are
+// then reused as-is.
 type gemmScratch struct {
-	a []float32 // mcBlock×kcBlock, mr-padded
-	b []float32 // kcBlock×ncBlock, nr-padded
+	a []float32 // (mc+mr)×kc, mr-padded
+	b []float32 // kc×(nc+nr), nr-padded
 }
 
-var gemmScratchPool = sync.Pool{
-	New: func() any {
-		return &gemmScratch{
-			a: make([]float32, (mcBlock+mr)*kcBlock),
-			b: make([]float32, kcBlock*(ncBlock+nr)),
-		}
-	},
+var gemmScratchPool = sync.Pool{New: func() any { return new(gemmScratch) }}
+
+// grow returns buf resized to n floats, reallocating only when capacity is
+// insufficient (first use of a larger blocking).
+func grow(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float32, n)
 }
+
+// aScratchLen/bScratchLen are the packing-buffer sizes a kernel variant
+// needs: one mr-padded A panel, one nr-padded B panel.
+func (kn *kernelImpl) aScratchLen() int { return (kn.mc + kn.mr) * kn.kc }
+func (kn *kernelImpl) bScratchLen() int { return kn.kc * (kn.nc + kn.nr) }
+
+// packBPanels counts packB panel-packing calls; the shared-pack parallel
+// path's tests and benchmarks use it to show each B panel is packed once
+// regardless of worker count.
+var packBPanels atomic.Int64
 
 // GemmPacked computes C += A*B with the packed register-blocked kernel,
 // regardless of problem size. Gemm dispatches here for all but tiny
@@ -51,21 +57,24 @@ func GemmPacked(c, a, b *Matrix) {
 }
 
 func gemmPacked(c, a, b *Matrix) {
+	kn := activeKern
 	m, k, n := a.Rows, a.Cols, b.Cols
 	if m == 0 || k == 0 || n == 0 {
 		return
 	}
 	s := gemmScratchPool.Get().(*gemmScratch)
 	defer gemmScratchPool.Put(s)
-	for jc := 0; jc < n; jc += ncBlock {
-		nc := min(ncBlock, n-jc)
-		for pc := 0; pc < k; pc += kcBlock {
-			kc := min(kcBlock, k-pc)
-			packB(s.b, b, pc, jc, kc, nc)
-			for ic := 0; ic < m; ic += mcBlock {
-				mc := min(mcBlock, m-ic)
-				packA(s.a, a, ic, pc, mc, kc)
-				gemmPanels(c, s.a, s.b, ic, jc, mc, nc, kc)
+	s.a = grow(s.a, kn.aScratchLen())
+	s.b = grow(s.b, kn.bScratchLen())
+	for jc := 0; jc < n; jc += kn.nc {
+		nc := min(kn.nc, n-jc)
+		for pc := 0; pc < k; pc += kn.kc {
+			kc := min(kn.kc, k-pc)
+			packB(s.b, b, pc, jc, kc, nc, kn.nr)
+			for ic := 0; ic < m; ic += kn.mc {
+				mc := min(kn.mc, m-ic)
+				packA(s.a, a, ic, pc, mc, kc, kn.mr)
+				gemmPanels(c, s.a, s.b, ic, jc, mc, nc, kc, kn)
 			}
 		}
 	}
@@ -74,7 +83,7 @@ func gemmPacked(c, a, b *Matrix) {
 // packA copies A[ic:ic+mc, pc:pc+kc] into ap as ceil(mc/mr) strips of mr
 // rows, each strip stored k-major (ap[strip*kc*mr + kk*mr + r]). Rows past
 // mc are zero-padded so the micro-kernel never branches on the row edge.
-func packA(ap []float32, a *Matrix, ic, pc, mc, kc int) {
+func packA(ap []float32, a *Matrix, ic, pc, mc, kc, mr int) {
 	for s0 := 0; s0 < mc; s0 += mr {
 		base := (s0 / mr) * kc * mr
 		for r := 0; r < mr; r++ {
@@ -96,11 +105,18 @@ func packA(ap []float32, a *Matrix, ic, pc, mc, kc int) {
 // packB copies B[pc:pc+kc, jc:jc+nc] into bp as ceil(nc/nr) strips of nr
 // columns, each strip stored k-major (bp[strip*kc*nr + kk*nr + j]).
 // Columns past nc are zero-padded.
-func packB(bp []float32, b *Matrix, pc, jc, kc, nc int) {
+func packB(bp []float32, b *Matrix, pc, jc, kc, nc, nr int) {
+	packBPanels.Add(1)
 	strips := (nc + nr - 1) / nr
-	for s0 := 0; s0 < strips; s0++ {
-		base := s0 * kc * nr
-		j0 := jc + s0*nr
+	packBStrips(bp, b, pc, jc, kc, nc, nr, 0, strips)
+}
+
+// packBStrips packs the [s0, s1) strip range of a B panel; the shared-pack
+// parallel path splits one panel's packing across the crew with it.
+func packBStrips(bp []float32, b *Matrix, pc, jc, kc, nc, nr, s0, s1 int) {
+	for s := s0; s < s1; s++ {
+		base := s * kc * nr
+		j0 := jc + s*nr
 		w := min(nr, jc+nc-j0)
 		for kk := 0; kk < kc; kk++ {
 			brow := b.Data[(pc+kk)*b.Stride+j0 : (pc+kk)*b.Stride+j0+w]
@@ -115,31 +131,39 @@ func packB(bp []float32, b *Matrix, pc, jc, kc, nc int) {
 
 // gemmPanels multiplies the packed mc×kc A panel by the packed kc×nc B
 // panel into C[ic:ic+mc, jc:jc+nc]. The loop over A strips is innermost so
-// each B micro-panel (kc×nr, 8 KiB) stays L1-resident while every strip
-// of A streams over it.
-func gemmPanels(c *Matrix, ap, bp []float32, ic, jc, mc, nc, kc int) {
+// each B micro-panel (kc×nr) stays L1-resident while every strip of A
+// streams over it.
+func gemmPanels(c *Matrix, ap, bp []float32, ic, jc, mc, nc, kc int, kn *kernelImpl) {
 	if kc == 0 {
 		return
 	}
+	mr, nr := kn.mr, kn.nr
 	for jr := 0; jr < nc; jr += nr {
 		bpanel := bp[(jr/nr)*kc*nr:]
 		cols := min(nr, nc-jr)
 		for ir := 0; ir < mc; ir += mr {
 			apanel := ap[(ir/mr)*kc*mr:]
 			rows := min(mr, mc-ir)
-			microTile(c, apanel, bpanel, kc, ic+ir, jc+jr, rows, cols)
+			microTile(c, apanel, bpanel, kc, ic+ir, jc+jr, rows, cols, kn)
 		}
 	}
 }
 
 // microTile computes a full mr×nr accumulator tile over kc steps from the
 // packed panels (zero-padded at the edges) and adds the valid rows×cols
-// window into C at (i0, j0).
-func microTile(c *Matrix, ap, bp []float32, kc, i0, j0, rows, cols int) {
-	var acc [mr * nr]float32
-	microKernelAccum(&acc, &ap[0], &bp[0], kc)
+// window into C at (i0, j0). Interior tiles (full mr×nr window) go
+// through the direct-into-C kernel variant when the ISA has one; edge
+// tiles take the accumulator path and mask the valid window in.
+func microTile(c *Matrix, ap, bp []float32, kc, i0, j0, rows, cols int, kn *kernelImpl) {
+	if rows == kn.mr && cols == kn.nr &&
+		callKernelC(kn.id, &c.Data[i0*c.Stride+j0], c.Stride, &ap[0], &bp[0], kc) {
+		return
+	}
+	var acc [maxAccTile]float32
+	callKernel(kn.id, &acc[0], &ap[0], &bp[0], kc)
+	nr := kn.nr
 	for r := 0; r < rows; r++ {
-		arow := acc[r*nr : r*nr+nr]
+		arow := acc[r*nr : r*nr+cols]
 		crow := c.Data[(i0+r)*c.Stride+j0 : (i0+r)*c.Stride+j0+cols]
 		for j := range crow {
 			crow[j] += arow[j]

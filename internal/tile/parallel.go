@@ -1,0 +1,268 @@
+package tile
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Shared-pack parallel GEMM. The PR 3 GemmParallel split C into row bands
+// and ran the whole packed kernel per band — so every worker re-packed all
+// of B, multiplying the O(k·n) packing traffic by the worker count. Here
+// one (pc, jc) B panel is packed exactly once into shared scratch (the
+// packing itself split across the crew by strip ranges), then the mc-row A
+// panels of that block fan out to the crew: each worker packs its own A
+// panel into pooled scratch and streams it over the shared packed B.
+// Synchronization is two WaitGroup phases per (pc, jc) block; work is
+// pulled from an atomic cursor, so load balance is dynamic and dispatching
+// a unit allocates nothing.
+//
+// The crew is pooled and package-global: goroutines are spawned once
+// (lazily, up to the largest worker count requested) and woken by pointer
+// sends on a buffered channel, so steady-state GemmParallel calls spawn no
+// goroutines and allocate nothing. A woken worker that finds the cursor
+// exhausted simply goes back to sleep, which makes stale wake-ups after a
+// phase (or call) has finished harmless.
+
+// parPhase is what one fan-out executes: packing a B-panel strip range or
+// one A panel's pack+multiply sweep.
+type parPhase int8
+
+const (
+	phasePackB parPhase = iota
+	phasePanels
+)
+
+// parState is one in-flight GemmParallel call's shared state. Pooled; a
+// worker only touches fields after reading a unit index from the cursor,
+// and begin() publishes all fields before opening the cursor.
+type parState struct {
+	kn *kernelImpl
+	// Operand headers are stored by value (the Data slices still alias the
+	// caller's buffers) so GemmParallel's *Matrix arguments do not escape to
+	// the heap: the state itself is pooled and long-lived, and storing a
+	// caller pointer into it would force every caller's header (e.g. a
+	// stack-built partial-result view) to be heap-allocated.
+	c, a, b Matrix
+	bp      []float32 // shared packed B panel for the current (pc, jc) block
+
+	// Current (pc, jc) block bounds.
+	jc, pc, kc, nc int
+
+	phase      parPhase
+	unitStride int // strips (packB) or rows (panels) per unit
+	// units is the current phase's fan-out width. Atomic because a stale
+	// woken worker may read it while the next phase is being staged; the
+	// parked cursor guarantees such a read never admits work, but the read
+	// itself must not race the write.
+	units  atomic.Int64
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+var parStatePool = sync.Pool{New: func() any {
+	st := new(parState)
+	st.cursor.Store(cursorExhausted) // born exhausted
+	return st
+}}
+
+// The pooled crew. crewCh carries wake-up pointers, not work: all work
+// assignment happens through the state's cursor.
+var (
+	crewCh   = make(chan *parState, 1024)
+	crewSize atomic.Int64
+)
+
+const maxCrew = 256
+
+func crewWorker() {
+	for st := range crewCh {
+		st.work()
+	}
+}
+
+// ensureCrew grows the crew to at least n goroutines (capped at maxCrew).
+func ensureCrew(n int) {
+	if n > maxCrew {
+		n = maxCrew
+	}
+	for {
+		cur := crewSize.Load()
+		if cur >= int64(n) {
+			return
+		}
+		if crewSize.CompareAndSwap(cur, cur+1) {
+			go crewWorker()
+		}
+	}
+}
+
+// cursorExhausted is the cursor's parked value between phases. It is far
+// above any feasible unit count, so a stale worker's pull can never land
+// inside a later phase's [0, units) window before that phase opens.
+// Comparisons stay in int64 so 32-bit platforms cannot truncate it.
+const cursorExhausted = 1 << 40
+
+// work pulls unit indices until the current phase's cursor is exhausted.
+// Safe to call at any time from any goroutine: if no phase is open the
+// first pull fails and it returns immediately.
+func (st *parState) work() {
+	for {
+		u := st.cursor.Add(1) - 1
+		if u >= st.units.Load() {
+			return
+		}
+		st.runUnit(int(u))
+		st.wg.Done()
+	}
+}
+
+func (st *parState) runUnit(u int) {
+	switch st.phase {
+	case phasePackB:
+		strips := (st.nc + st.kn.nr - 1) / st.kn.nr
+		s0 := u * st.unitStride
+		s1 := min(s0+st.unitStride, strips)
+		packBStrips(st.bp, &st.b, st.pc, st.jc, st.kc, st.nc, st.kn.nr, s0, s1)
+	case phasePanels:
+		lo := u * st.unitStride
+		hi := min(lo+st.unitStride, st.a.Rows)
+		s := gemmScratchPool.Get().(*gemmScratch)
+		s.a = grow(s.a, st.kn.aScratchLen())
+		// A unit may span several mc blocks (when there are few workers);
+		// pack and multiply them one at a time to keep the packed A panel
+		// L2-resident.
+		for ic := lo; ic < hi; ic += st.kn.mc {
+			mc := min(st.kn.mc, hi-ic)
+			packA(s.a, &st.a, ic, st.pc, mc, st.kc, st.kn.mr)
+			gemmPanels(&st.c, s.a, st.bp, ic, st.jc, mc, st.nc, st.kc, st.kn)
+		}
+		gemmScratchPool.Put(s)
+	}
+}
+
+// runPhase opens a fan-out of units work items, wakes up to workers-1 crew
+// members, helps from the calling goroutine, and waits for completion.
+func (st *parState) runPhase(phase parPhase, units, unitStride, workers int) {
+	if units <= 0 {
+		return
+	}
+	st.phase = phase
+	st.unitStride = unitStride
+	st.units.Store(int64(units))
+	st.wg.Add(units)
+	st.cursor.Store(0) // publishes the fields above (sequentially consistent)
+	for i := 0; i < workers-1 && i < units-1; i++ {
+		select {
+		case crewCh <- st:
+		default: // crew backlogged; the caller and already-woken workers cover it
+		}
+	}
+	st.work()
+	st.wg.Wait()
+	// Park the cursor so pulls between phases (or calls, once the state is
+	// pooled) can never land in the next phase's window before it opens.
+	st.cursor.Store(cursorExhausted)
+}
+
+// GemmParallel computes C += A*B with the packed kernel parallelized
+// inside one PE across workers goroutines (0 means GOMAXPROCS): B panels
+// are packed once and shared, A panels fan out to the pooled crew. Small
+// products fall back to the single-goroutine Gemm.
+func GemmParallel(c, a, b *Matrix, workers int) {
+	checkGemmShapes(c, a, b)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	kn := activeKern
+	if workers > maxCrew+1 {
+		workers = maxCrew + 1
+	}
+	// Below one A panel per extra worker the fan-out cannot win: fall back.
+	if workers <= 1 || m*k*n < 64*64*64 || m <= kn.mr {
+		Gemm(c, a, b)
+		return
+	}
+	ensureCrew(workers - 1)
+
+	st := parStatePool.Get().(*parState)
+	st.kn = kn
+	st.c, st.a, st.b = *c, *a, *b
+
+	// Shared packed-B scratch: one panel, reused across (pc, jc) blocks.
+	bs := gemmScratchPool.Get().(*gemmScratch)
+	bs.b = grow(bs.b, kn.bScratchLen())
+	st.bp = bs.b
+
+	// Panel rows per fan-out unit: at least mc, grown so there are no more
+	// than ~2 units per worker (keeps A-pack overhead amortized while
+	// leaving slack for dynamic balance).
+	unitRows := kn.mc
+	for (m+unitRows-1)/unitRows > 2*workers {
+		unitRows += kn.mc
+	}
+
+	for jc := 0; jc < n; jc += kn.nc {
+		st.jc = jc
+		st.nc = min(kn.nc, n-jc)
+		for pc := 0; pc < k; pc += kn.kc {
+			st.pc = pc
+			st.kc = min(kn.kc, k-pc)
+
+			// Phase 1: pack this B panel once, splitting its strips
+			// across the crew in ~8-strip chunks.
+			packBPanels.Add(1)
+			strips := (st.nc + kn.nr - 1) / kn.nr
+			const stripChunk = 8
+			st.runPhase(phasePackB, (strips+stripChunk-1)/stripChunk, stripChunk, workers)
+
+			// Phase 2: fan the A panels of this block out over the
+			// shared packed B.
+			st.runPhase(phasePanels, (m+unitRows-1)/unitRows, unitRows, workers)
+		}
+	}
+
+	st.bp = nil
+	st.c, st.a, st.b = Matrix{}, Matrix{}, Matrix{}
+	gemmScratchPool.Put(bs)
+	parStatePool.Put(st)
+}
+
+// gemmParallelRowBands is the PR 3 row-band parallel path, kept unexported
+// as the benchmark baseline that shows the shared-pack win: every band
+// re-packs all of B, so its packB panel count scales with the worker
+// count.
+func gemmParallelRowBands(c, a, b *Matrix, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := a.Rows
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*a.Cols*b.Cols < 64*64*64 {
+		Gemm(c, a, b)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			cv := c.View(lo, 0, hi-lo, c.Cols)
+			av := a.View(lo, 0, hi-lo, a.Cols)
+			Gemm(cv, av, b)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -22,6 +22,12 @@ type Config struct {
 	// MaxInflight bounds concurrent GEMM+accumulate chains, the paper's
 	// configurable concurrency limit trading asynchrony for memory.
 	MaxInflight int
+	// KernelWorkers parallelizes each local GEMM inside the PE across this
+	// many goroutines (tile.GemmParallel's shared-pack crew). 1 (or 0, the
+	// default) keeps local GEMMs single-threaded, leaving MaxInflight as the
+	// only concurrency axis; set it when PEs are few and cores are many, so
+	// a single large per-step GEMM can use the whole socket.
+	KernelWorkers int
 	// CacheTiles bounds the recently-fetched tile cache used for reuse
 	// across consecutive ops. It also bounds the executor's resident tile
 	// buffers: a fetched tile's buffer returns to the pool when the
@@ -62,6 +68,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 4
+	}
+	if cfg.KernelWorkers <= 0 {
+		cfg.KernelWorkers = 1
 	}
 	if cfg.CacheTiles <= 0 {
 		cfg.CacheTiles = DefaultCacheTiles
@@ -233,7 +242,7 @@ func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
 		go func() {
 			defer wg.Done()
 			for t := range tasks {
-				gemmAccumulate(pe, prob, t.op, &t.ops.a, &t.ops.b, pool)
+				gemmAccumulateWorkers(pe, prob, t.op, &t.ops.a, &t.ops.b, pool, cfg.KernelWorkers)
 				if t.aSlot != nil {
 					t.aSlot.release()
 				}
@@ -325,10 +334,21 @@ func acquireSub(pe rt.PE, m *distmat.Matrix, local bool, idx index.TileIdx,
 // (K,N) bounds. It performs no heap allocation in the steady state: the
 // partial lives in a pooled buffer and its header on the stack.
 func gemmAccumulate(pe rt.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Matrix, pool *gpusim.Pool) {
+	gemmAccumulateWorkers(pe, prob, op, aSlice, bSlice, pool, 1)
+}
+
+// gemmAccumulateWorkers is gemmAccumulate with the local GEMM spread across
+// workers goroutines (Config.KernelWorkers); workers <= 1 stays on the
+// single-goroutine packed kernel.
+func gemmAccumulateWorkers(pe rt.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Matrix, pool *gpusim.Pool, workers int) {
 	rows, cols := op.M.Len(), op.N.Len()
 	buf := pool.Get(rows * cols)
 	partial := tile.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: buf}
-	tile.Gemm(&partial, aSlice, bSlice)
+	if workers > 1 {
+		tile.GemmParallel(&partial, aSlice, bSlice, workers)
+	} else {
+		tile.Gemm(&partial, aSlice, bSlice)
+	}
 	rt.ChargeGemm(pe, rows, cols, op.K.Len())
 	prob.C.AccumulateSubTile(pe, op.CIdx, distmat.LocalReplica, subRect(op), &partial)
 	pool.Put(buf)
