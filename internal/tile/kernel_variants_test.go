@@ -1,6 +1,7 @@
 package tile
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -163,6 +164,47 @@ func TestGemmParallelSteadyStateAllocFree(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("GemmParallel allocates %v objects per call in steady state, want 0", allocs)
+	}
+}
+
+// Regression guard for the phase-admission protocol: a pull that straddles
+// a phase transition (claimed from one phase's cursor, checked against the
+// next phase's window) must be rejected, not admitted into the wider next
+// phase — admission would run a unit twice (double-accumulating into C)
+// and over-signal the WaitGroup. Hammer transitions with many small calls
+// from concurrent goroutines at oversubscribed worker counts, so crew
+// wake-ups routinely arrive after their phase (or call) has closed.
+func TestGemmParallelPhaseTransitionStress(t *testing.T) {
+	iters := 400
+	if testing.Short() || raceEnabled {
+		iters = 50
+	}
+	const m, k, n = 70, 70, 70 // just above the serial-fallback threshold
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			a := randomMatrix(rng, m, k)
+			b := randomMatrix(rng, k, n)
+			want := New(m, n)
+			GemmNaive(want, a, b)
+			got := New(m, n)
+			for i := 0; i < iters; i++ {
+				clear(got.Data)
+				GemmParallel(got, a, b, 64)
+				if !got.AllClose(want, 1e-4) {
+					done <- fmt.Errorf("seed %d iter %d: GemmParallel mismatch: maxdiff %v",
+						seed, i, got.MaxAbsDiff(want))
+					return
+				}
+			}
+			done <- nil
+		}(int64(49 + g))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

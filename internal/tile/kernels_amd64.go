@@ -25,7 +25,7 @@ func buildKernelTable() []*kernelImpl {
 		t = append(t, &kernelImpl{
 			name: "avx512",
 			mr:   14, nr: 32,
-			kc: 256, mc: 140, nc: 2048,
+			kc: 192, mc: 140, nc: 2048,
 			id: kidAVX512,
 		})
 	}

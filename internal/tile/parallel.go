@@ -20,9 +20,9 @@ import (
 // The crew is pooled and package-global: goroutines are spawned once
 // (lazily, up to the largest worker count requested) and woken by pointer
 // sends on a buffered channel, so steady-state GemmParallel calls spawn no
-// goroutines and allocate nothing. A woken worker that finds the cursor
-// exhausted simply goes back to sleep, which makes stale wake-ups after a
-// phase (or call) has finished harmless.
+// goroutines and allocate nothing. A woken worker whose pull is rejected
+// by the current phase window simply goes back to sleep, which makes stale
+// wake-ups after a phase (or call) has finished harmless.
 
 // parPhase is what one fan-out executes: packing a B-panel strip range or
 // one A panel's pack+multiply sweep.
@@ -34,8 +34,8 @@ const (
 )
 
 // parState is one in-flight GemmParallel call's shared state. Pooled; a
-// worker only touches fields after reading a unit index from the cursor,
-// and begin() publishes all fields before opening the cursor.
+// worker only touches fields after a pull is admitted by the phase window,
+// and runPhase publishes all fields before opening the cursor.
 type parState struct {
 	kn *kernelImpl
 	// Operand headers are stored by value (the Data slices still alias the
@@ -51,20 +51,30 @@ type parState struct {
 
 	phase      parPhase
 	unitStride int // strips (packB) or rows (panels) per unit
-	// units is the current phase's fan-out width. Atomic because a stale
-	// woken worker may read it while the next phase is being staged; the
-	// parked cursor guarantees such a read never admits work, but the read
-	// itself must not race the write.
-	units  atomic.Int64
-	cursor atomic.Int64
+
+	// Phase admission. cursor is monotonic for the life of the state —
+	// never reset — with the phase generation in its high 32 bits and the
+	// next unit index in its low 32, so a single atomic Add both claims an
+	// index and records which phase it was claimed from. window packs the
+	// open phase's generation (high bits) and unit count (low bits); a
+	// pull is admitted only when its generation matches the window's and
+	// its index is below the count. A pull that straddles a phase
+	// transition — claimed from the old cursor value, checked against the
+	// new window — therefore mismatches on generation and is rejected. (A
+	// reset-to-zero cursor cannot give that guarantee: a worker preempted
+	// between claiming an index and checking the width could have a stale
+	// tail index admitted into a wider next phase once it resumed, running
+	// one unit twice and over-signalling the WaitGroup. Generations also
+	// cover reuse: the counter survives pooling, so a stale pull against a
+	// later GemmParallel call's phases mismatches the same way.)
+	cursor atomic.Uint64
+	window atomic.Uint64
 	wg     sync.WaitGroup
 }
 
-var parStatePool = sync.Pool{New: func() any {
-	st := new(parState)
-	st.cursor.Store(cursorExhausted) // born exhausted
-	return st
-}}
+// The zero parState is born with generation 0 and a zero-count window, so
+// every pull is rejected until the first runPhase opens generation 1.
+var parStatePool = sync.Pool{New: func() any { return new(parState) }}
 
 // The pooled crew. crewCh carries wake-up pointers, not work: all work
 // assignment happens through the state's cursor.
@@ -97,22 +107,19 @@ func ensureCrew(n int) {
 	}
 }
 
-// cursorExhausted is the cursor's parked value between phases. It is far
-// above any feasible unit count, so a stale worker's pull can never land
-// inside a later phase's [0, units) window before that phase opens.
-// Comparisons stay in int64 so 32-bit platforms cannot truncate it.
-const cursorExhausted = 1 << 40
-
-// work pulls unit indices until the current phase's cursor is exhausted.
-// Safe to call at any time from any goroutine: if no phase is open the
-// first pull fails and it returns immediately.
+// work pulls unit indices until the phase window rejects one. Safe to
+// call at any time from any goroutine: if no phase is open the first pull
+// mismatches the window and it returns immediately. Each index of an open
+// window is claimed by exactly one Add (the cursor is monotonic), so no
+// unit can run twice and the WaitGroup receives exactly one Done per unit.
 func (st *parState) work() {
 	for {
-		u := st.cursor.Add(1) - 1
-		if u >= st.units.Load() {
+		v := st.cursor.Add(1) - 1
+		w := st.window.Load()
+		if v>>32 != w>>32 || uint32(v) >= uint32(w) {
 			return
 		}
-		st.runUnit(int(u))
+		st.runUnit(int(uint32(v)))
 		st.wg.Done()
 	}
 }
@@ -149,9 +156,18 @@ func (st *parState) runPhase(phase parPhase, units, unitStride, workers int) {
 	}
 	st.phase = phase
 	st.unitStride = unitStride
-	st.units.Store(int64(units))
 	st.wg.Add(units)
-	st.cursor.Store(0) // publishes the fields above (sequentially consistent)
+	// Open the next generation: the window store publishes the fields
+	// above before any pull can be admitted (seq-cst atomics), and stale
+	// pulls claimed from the pre-store cursor carry the old generation, so
+	// they can never be admitted — or consume an index — in this phase.
+	// Index overflow into the generation bits would take 2^32 pulls in one
+	// phase; pulls are bounded by units plus one rejected pull per work()
+	// invocation, and invocations by the crew size plus the wake-up
+	// channel's capacity.
+	gen := (st.cursor.Load()>>32 + 1) << 32
+	st.window.Store(gen | uint64(uint32(units)))
+	st.cursor.Store(gen)
 	for i := 0; i < workers-1 && i < units-1; i++ {
 		select {
 		case crewCh <- st:
@@ -160,9 +176,9 @@ func (st *parState) runPhase(phase parPhase, units, unitStride, workers int) {
 	}
 	st.work()
 	st.wg.Wait()
-	// Park the cursor so pulls between phases (or calls, once the state is
-	// pooled) can never land in the next phase's window before it opens.
-	st.cursor.Store(cursorExhausted)
+	// No parking needed between phases: every index below the closed
+	// window's count has been claimed (wg.Wait returned), so later pulls
+	// on this generation exceed the count and are rejected.
 }
 
 // GemmParallel computes C += A*B with the packed kernel parallelized
