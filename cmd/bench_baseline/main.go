@@ -91,6 +91,23 @@ type Baseline struct {
 		IncastSlowdownX float64 `json:"incast_slowdown_x"`
 	} `json:"fabric"`
 
+	// Serve is the PR 7 multiply-as-a-service anchor: throughput and
+	// latency of the serving loop (compiled-plan cache + fused batching) at
+	// the committed small-GEMM workload, against the naive per-request
+	// plan-rebuild loop on the same world and shapes.
+	Serve struct {
+		RPS             float64 `json:"rps"`
+		P50Ms           float64 `json:"p50_ms"`
+		P99Ms           float64 `json:"p99_ms"`
+		NaiveRPS        float64 `json:"naive_rps"`
+		NaiveP50Ms      float64 `json:"naive_p50_ms"`
+		SpeedupX        float64 `json:"speedup_x"`
+		PlanCacheHitPct float64 `json:"plan_cache_hit_pct"`
+		AvgBatch        float64 `json:"avg_batch"`
+		Tenants         int     `json:"tenants"`
+		Requests        int     `json:"requests"`
+	} `json:"serve"`
+
 	// Sim anchors the PR 5 estimator hot path: scheduler throughput of the
 	// indexed-heap engine on the 64-PE fat-tree DAG (and its speedup over
 	// the legacy list scheduler, which must produce the identical
@@ -258,7 +275,7 @@ func benchScheduler() (opsPerSec, oracleOpsPerSec float64, dagOps int) {
 }
 
 func main() {
-	pr := flag.Int("pr", 6, "PR number for the default output name")
+	pr := flag.Int("pr", 7, "PR number for the default output name")
 	out := flag.String("out", "", "output path (default BENCH_PR<pr>.json)")
 	flag.Parse()
 	path := *out
@@ -296,6 +313,32 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "measuring real-execution universal algorithm...")
 	base.Execute.GFlops, base.Execute.Steps, base.Execute.AllocsPerStep = benchExecute()
+
+	fmt.Fprintln(os.Stderr, "measuring multiply-as-a-service throughput...")
+	serveOpts := bench.ServeOptions{} // the committed defaults
+	// Best of three: the serving number is a capability baseline, and on
+	// shared machines a single run regularly eats a scheduling hiccup.
+	var servedBest, naiveBest bench.ServeResult
+	for run := 0; run < 3; run++ {
+		if served := bench.RunServeLoad(serveOpts); served.RPS > servedBest.RPS {
+			servedBest = served
+		}
+		if naive := bench.RunServeNaive(serveOpts); naive.RPS > naiveBest.RPS {
+			naiveBest = naive
+		}
+	}
+	base.Serve.RPS = servedBest.RPS
+	base.Serve.P50Ms = servedBest.P50Ms
+	base.Serve.P99Ms = servedBest.P99Ms
+	base.Serve.PlanCacheHitPct = servedBest.HitPct
+	base.Serve.AvgBatch = servedBest.AvgBatch
+	base.Serve.Requests = servedBest.Requests
+	base.Serve.Tenants = 4
+	base.Serve.NaiveRPS = naiveBest.RPS
+	base.Serve.NaiveP50Ms = naiveBest.P50Ms
+	if naiveBest.RPS > 0 {
+		base.Serve.SpeedupX = servedBest.RPS / naiveBest.RPS
+	}
 
 	fmt.Fprintln(os.Stderr, "pricing the fabric incast anchor...")
 	base.Fabric.IncastSlowdownX = benchFabricIncast()

@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+// smokeServeOpts is a scaled-down workload so the smoke test and the
+// -benchtime=1x CI benchmarks finish in well under a second.
+var smokeServeOpts = ServeOptions{Workers: 32, PerWorker: 10, Batch: 16}
+
+// The serving harness must show the structural signature the baseline
+// records: near-perfect plan-cache hit rate, realized batching, and higher
+// throughput than the naive per-request rebuild loop. The committed ≥5×
+// claim lives in BENCH_PR7.json (full workload, quiet machine); the smoke
+// asserts a conservative floor so CI stays green on noisy runners.
+func TestServeLoadBeatsNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving load measurement is timing-based")
+	}
+	served := RunServeLoad(smokeServeOpts)
+	naive := RunServeNaive(smokeServeOpts)
+	if served.Requests != 320 || naive.Requests != 320 {
+		t.Fatalf("request counts: served %d naive %d, want 320", served.Requests, naive.Requests)
+	}
+	if served.RPS <= 0 || naive.RPS <= 0 {
+		t.Fatalf("non-positive throughput: served %v naive %v", served.RPS, naive.RPS)
+	}
+	// One distinct shape → one compilation; everything else must hit.
+	if served.HitPct < 90 {
+		t.Errorf("plan-cache hit rate %.1f%%, want >90%%", served.HitPct)
+	}
+	if served.AvgBatch < 2 {
+		t.Errorf("realized batch %.1f, batching not engaging", served.AvgBatch)
+	}
+	if served.P99Ms < served.P50Ms {
+		t.Errorf("p99 %.3fms below p50 %.3fms", served.P99Ms, served.P50Ms)
+	}
+	if served.RPS < 1.3*naive.RPS {
+		t.Errorf("served %.0f rps vs naive %.0f rps: speedup %.2fx below 1.3x floor",
+			served.RPS, naive.RPS, served.RPS/naive.RPS)
+	}
+}
+
+func BenchmarkServeLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunServeLoad(smokeServeOpts)
+		b.ReportMetric(res.RPS, "rps")
+		b.ReportMetric(res.P99Ms, "p99ms")
+	}
+}
+
+func BenchmarkServeNaiveLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunServeNaive(smokeServeOpts)
+		b.ReportMetric(res.RPS, "rps")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build;
+// the stress tests scale their request counts down under -race because the
+// instrumentation multiplies the cost of every barrier and channel op.
+const raceEnabled = false

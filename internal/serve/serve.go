@@ -1,0 +1,611 @@
+// Package serve is the multiply-as-a-service layer: a long-lived Server
+// that multiplexes concurrent multiply requests from many tenants over one
+// PE world. It is the serving-side counterpart of the compiled-plan cache
+// in internal/universal — plans are compiled once per distinct problem
+// structure and re-executed for every request that matches, so the steady
+// state of a serving workload runs zero slicing work per request.
+//
+// Architecture (docs/SERVING.md is the prose contract):
+//
+//   - Admission: each tenant has a bounded FIFO queue (Config.Queue).
+//     Multiply enqueues or fails fast with ErrQueueFull — backpressure is
+//     explicit, never unbounded buffering.
+//   - Fairness: the dispatcher drains tenant queues round-robin (one
+//     request per tenant per turn, rotating the starting tenant), so a
+//     flooding tenant cannot starve the others.
+//   - Batching: up to Config.Batch admitted requests are fused into one
+//     collective activation of the world — one World.Run spawning P PEs
+//     zeroes every result, barriers once, executes every request's compiled
+//     plan back-to-back, and barriers once more. Requests in a batch have
+//     distinct result matrices (the dispatcher defers duplicates), so their
+//     one-sided accumulates commute and the fused batch needs no
+//     per-request synchronization: activation, barrier, and plan-lookup
+//     costs amortize across the group's small GEMMs.
+//   - Deadlines/cancellation: a request whose context is done while still
+//     queued is removed and never executes. Once admitted to a batch the
+//     collective execution always runs to completion (a collective cannot
+//     be safely aborted per request) — the caller then gets ctx.Err() and
+//     the late result is discarded, with no effect on cached plans or
+//     pooled buffers.
+//   - Accounting: per-tenant traffic is measured through the existing
+//     runtime.Stats hooks — rank 0 snapshots the world's counters around
+//     each fused batch and attributes the delta to the batch's requests in
+//     equal shares (requests inside a fused batch are deliberately not
+//     separated by barriers, so finer attribution would cost the very
+//     synchronization the fusion removes).
+//
+// The server owns its world for the duration of serving: no other code may
+// call World.Run (or mutate served matrices) while the server is open.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/universal"
+)
+
+// Errors returned by Multiply.
+var (
+	// ErrQueueFull reports that the tenant's admission queue is at
+	// capacity; the caller should back off and retry.
+	ErrQueueFull = errors.New("serve: tenant admission queue full")
+	// ErrClosed reports that the server is closed.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Queue bounds each tenant's admission queue (default 64). A full
+	// queue rejects with ErrQueueFull rather than buffering unboundedly.
+	Queue int
+	// Batch is the maximum number of requests fused into one collective
+	// world activation (default 8). Within a batch, requests share the
+	// activation's two barriers instead of paying their own.
+	Batch int
+	// Exec is the execution config template for every request. Its Plans
+	// and Pool fields are managed by the server: Plans is wired to the
+	// world's shared plan cache (universal.PlansOf) unless NoCache is set
+	// or Exec.Plans is already non-nil; a nil Pool gets one shared pool
+	// for the server's lifetime.
+	Exec universal.Config
+	// NoCache disables the compiled-plan cache, forcing every request to
+	// rebuild its plans per rank — the naive pre-serving behaviour, kept
+	// as the benchmark baseline.
+	NoCache bool
+}
+
+func (cfg Config) withDefaults(w rt.World) Config {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	if cfg.NoCache {
+		cfg.Exec.Plans = nil
+	} else if cfg.Exec.Plans == nil {
+		cfg.Exec.Plans = universal.PlansOf(w)
+	}
+	if cfg.Exec.Pool == nil {
+		// One pool for the server's lifetime, shared by all PEs (Pool is
+		// mutex-protected): steady-state serving recycles buffers across
+		// requests instead of allocating a fresh pool per call.
+		cfg.Exec.Pool = gpusim.NewPool()
+	}
+	return cfg
+}
+
+// request is one tenant multiply in flight.
+type request struct {
+	ctx     context.Context
+	tenant  *tenant
+	prob    universal.Problem
+	stat    universal.Stationary
+	traffic rt.Stats
+	err     error
+	done    chan struct{}
+	queued  time.Time
+	// inQueue is true while the request sits in its tenant's queue and can
+	// still be cancelled; guarded by the server mutex.
+	inQueue bool
+}
+
+// tenant is one traffic source: a bounded FIFO of pending requests plus
+// accounting.
+type tenant struct {
+	name  string
+	queue []*request
+	stats TenantStats
+}
+
+// TenantStats is one tenant's accounting snapshot.
+type TenantStats struct {
+	// Served counts requests executed to completion (including ones whose
+	// deadline expired mid-execution; those also count in Expired).
+	// Rejected counts ErrQueueFull admissions, Cancelled requests removed
+	// from the queue before execution, Expired requests that completed
+	// after their context was done.
+	Served, Rejected, Cancelled, Expired int64
+	// Traffic aggregates the runtime.Stats deltas attributed to this
+	// tenant's executed requests.
+	Traffic rt.Stats
+	// QueueSeconds totals time served requests spent from enqueue to
+	// completion.
+	QueueSeconds float64
+}
+
+// Stats is a server-wide accounting snapshot.
+type Stats struct {
+	Served, Rejected, Cancelled, Expired int64
+	// Batches counts collective activations; BatchedRequests their total
+	// request count (BatchedRequests/Batches is the realized batch size).
+	Batches, BatchedRequests int64
+	// PlanCache snapshots the compiled-plan cache (zero when NoCache).
+	PlanCache universal.PlanCacheStats
+	// Tenants holds per-tenant snapshots keyed by tenant name.
+	Tenants map[string]TenantStats
+}
+
+// Server multiplexes multiply requests from many tenants over one world.
+// Create with NewServer, submit with Multiply (any goroutine), stop with
+// Close.
+type Server struct {
+	world rt.World
+	cfg   Config
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	names   []string // sorted tenant names, the round-robin ring
+	rrPos   int
+	closed  bool
+
+	served, rejected, cancelled, expired int64
+	batches, batchedRequests             int64
+
+	wake chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewServer creates a server over w and starts its dispatcher. The server
+// assumes exclusive use of w until Close.
+func NewServer(w rt.World, cfg Config) *Server {
+	s := newServer(w, cfg)
+	s.Start()
+	return s
+}
+
+// newServer builds a server without starting the dispatcher; tests use it
+// to stage deterministic queue states before serving begins.
+func newServer(w rt.World, cfg Config) *Server {
+	return &Server{
+		world:   w,
+		cfg:     cfg.withDefaults(w),
+		tenants: make(map[string]*tenant),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+	}
+}
+
+// Start launches the dispatcher. It is called by NewServer; calling it
+// twice is a bug.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Close stops the server: queued requests fail with ErrClosed, the current
+// batch (if any) completes, and the dispatcher exits. Subsequent Multiply
+// calls fail with ErrClosed. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// validate checks a request's operands against the server's world before
+// Problem construction (which panics on contract violations — a serving
+// surface must return errors instead).
+func (s *Server) validate(c, a, b *distmat.Matrix) error {
+	if c == nil || a == nil || b == nil {
+		return errors.New("serve: nil operand matrix")
+	}
+	if a.World() != s.world || b.World() != s.world || c.World() != s.world {
+		return errors.New("serve: operands must live in the server's world")
+	}
+	if a.Cols() != b.Rows() || c.Rows() != a.Rows() || c.Cols() != b.Cols() {
+		return fmt.Errorf("serve: shape mismatch C %dx%d = A %dx%d * B %dx%d",
+			c.Rows(), c.Cols(), a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	return nil
+}
+
+// Multiply submits C = A·B on behalf of tenantName and blocks until the
+// result has been computed, the context is done, or the server closes.
+// Safe for any number of concurrent callers. The three matrices must live
+// in the server's world; C is written in place. When the context expires
+// while the request is still queued, the request is cancelled without
+// executing; when it expires after execution has started, the computation
+// completes (C is written) but ctx.Err() is returned to signal the missed
+// deadline.
+func (s *Server) Multiply(ctx context.Context, tenantName string, c, a, b *distmat.Matrix) (universal.Stationary, error) {
+	if err := s.validate(c, a, b); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	r := &request{
+		ctx:    ctx,
+		prob:   universal.NewProblem(c, a, b),
+		done:   make(chan struct{}),
+		queued: time.Now(),
+	}
+	if err := s.enqueue(tenantName, r); err != nil {
+		return 0, err
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case <-r.done:
+		return r.stat, r.err
+	case <-ctx.Done():
+		if s.tryCancel(r) {
+			return 0, ctx.Err()
+		}
+		// Already admitted: the collective runs to completion; report the
+		// missed deadline.
+		<-r.done
+		if r.err != nil {
+			return r.stat, r.err
+		}
+		s.mu.Lock()
+		r.tenant.stats.Expired++
+		s.expired++
+		s.mu.Unlock()
+		return r.stat, ctx.Err()
+	}
+}
+
+// enqueue admits r into tenantName's bounded queue.
+func (s *Server) enqueue(tenantName string, r *request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		t = &tenant{name: tenantName}
+		s.tenants[tenantName] = t
+		s.names = append(s.names, tenantName)
+		sort.Strings(s.names)
+	}
+	if len(t.queue) >= s.cfg.Queue {
+		t.stats.Rejected++
+		s.rejected++
+		return ErrQueueFull
+	}
+	r.tenant = t
+	r.inQueue = true
+	t.queue = append(t.queue, r)
+	return nil
+}
+
+// tryCancel removes r from its tenant queue if it has not been admitted to
+// a batch yet, reporting whether the cancellation took effect.
+func (s *Server) tryCancel(r *request) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !r.inQueue {
+		return false
+	}
+	q := r.tenant.queue
+	for i, qr := range q {
+		if qr == r {
+			r.tenant.queue = append(q[:i], q[i+1:]...)
+			r.inQueue = false
+			r.tenant.stats.Cancelled++
+			s.cancelled++
+			return true
+		}
+	}
+	return false
+}
+
+// conflicts reports whether r touches the result matrix of any request
+// already in batch (or vice versa). Such requests cannot share a fused
+// batch — their updates would interleave without synchronization — so the
+// dispatcher defers them to a later batch, preserving per-tenant FIFO
+// order.
+func conflicts(batch []*request, r *request) bool {
+	for _, q := range batch {
+		if r.prob.C == q.prob.C || r.prob.C == q.prob.A || r.prob.C == q.prob.B ||
+			r.prob.A == q.prob.C || r.prob.B == q.prob.C {
+			return true
+		}
+	}
+	return false
+}
+
+// nextBatch admits up to cfg.Batch requests, draining tenant queues
+// round-robin from the position after the previous batch's starting
+// tenant. Requests whose context is already done are completed with
+// ctx.Err() instead of admitted; requests that conflict with an already
+// admitted one (shared result matrix) stay queued for the next batch.
+func (s *Server) nextBatch() []*request {
+	s.mu.Lock()
+	var batch []*request
+	var cancelled []*request
+	n := len(s.names)
+	if n > 0 {
+		s.rrPos = (s.rrPos + 1) % n
+		// Repeated full ring passes, one request per tenant per pass, until
+		// the batch fills or a pass makes no progress.
+		for len(batch) < s.cfg.Batch {
+			took := false
+			for scanned := 0; scanned < n && len(batch) < s.cfg.Batch; scanned++ {
+				t := s.tenants[s.names[(s.rrPos+scanned)%n]]
+				if len(t.queue) == 0 {
+					continue
+				}
+				r := t.queue[0]
+				if r.ctx.Err() == nil && conflicts(batch, r) {
+					continue // deferred; head-of-line so tenant order holds
+				}
+				t.queue = t.queue[1:]
+				r.inQueue = false
+				took = true
+				if r.ctx.Err() != nil {
+					r.err = r.ctx.Err()
+					t.stats.Cancelled++
+					s.cancelled++
+					cancelled = append(cancelled, r)
+				} else {
+					batch = append(batch, r)
+				}
+			}
+			if !took {
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, r := range cancelled {
+		close(r.done)
+	}
+	return batch
+}
+
+// loop is the dispatcher: it turns queued requests into executed batches
+// until Close.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			s.drainClosed()
+			return
+		case <-s.wake:
+		}
+		for {
+			select {
+			case <-s.quit:
+				s.drainClosed()
+				return
+			default:
+			}
+			batch := s.nextBatch()
+			if len(batch) == 0 {
+				break
+			}
+			s.runBatch(batch)
+		}
+	}
+}
+
+// drainClosed fails every queued request with ErrClosed.
+func (s *Server) drainClosed() {
+	s.mu.Lock()
+	var pending []*request
+	for _, t := range s.tenants {
+		for _, r := range t.queue {
+			r.inQueue = false
+			pending = append(pending, r)
+		}
+		t.queue = nil
+	}
+	s.mu.Unlock()
+	for _, r := range pending {
+		r.err = ErrClosed
+		close(r.done)
+	}
+}
+
+// runBatch executes one admitted batch as a single fused collective
+// activation: every PE zeroes all results, barriers once, runs every
+// request's plan back-to-back, and barriers once more. The batch invariant
+// from nextBatch — no request touches another's result matrix — makes the
+// unsynchronized interleaving safe: all intervening one-sided updates
+// target disjoint matrices and commute.
+func (s *Server) runBatch(batch []*request) {
+	cfg := s.cfg.Exec
+	// Plan lookup happens once per batch on the dispatcher thread, not P
+	// times inside the collective: on a hit the PEs receive ready-to-run
+	// compiled plans and touch no shared cache state at all.
+	var probs []universal.Problem
+	var cps []*universal.CompiledPlan
+	if cfg.Plans != nil {
+		probs = make([]universal.Problem, len(batch))
+		cps = make([]*universal.CompiledPlan, len(batch))
+		for i, r := range batch {
+			probs[i] = r.prob
+			cps[i] = cfg.Plans.GetOrCompile(r.prob, cfg)
+			r.stat = cps[i].Stationary()
+		}
+	}
+	s.world.Run(func(pe rt.PE) {
+		rank0 := pe.Rank() == 0
+		var snap rt.Stats
+		if rank0 {
+			snap = s.world.Stats()
+		}
+		for _, r := range batch {
+			for _, idx := range r.prob.C.OwnedTiles(pe.Rank()) {
+				r.prob.C.Tile(pe, idx, distmat.LocalReplica).Zero()
+			}
+		}
+		pe.Barrier() // all results zeroed before any accumulate can land
+		if cps != nil {
+			universal.ExecuteCompiledBatch(pe, probs, cps, cfg)
+		} else {
+			// The naive per-request path: rebuild the rank's plan, replay
+			// its fetch schedule from scratch, and pay a full executor
+			// setup per request — serving's pre-cache baseline.
+			for _, r := range batch {
+				plan := universal.BuildPlanMode(pe.Rank(), r.prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
+				universal.ExecutePlan(pe, r.prob, plan, cfg)
+				if rank0 {
+					r.stat = plan.Stationary
+				}
+			}
+		}
+		pe.Barrier() // every request's one-sided updates have landed
+		for _, r := range batch {
+			if r.prob.C.Replication() > 1 {
+				r.prob.C.ReduceReplicas(pe, cfg.ReduceOrigin)
+				if cfg.SyncReplicas {
+					r.prob.C.BroadcastReplica(pe, cfg.ReduceOrigin)
+				}
+			}
+		}
+		if rank0 {
+			per := divStats(statsDelta(s.world.Stats(), snap), len(batch))
+			for _, r := range batch {
+				r.traffic = per
+			}
+		}
+	})
+	now := time.Now()
+	s.mu.Lock()
+	for _, r := range batch {
+		t := r.tenant
+		t.stats.Served++
+		addStats(&t.stats.Traffic, r.traffic)
+		t.stats.QueueSeconds += now.Sub(r.queued).Seconds()
+		s.served++
+	}
+	s.batches++
+	s.batchedRequests += int64(len(batch))
+	s.mu.Unlock()
+	for _, r := range batch {
+		close(r.done)
+	}
+}
+
+func statsDelta(cur, prev rt.Stats) rt.Stats {
+	return rt.Stats{
+		RemoteGetBytes:   cur.RemoteGetBytes - prev.RemoteGetBytes,
+		RemotePutBytes:   cur.RemotePutBytes - prev.RemotePutBytes,
+		RemoteAccumBytes: cur.RemoteAccumBytes - prev.RemoteAccumBytes,
+		LocalGetBytes:    cur.LocalGetBytes - prev.LocalGetBytes,
+		LocalPutBytes:    cur.LocalPutBytes - prev.LocalPutBytes,
+		LocalAccumBytes:  cur.LocalAccumBytes - prev.LocalAccumBytes,
+		RemoteOps:        cur.RemoteOps - prev.RemoteOps,
+		LocalOps:         cur.LocalOps - prev.LocalOps,
+	}
+}
+
+// divStats splits a fused batch's traffic delta into equal per-request
+// shares (integer division; the remainder stays unattributed).
+func divStats(d rt.Stats, n int) rt.Stats {
+	k := int64(n)
+	if k <= 1 {
+		return d
+	}
+	return rt.Stats{
+		RemoteGetBytes:   d.RemoteGetBytes / k,
+		RemotePutBytes:   d.RemotePutBytes / k,
+		RemoteAccumBytes: d.RemoteAccumBytes / k,
+		LocalGetBytes:    d.LocalGetBytes / k,
+		LocalPutBytes:    d.LocalPutBytes / k,
+		LocalAccumBytes:  d.LocalAccumBytes / k,
+		RemoteOps:        d.RemoteOps / k,
+		LocalOps:         d.LocalOps / k,
+	}
+}
+
+func addStats(dst *rt.Stats, d rt.Stats) {
+	dst.RemoteGetBytes += d.RemoteGetBytes
+	dst.RemotePutBytes += d.RemotePutBytes
+	dst.RemoteAccumBytes += d.RemoteAccumBytes
+	dst.LocalGetBytes += d.LocalGetBytes
+	dst.LocalPutBytes += d.LocalPutBytes
+	dst.LocalAccumBytes += d.LocalAccumBytes
+	dst.RemoteOps += d.RemoteOps
+	dst.LocalOps += d.LocalOps
+}
+
+// Stats returns a server-wide accounting snapshot, including per-tenant
+// traffic and the plan-cache counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	out := Stats{
+		Served:          s.served,
+		Rejected:        s.rejected,
+		Cancelled:       s.cancelled,
+		Expired:         s.expired,
+		Batches:         s.batches,
+		BatchedRequests: s.batchedRequests,
+		Tenants:         make(map[string]TenantStats, len(s.tenants)),
+	}
+	for name, t := range s.tenants {
+		out.Tenants[name] = t.stats
+	}
+	s.mu.Unlock()
+	if s.cfg.Exec.Plans != nil {
+		out.PlanCache = s.cfg.Exec.Plans.Stats()
+	}
+	return out
+}
+
+// TenantStats returns one tenant's snapshot; ok is false for tenants that
+// have never submitted.
+func (s *Server) TenantStats(name string) (TenantStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return TenantStats{}, false
+	}
+	return t.stats, true
+}
+
+// QueuedLen returns the number of requests currently queued across all
+// tenants (diagnostic).
+func (s *Server) QueuedLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.tenants {
+		n += len(t.queue)
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+	"slicing/internal/simbackend"
+	"slicing/internal/simnet"
+	"slicing/internal/universal"
+)
+
+// hammer drives tenants×perTenant concurrent requests through one server
+// and verifies every result against the serial reference. Run with -race:
+// this is the concurrency contract of the whole serving stack — admission,
+// batching, the shared plan cache, and the pooled executor.
+func hammer(t *testing.T, w rt.World, tenants, perTenant int) {
+	t.Helper()
+	var fixtures []*tenantFixture
+	shapes := [][3]int{{24, 20, 16}, {17, 23, 19}, {32, 8, 24}, {11, 13, 29}}
+	for i := 0; i < tenants; i++ {
+		sh := shapes[i%len(shapes)]
+		fixtures = append(fixtures,
+			makeTenant(w, fmt.Sprintf("tenant-%d", i), sh[0], sh[1], sh[2], perTenant, int64(100*i+1)))
+	}
+	pool := gpusim.NewPool()
+	s := NewServer(w, Config{
+		Batch: 4, Queue: tenants * perTenant,
+		Exec: universal.Config{Pool: pool},
+	})
+	var wg sync.WaitGroup
+	for _, f := range fixtures {
+		for _, c := range f.cs {
+			wg.Add(1)
+			go func(f *tenantFixture, c *distmat.Matrix) {
+				defer wg.Done()
+				if _, err := s.Multiply(context.Background(), f.name, c, f.a, f.b); err != nil {
+					t.Errorf("tenant %s: %v", f.name, err)
+				}
+			}(f, c)
+		}
+	}
+	wg.Wait()
+	st := s.Stats()
+	s.Close()
+	checkResults(t, w, fixtures)
+	if want := int64(tenants * perTenant); st.Served != want {
+		t.Fatalf("served %d, want %d", st.Served, want)
+	}
+	if live := pool.Stats().Live; live != 0 {
+		t.Fatalf("%d pooled elements leaked across the hammer", live)
+	}
+}
+
+func hammerScale() (tenants, perTenant int) {
+	if raceEnabled || testing.Short() {
+		return 3, 3
+	}
+	return 4, 6
+}
+
+func TestServeHammerShmem(t *testing.T) {
+	tenants, perTenant := hammerScale()
+	hammer(t, shmem.NewWorld(4), tenants, perTenant)
+}
+
+func TestServeHammerSimbackend(t *testing.T) {
+	const p = 4
+	tenants, perTenant := hammerScale()
+	topo := simnet.NewUniform(p, 100e9, 1e12, 1e-6, "stress")
+	w := simbackend.New(topo, gpusim.PresetPVCDevice()).NewWorld(p)
+	hammer(t, w, tenants, perTenant)
+}
+
+// A storm of deadline-cancelled requests interleaved with healthy ones must
+// never corrupt the cached plan or leak a pooled buffer: afterwards the
+// server still serves bit-sane results and the pool balances to zero.
+func TestServeCancellationStorm(t *testing.T) {
+	const p = 4
+	w := shmem.NewWorld(p)
+	f := makeTenant(w, "healthy", 24, 20, 16, 3, 900)
+	storm := makeTenant(w, "storm", 24, 20, 16, 1, 901)
+	pool := gpusim.NewPool()
+	s := NewServer(w, Config{
+		Batch: 2, Queue: 64,
+		Exec: universal.Config{Pool: pool},
+	})
+
+	n := 30
+	if raceEnabled || testing.Short() {
+		n = 12
+	}
+	var wg sync.WaitGroup
+	var cancelled, completed int64
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Deadlines from already-expired to comfortably long: some die
+			// in the queue, some mid-wait, some complete.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%5)*500*time.Microsecond)
+			defer cancel()
+			_, err := s.Multiply(ctx, "storm", storm.cs[0], storm.a, storm.b)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				completed++
+			case errors.Is(err, context.DeadlineExceeded):
+				cancelled++
+			default:
+				t.Errorf("storm request %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Healthy traffic through the storm.
+	for _, c := range f.cs {
+		wg.Add(1)
+		go func(c *distmat.Matrix) {
+			defer wg.Done()
+			if _, err := s.Multiply(context.Background(), "healthy", c, f.a, f.b); err != nil {
+				t.Errorf("healthy request: %v", err)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// The cache must still serve a correct multiply after the storm: a
+	// cancelled request must not have poisoned the compiled plan.
+	post := distmat.New(w, 24, 20, distmat.Block2D{}, 1)
+	// The matrix was created after serving began; quiesce before using it.
+	if _, err := s.Multiply(context.Background(), "healthy", post, f.a, f.b); err != nil {
+		t.Fatalf("post-storm request: %v", err)
+	}
+	st := s.Stats()
+	s.Close()
+	checkResults(t, w, []*tenantFixture{f, {name: "post", cs: []*distmat.Matrix{post}, ref: f.ref}})
+
+	if st.Tenants["healthy"].Served != int64(len(f.cs))+1 {
+		t.Fatalf("healthy tenant served %d", st.Tenants["healthy"].Served)
+	}
+	if completed+cancelled != int64(n) {
+		t.Fatalf("storm outcomes: %d completed + %d deadline-exceeded != %d", completed, cancelled, n)
+	}
+	// Requests that returned nil are exactly the ones served within their
+	// deadline (Served counts late completions too; Expired backs them out).
+	storm1 := st.Tenants["storm"]
+	if storm1.Served-storm1.Expired != completed {
+		t.Fatalf("storm accounting: served %d - expired %d != %d client completions",
+			storm1.Served, storm1.Expired, completed)
+	}
+	if live := pool.Stats().Live; live != 0 {
+		t.Fatalf("%d pooled elements leaked across the storm", live)
+	}
+	// Exactly one shape was ever requested → exactly one compilation.
+	if st.PlanCache.Builds != 1 {
+		t.Fatalf("storm caused %d compilations, want 1", st.PlanCache.Builds)
+	}
+}

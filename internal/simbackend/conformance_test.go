@@ -320,3 +320,41 @@ func TestGemmChargeMatchesDeviceModel(t *testing.T) {
 		t.Fatalf("predicted %g exceeds modeled work %g", pred, upper)
 	}
 }
+
+// TestPlanCacheConformanceAcrossBackends: executing from the compiled-plan
+// cache must be a pure optimization on every backend — the cached C (both
+// the compile-on-miss call and the pure hit re-execution) matches the
+// fresh per-rank-rebuild C within the same 1e-4 relative tolerance the
+// backend matrix itself is held to, and the hit re-runs zero slicing work.
+func TestPlanCacheConformanceAcrossBackends(t *testing.T) {
+	sys := universal.PVCSystem()
+	p := sys.Topo.NumPE()
+	for _, b := range conformanceBackends(sys) {
+		for _, sc := range scenarios(p) {
+			t.Run(b.Name()+"/"+sc.name, func(t *testing.T) {
+				fresh, _ := runUniversal(b, p, sc)
+
+				cfg := universal.DefaultConfig()
+				cfg.SyncReplicas = true
+				cfg.Plans = universal.NewPlanCache(8)
+				w := b.NewWorld(p)
+				cold, _ := runScenario(w, sc, cfg) // miss: compiles once
+				before := universal.PlanBuildCount()
+				warm, _ := runScenario(w, sc, cfg) // hit: zero slicing work
+				if n := universal.PlanBuildCount() - before; n != 0 {
+					t.Fatalf("cache hit ran %d slicing passes", n)
+				}
+				st := cfg.Plans.Stats()
+				if st.Builds != 1 {
+					t.Fatalf("compiled %d times across two runs, want 1", st.Builds)
+				}
+				if d := maxRelDiff(fresh, cold); d > 1e-4 {
+					t.Fatalf("compile-on-miss C differs from fresh: max rel diff %g", d)
+				}
+				if d := maxRelDiff(fresh, warm); d > 1e-4 {
+					t.Fatalf("cache-hit C differs from fresh: max rel diff %g", d)
+				}
+			})
+		}
+	}
+}

@@ -27,9 +27,12 @@ func GemmNaive(c, a, b *Matrix) {
 const blockSize = 64
 
 // packThreshold is the problem volume (m·k·n) below which Gemm skips the
-// packed kernel: for tiny products the O(mk + kn) packing traffic is not
-// amortized by the O(mnk) compute, so the cache-blocked kernel wins.
-const packThreshold = 48 * 48 * 48
+// packed kernel: for tiny products the O(mk + kn) packing traffic and the
+// micro-kernel's fixed setup are not amortized by the O(mnk) compute, so
+// the cache-blocked kernel wins. Measured crossover on AVX2/FMA hardware
+// is between 8³ and 12³ (the packed kernel is already ~1.5× faster at 12³
+// and ~6× at 24³), so the threshold sits at ~10³.
+const packThreshold = 1024
 
 // Gemm computes C += A*B. It is the default single-goroutine local GEMM:
 // large products go through the packed register-blocked kernel

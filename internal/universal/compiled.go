@@ -1,0 +1,311 @@
+package universal
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"slicing/internal/distmat"
+	"slicing/internal/index"
+	rt "slicing/internal/runtime"
+)
+
+// MatrixKey is the canonical structural fingerprint of one distributed
+// matrix for plan keying: everything the slicing pass reads from a matrix —
+// global shape, effective tile shape, replication, and the tile→slot
+// ownership table (folded into OwnerHash) — and nothing it doesn't (the
+// Partition implementation's identity, the backing segment, the data).
+// Two matrices with equal MatrixKeys are indistinguishable to BuildPlan:
+// a RowBlock partition and a Custom descriptor that reproduces the same
+// grid and ownership canonicalize to the same key.
+type MatrixKey struct {
+	Rows, Cols int
+	// TileRows/TileCols are the shape of tile (0,0) — for the uniform
+	// clipped-edge grids distmat builds, this plus the global shape
+	// determines every tile's bounds.
+	TileRows, TileCols int
+	Replication        int
+	// OwnerHash is an FNV-1a fold of the grid shape and the row-major
+	// tile→owner-slot table, distinguishing partitions that share a grid
+	// but assign tiles differently (blocked vs cyclic).
+	OwnerHash uint64
+}
+
+// PlanKey canonically identifies one compiled plan: the world size, the
+// resolved stationary choice, the Config fields that alter plan structure
+// (CacheTiles changes fetch decisions, SubTileFetch changes step shapes),
+// and the three operands' structural fingerprints. Purely-runtime Config
+// fields (PrefetchDepth, MaxInflight, KernelWorkers, Pool, reduce options)
+// deliberately do not appear: they tune execution of a plan, not the plan.
+// PlanKey is comparable, so cache lookups allocate nothing.
+type PlanKey struct {
+	NumPE      int
+	Stationary Stationary
+	CacheTiles int
+	SubTile    bool
+	A, B, C    MatrixKey
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a running hash, byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// matrixKeyOf computes a matrix's canonical fingerprint. It allocates
+// nothing, so key computation stays off the Multiply hot path's allocation
+// budget.
+func matrixKeyOf(m *distmat.Matrix) MatrixKey {
+	tr, tc := m.GridShape()
+	r0, c0 := m.TileBounds(index.TileIdx{}).Shape()
+	h := fnvMix(fnvMix(uint64(fnvOffset64), uint64(tr)), uint64(tc))
+	for r := 0; r < tr; r++ {
+		for c := 0; c < tc; c++ {
+			h = fnvMix(h, uint64(m.OwnerSlot(index.TileIdx{Row: r, Col: c})))
+		}
+	}
+	return MatrixKey{
+		Rows: m.Rows(), Cols: m.Cols(),
+		TileRows: r0, TileCols: c0,
+		Replication: m.Replication(),
+		OwnerHash:   h,
+	}
+}
+
+// PlanKeyOf computes the canonical cache key for (problem, config). It
+// resolves StationaryAuto against the problem's shapes and normalizes
+// CacheTiles, so every spelling of the same effective configuration maps to
+// the same key. Allocation-free.
+func PlanKeyOf(prob Problem, cfg Config) PlanKey {
+	ct := cfg.CacheTiles
+	if ct <= 0 {
+		ct = DefaultCacheTiles
+	}
+	return PlanKey{
+		NumPE:      prob.C.World().NumPE(),
+		Stationary: prob.ResolveStationary(cfg.Stationary),
+		CacheTiles: ct,
+		SubTile:    cfg.SubTileFetch,
+		A:          matrixKeyOf(prob.A),
+		B:          matrixKeyOf(prob.B),
+		C:          matrixKeyOf(prob.C),
+	}
+}
+
+// CompiledPlan is the immutable, world-level compiled artifact of the §4.1
+// slicing pass: every rank's Step sequence plus the precomputed executor
+// fetch schedule (the plan-time tile-LRU replay) for each. Once compiled it
+// is never mutated, so any number of concurrent multiplies — different PEs
+// of one collective call, or successive serving requests — may execute it
+// simultaneously. Plans depend only on structure (shapes, partitionings,
+// replication, world size), never on matrix contents or identity, so one
+// CompiledPlan serves every problem whose PlanKey matches.
+type CompiledPlan struct {
+	Key   PlanKey
+	Plans []Plan // indexed by rank
+	// scheds mirrors Plans: the executor's precomputed tile-LRU replay.
+	// Recomputed deterministically from (Plans, Key.CacheTiles) after
+	// deserialization.
+	scheds []fetchSchedule
+}
+
+// Stationary returns the resolved data-movement strategy the plan encodes.
+func (cp *CompiledPlan) Stationary() Stationary { return cp.Key.Stationary }
+
+// Steps returns the total step count across all ranks.
+func (cp *CompiledPlan) Steps() int {
+	n := 0
+	for i := range cp.Plans {
+		n += len(cp.Plans[i].Steps)
+	}
+	return n
+}
+
+// CompilePlans runs the slicing pass for every rank and freezes the result
+// into a CompiledPlan. Rank plans are independent, so they fan out across a
+// worker pool exactly like the estimator's plan replay.
+func CompilePlans(prob Problem, cfg Config) *CompiledPlan {
+	key := PlanKeyOf(prob, cfg)
+	cp := &CompiledPlan{
+		Key:    key,
+		Plans:  make([]Plan, key.NumPE),
+		scheds: make([]fetchSchedule, key.NumPE),
+	}
+	rt.ForEachIndex(key.NumPE, func(rank int) {
+		cp.Plans[rank] = BuildPlanMode(rank, prob, key.Stationary, key.CacheTiles, key.SubTile)
+		cp.scheds[rank] = planFetchSchedule(cp.Plans[rank], key.CacheTiles)
+	})
+	return cp
+}
+
+// compiledPlanJSON is the serialized form: the key and the step schedules.
+// Fetch schedules are derived data and are recompiled on load.
+type compiledPlanJSON struct {
+	Key   PlanKey `json:"key"`
+	Plans []Plan  `json:"plans"`
+}
+
+// MarshalJSON serializes the compiled plan so a tuned plan survives process
+// restarts (load it back with UnmarshalJSON and seed a PlanCache via Put).
+func (cp *CompiledPlan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(compiledPlanJSON{Key: cp.Key, Plans: cp.Plans})
+}
+
+// UnmarshalJSON deserializes and validates a compiled plan, then recompiles
+// the per-rank fetch schedules. Malformed input — wrong rank count,
+// out-of-range tile indices or owner ranks, negative extents — returns an
+// error rather than panicking later in execution; the package fuzz target
+// hammers this path.
+func (cp *CompiledPlan) UnmarshalJSON(data []byte) error {
+	var raw compiledPlanJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := CompiledPlan{Key: raw.Key, Plans: raw.Plans}
+	if err := out.validate(); err != nil {
+		return err
+	}
+	out.scheds = make([]fetchSchedule, len(out.Plans))
+	for r := range out.Plans {
+		out.scheds[r] = planFetchSchedule(out.Plans[r], out.Key.CacheTiles)
+	}
+	*cp = out
+	return nil
+}
+
+// gridShapeOf derives a matrix key's tile-grid shape from its global and
+// first-tile shapes (uniform clipped-edge grids).
+func gridShapeOf(mk MatrixKey) (tr, tc int, err error) {
+	if mk.Rows <= 0 || mk.Cols <= 0 || mk.TileRows <= 0 || mk.TileCols <= 0 {
+		return 0, 0, fmt.Errorf("universal: invalid matrix key shape %dx%d tiles %dx%d",
+			mk.Rows, mk.Cols, mk.TileRows, mk.TileCols)
+	}
+	return (mk.Rows + mk.TileRows - 1) / mk.TileRows, (mk.Cols + mk.TileCols - 1) / mk.TileCols, nil
+}
+
+func checkInterval(iv index.Interval, what string) error {
+	if iv.End < iv.Begin || iv.Begin < 0 {
+		return fmt.Errorf("universal: invalid %s interval [%d,%d)", what, iv.Begin, iv.End)
+	}
+	return nil
+}
+
+// validate checks the structural invariants execution relies on.
+func (cp *CompiledPlan) validate() error {
+	k := cp.Key
+	if k.NumPE <= 0 || k.NumPE > 1<<20 {
+		return fmt.Errorf("universal: compiled plan has invalid world size %d", k.NumPE)
+	}
+	if len(cp.Plans) != k.NumPE {
+		return fmt.Errorf("universal: compiled plan has %d rank plans for %d PEs", len(cp.Plans), k.NumPE)
+	}
+	if k.CacheTiles <= 0 {
+		return fmt.Errorf("universal: compiled plan has non-normalized cache capacity %d", k.CacheTiles)
+	}
+	if k.Stationary != StationaryA && k.Stationary != StationaryB && k.Stationary != StationaryC {
+		return fmt.Errorf("universal: compiled plan has unresolved stationary %v", k.Stationary)
+	}
+	for _, mk := range [...]MatrixKey{k.A, k.B, k.C} {
+		if mk.Replication <= 0 || k.NumPE%mk.Replication != 0 {
+			return fmt.Errorf("universal: replication %d does not divide %d PEs", mk.Replication, k.NumPE)
+		}
+		if _, _, err := gridShapeOf(mk); err != nil {
+			return err
+		}
+	}
+	atr, atc, _ := gridShapeOf(k.A)
+	btr, btc, _ := gridShapeOf(k.B)
+	ctr, ctc, _ := gridShapeOf(k.C)
+	for r := range cp.Plans {
+		pl := &cp.Plans[r]
+		if pl.Rank != r {
+			return fmt.Errorf("universal: plan slot %d claims rank %d", r, pl.Rank)
+		}
+		if pl.Stationary != k.Stationary {
+			return fmt.Errorf("universal: rank %d plan stationary %v != key %v", r, pl.Stationary, k.Stationary)
+		}
+		for i, s := range pl.Steps {
+			op := s.Op
+			if op.AIdx.Row < 0 || op.AIdx.Row >= atr || op.AIdx.Col < 0 || op.AIdx.Col >= atc {
+				return fmt.Errorf("universal: rank %d step %d A tile %v outside %dx%d grid", r, i, op.AIdx, atr, atc)
+			}
+			if op.BIdx.Row < 0 || op.BIdx.Row >= btr || op.BIdx.Col < 0 || op.BIdx.Col >= btc {
+				return fmt.Errorf("universal: rank %d step %d B tile %v outside %dx%d grid", r, i, op.BIdx, btr, btc)
+			}
+			if op.CIdx.Row < 0 || op.CIdx.Row >= ctr || op.CIdx.Col < 0 || op.CIdx.Col >= ctc {
+				return fmt.Errorf("universal: rank %d step %d C tile %v outside %dx%d grid", r, i, op.CIdx, ctr, ctc)
+			}
+			for _, iv := range [...]struct {
+				iv   index.Interval
+				name string
+			}{{op.M, "M"}, {op.K, "K"}, {op.N, "N"}} {
+				if err := checkInterval(iv.iv, iv.name); err != nil {
+					return fmt.Errorf("universal: rank %d step %d: %w", r, i, err)
+				}
+			}
+			for _, src := range [...]int{s.ASrc, s.BSrc, s.CDst} {
+				if src < 0 || src >= k.NumPE {
+					return fmt.Errorf("universal: rank %d step %d names rank %d of %d", r, i, src, k.NumPE)
+				}
+			}
+			if s.ABytes < 0 || s.BBytes < 0 || s.AccumBytes < 0 {
+				return fmt.Errorf("universal: rank %d step %d has negative byte counts", r, i)
+			}
+			if s.SubTile != k.SubTile {
+				return fmt.Errorf("universal: rank %d step %d fetch mode disagrees with key", r, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Matches reports whether the compiled plan is valid for (problem, config):
+// the problem/config pair canonicalizes to the plan's key.
+func (cp *CompiledPlan) Matches(prob Problem, cfg Config) bool {
+	return PlanKeyOf(prob, cfg) == cp.Key
+}
+
+// ExecuteCompiled runs the calling rank's slice of a compiled plan with the
+// precompiled fetch schedule — the plan-cache hit path of Multiply, which
+// re-runs zero slicing work. The problem must match the plan's key (checked
+// in MultiplyAccumulate's cache path by construction; direct callers can
+// assert with Matches). It performs no collective synchronization; callers
+// barrier afterwards, exactly like ExecutePlan.
+func ExecuteCompiled(pe rt.PE, prob Problem, cp *CompiledPlan, cfg Config) {
+	rank := pe.Rank()
+	executePlanSched(pe, prob, cp.Plans[rank], &cp.scheds[rank], cfg.withDefaults())
+}
+
+// ExecuteCompiledBatch executes several compiled plans as one fused group:
+// a single worker crew per PE drains every plan's GEMM→accumulate chains
+// back-to-back, so a batch of small multiplies pays one crew spawn and one
+// drain instead of one per request — the serving layer's grouped-plan
+// batching. probs[i] must match cps[i], and the problems' result matrices
+// must be pairwise distinct from each other and from every operand (their
+// interleaved one-sided accumulates are unsynchronized and must commute).
+// Performs no collective synchronization; callers barrier afterwards.
+func ExecuteCompiledBatch(pe rt.PE, probs []Problem, cps []*CompiledPlan, cfg Config) {
+	if len(probs) != len(cps) {
+		panic("universal: ExecuteCompiledBatch problem/plan count mismatch")
+	}
+	cfg = cfg.withDefaults()
+	rank := pe.Rank()
+	tasks, wg := startChainCrew(pe, cfg)
+	finishers := make([]func(), len(cps))
+	for i, cp := range cps {
+		finishers[i] = feedPlanSched(pe, probs[i], cp.Plans[rank], &cp.scheds[rank], cfg, tasks)
+	}
+	close(tasks)
+	wg.Wait()
+	for _, finish := range finishers {
+		finish()
+	}
+}

@@ -1,0 +1,426 @@
+package universal
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"slicing/internal/distmat"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+)
+
+// draw is one random configuration of the plan-key property tests: enough
+// structure to build a problem, plus config fields both structural and
+// runtime-only.
+type planDraw struct {
+	p, m, n, k          int
+	partA, partB, partC distmat.Partition
+	cA, cB, cC          int
+	cfg                 Config
+}
+
+func divisorsOf(p int) []int {
+	var ds []int
+	for d := 1; d <= p; d++ {
+		if p%d == 0 {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+func randPartition(rng *rand.Rand, slots int) distmat.Partition {
+	switch rng.Intn(4) {
+	case 0:
+		return distmat.RowBlock{}
+	case 1:
+		return distmat.ColBlock{}
+	case 2:
+		return distmat.Block2D{}
+	default:
+		pr, pc := distmat.NearSquareFactors(slots)
+		return distmat.Custom{
+			TileRows: 1 + rng.Intn(9), TileCols: 1 + rng.Intn(13),
+			ProcRows: pr, ProcCols: pc,
+		}
+	}
+}
+
+func randomPlanDraw(rng *rand.Rand) planDraw {
+	ps := []int{1, 2, 4, 6}
+	d := planDraw{
+		p: ps[rng.Intn(len(ps))],
+		m: 1 + rng.Intn(40),
+		n: 1 + rng.Intn(40),
+		k: 1 + rng.Intn(40),
+	}
+	divs := divisorsOf(d.p)
+	d.cA = divs[rng.Intn(len(divs))]
+	d.cB = divs[rng.Intn(len(divs))]
+	d.cC = divs[rng.Intn(len(divs))]
+	d.partA = randPartition(rng, d.p/d.cA)
+	d.partB = randPartition(rng, d.p/d.cB)
+	d.partC = randPartition(rng, d.p/d.cC)
+	d.cfg = Config{
+		Stationary:   Stationary(rng.Intn(4)), // Auto, A, B, or C
+		CacheTiles:   rng.Intn(9),             // 0 exercises normalization
+		SubTileFetch: rng.Intn(2) == 0,
+		// Runtime-only fields, randomized to prove they never reach the key.
+		PrefetchDepth: rng.Intn(5),
+		MaxInflight:   rng.Intn(5),
+		KernelWorkers: rng.Intn(3),
+		SyncReplicas:  rng.Intn(2) == 0,
+	}
+	return d
+}
+
+// buildDraw materializes a draw into a fresh world + problem.
+func buildDraw(d planDraw) Problem {
+	w := shmem.NewWorld(d.p)
+	a := distmat.New(w, d.m, d.k, d.partA, d.cA)
+	b := distmat.New(w, d.k, d.n, d.partB, d.cB)
+	c := distmat.New(w, d.m, d.n, d.partC, d.cC)
+	return NewProblem(c, a, b)
+}
+
+// Property: structurally identical problems built from independent worlds
+// and matrices canonicalize to equal keys, and equal keys compile to
+// step-for-step identical plans (key-equality ⇒ plan-equality); perturbing
+// any structural input changes the key (plan-relevant inputs are injective
+// into the key up to canonicalization).
+func TestPlanKeyPropertyRandomDraws(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		d := randomPlanDraw(rng)
+		p1 := buildDraw(d)
+		p2 := buildDraw(d) // independent world, same structure
+		k1, k2 := PlanKeyOf(p1, d.cfg), PlanKeyOf(p2, d.cfg)
+		if k1 != k2 {
+			t.Fatalf("trial %d: same draw produced different keys\n%+v\n%+v", trial, k1, k2)
+		}
+		cp1, cp2 := CompilePlans(p1, d.cfg), CompilePlans(p2, d.cfg)
+		if !reflect.DeepEqual(cp1.Plans, cp2.Plans) {
+			t.Fatalf("trial %d: equal keys compiled to different plans", trial)
+		}
+		if !reflect.DeepEqual(cp1.scheds, cp2.scheds) {
+			t.Fatalf("trial %d: equal keys produced different fetch schedules", trial)
+		}
+
+		// Structural perturbations must change the key.
+		bigger := d
+		bigger.m++
+		if PlanKeyOf(buildDraw(bigger), d.cfg) == k1 {
+			t.Fatalf("trial %d: m+1 did not change the key", trial)
+		}
+		flipped := d.cfg
+		flipped.SubTileFetch = !flipped.SubTileFetch
+		if PlanKeyOf(p1, flipped) == k1 {
+			t.Fatalf("trial %d: flipping SubTileFetch did not change the key", trial)
+		}
+		cached := d.cfg
+		cached.CacheTiles = k1.CacheTiles + 1
+		if PlanKeyOf(p1, cached) == k1 {
+			t.Fatalf("trial %d: changing CacheTiles did not change the key", trial)
+		}
+
+		// Runtime-only perturbations must NOT change the key.
+		runtimeOnly := d.cfg
+		runtimeOnly.PrefetchDepth += 3
+		runtimeOnly.MaxInflight += 7
+		runtimeOnly.KernelWorkers += 2
+		runtimeOnly.SyncReplicas = !runtimeOnly.SyncReplicas
+		runtimeOnly.ReduceOrigin = 1
+		if PlanKeyOf(p1, runtimeOnly) != k1 {
+			t.Fatalf("trial %d: runtime-only config fields leaked into the key", trial)
+		}
+	}
+}
+
+// Different Partition implementations that reproduce the same grid and
+// ownership are the same structure to the slicing pass; the key must not
+// see the implementation's identity.
+func TestPlanKeyCanonicalizesEquivalentPartitions(t *testing.T) {
+	const p, m, n, k = 4, 23, 29, 31
+	rowAsCustom := func(rows, cols int) distmat.Partition {
+		return distmat.Custom{
+			TileRows: (rows + p - 1) / p, TileCols: cols,
+			ProcRows: p, ProcCols: 1,
+		}
+	}
+	w1 := shmem.NewWorld(p)
+	prob1 := NewProblem(
+		distmat.New(w1, m, n, distmat.RowBlock{}, 1),
+		distmat.New(w1, m, k, distmat.RowBlock{}, 1),
+		distmat.New(w1, k, n, distmat.RowBlock{}, 1),
+	)
+	w2 := shmem.NewWorld(p)
+	prob2 := NewProblem(
+		distmat.New(w2, m, n, rowAsCustom(m, n), 1),
+		distmat.New(w2, m, k, rowAsCustom(m, k), 1),
+		distmat.New(w2, k, n, rowAsCustom(k, n), 1),
+	)
+	cfg := DefaultConfig()
+	k1, k2 := PlanKeyOf(prob1, cfg), PlanKeyOf(prob2, cfg)
+	if k1 != k2 {
+		t.Fatalf("RowBlock and its Custom spelling keyed differently:\n%+v\n%+v", k1, k2)
+	}
+	if !reflect.DeepEqual(CompilePlans(prob1, cfg).Plans, CompilePlans(prob2, cfg).Plans) {
+		t.Fatal("equivalent partitions compiled to different plans")
+	}
+
+	// A partition sharing the grid but not the ownership (cyclic vs blocked
+	// column assignment) must key differently via the owner hash.
+	w3 := shmem.NewWorld(p)
+	cyc := distmat.Custom{TileRows: m, TileCols: 3, ProcRows: 1, ProcCols: p}
+	prob3 := NewProblem(
+		distmat.New(w3, m, n, cyc, 1),
+		distmat.New(w3, m, k, distmat.RowBlock{}, 1),
+		distmat.New(w3, k, n, distmat.RowBlock{}, 1),
+	)
+	w4 := shmem.NewWorld(p)
+	swapped := distmat.Custom{TileRows: m, TileCols: 3, ProcRows: p, ProcCols: 1}
+	prob4 := NewProblem(
+		distmat.New(w4, m, n, swapped, 1),
+		distmat.New(w4, m, k, distmat.RowBlock{}, 1),
+		distmat.New(w4, k, n, distmat.RowBlock{}, 1),
+	)
+	if PlanKeyOf(prob3, cfg) == PlanKeyOf(prob4, cfg) {
+		t.Fatal("partitions with equal grids but different ownership share a key")
+	}
+}
+
+// Zero-value and explicitly-defaulted configs spell the same effective
+// configuration and must share a key.
+func TestPlanKeyNormalizesConfigSpellings(t *testing.T) {
+	prob := buildDraw(planDraw{
+		p: 4, m: 20, n: 24, k: 28,
+		partA: distmat.RowBlock{}, partB: distmat.ColBlock{}, partC: distmat.Block2D{},
+		cA: 1, cB: 1, cC: 1,
+	})
+	zero := PlanKeyOf(prob, Config{})
+	dflt := PlanKeyOf(prob, DefaultConfig())
+	if zero != dflt {
+		t.Fatalf("zero config %+v != default config %+v", zero, dflt)
+	}
+	if zero.CacheTiles != DefaultCacheTiles {
+		t.Fatalf("key did not normalize CacheTiles: %d", zero.CacheTiles)
+	}
+	if zero.Stationary == StationaryAuto {
+		t.Fatal("key did not resolve StationaryAuto")
+	}
+}
+
+// Serialize → deserialize must reproduce bit-identical step schedules and
+// fetch schedules, and the reloaded plan must execute.
+func TestCompiledPlanJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		d := randomPlanDraw(rng)
+		prob := buildDraw(d)
+		cp := CompilePlans(prob, d.cfg)
+		blob, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		var back CompiledPlan
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		if back.Key != cp.Key {
+			t.Fatalf("trial %d: key changed across round trip", trial)
+		}
+		if !reflect.DeepEqual(back.Plans, cp.Plans) {
+			t.Fatalf("trial %d: step schedules not bit-identical across round trip", trial)
+		}
+		if !reflect.DeepEqual(back.scheds, cp.scheds) {
+			t.Fatalf("trial %d: recompiled fetch schedules differ", trial)
+		}
+	}
+}
+
+// A serialized plan seeded into a fresh cache (the restart path) must serve
+// Multiply without a single slicing pass and still produce the right C.
+func TestCompiledPlanSurvivesRestart(t *testing.T) {
+	const p, m, n, k = 4, 23, 29, 31
+	w := shmem.NewWorld(p)
+	a := distmat.New(w, m, k, distmat.RowBlock{}, 1)
+	b := distmat.New(w, k, n, distmat.ColBlock{}, 1)
+	c := distmat.New(w, m, n, distmat.Block2D{}, 1)
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 101)
+		b.FillRandom(pe, 202)
+	})
+	ref := referenceProduct(m, n, k, 101, 202, a, b, w)
+	prob := NewProblem(c, a, b)
+	cfg := DefaultConfig()
+
+	blob, err := json.Marshal(CompilePlans(prob, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh cache seeded only from the serialized bytes.
+	var loaded CompiledPlan
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Matches(prob, cfg) {
+		t.Fatal("reloaded plan does not match the problem it was compiled for")
+	}
+	cache := NewPlanCache(4)
+	cache.Put(&loaded)
+	cfg.Plans = cache
+
+	before := PlanBuildCount()
+	w.Run(func(pe rt.PE) {
+		Multiply(pe, c, a, b, cfg)
+	})
+	if got := PlanBuildCount() - before; got != 0 {
+		t.Fatalf("seeded cache still ran %d slicing passes", got)
+	}
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() == 0 {
+			got := c.Gather(pe, 0)
+			if !got.AllClose(ref, 1e-3) {
+				t.Errorf("restart-path multiply wrong: maxdiff %g", got.MaxAbsDiff(ref))
+			}
+		}
+	})
+}
+
+// corruptCase mutates a valid plan so the deserializer must reject it.
+type corruptCase struct {
+	name string
+	mut  func(cp *CompiledPlan)
+}
+
+func TestCompiledPlanValidateRejects(t *testing.T) {
+	prob := buildDraw(planDraw{
+		p: 2, m: 12, n: 10, k: 8,
+		partA: distmat.RowBlock{}, partB: distmat.ColBlock{}, partC: distmat.RowBlock{},
+		cA: 1, cB: 1, cC: 1,
+	})
+	base := CompilePlans(prob, DefaultConfig())
+	blob, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []corruptCase{
+		{"zero world", func(cp *CompiledPlan) { cp.Key.NumPE = 0 }},
+		{"huge world", func(cp *CompiledPlan) { cp.Key.NumPE = 1 << 21 }},
+		{"rank count mismatch", func(cp *CompiledPlan) { cp.Plans = cp.Plans[:1] }},
+		{"unnormalized cache", func(cp *CompiledPlan) { cp.Key.CacheTiles = 0 }},
+		{"unresolved stationary", func(cp *CompiledPlan) { cp.Key.Stationary = StationaryAuto }},
+		{"bad replication", func(cp *CompiledPlan) { cp.Key.A.Replication = 5 }},
+		{"zero tile shape", func(cp *CompiledPlan) { cp.Key.B.TileRows = 0 }},
+		{"rank renumbered", func(cp *CompiledPlan) { cp.Plans[1].Rank = 0 }},
+		{"plan stationary disagrees", func(cp *CompiledPlan) { cp.Plans[0].Stationary = (cp.Key.Stationary % 3) + 1 }},
+		{"tile index out of grid", func(cp *CompiledPlan) { cp.Plans[0].Steps[0].Op.AIdx.Row = 99 }},
+		{"negative tile index", func(cp *CompiledPlan) { cp.Plans[0].Steps[0].Op.CIdx.Col = -1 }},
+		{"inverted interval", func(cp *CompiledPlan) {
+			cp.Plans[0].Steps[0].Op.M.Begin = 5
+			cp.Plans[0].Steps[0].Op.M.End = 2
+		}},
+		{"source rank out of world", func(cp *CompiledPlan) { cp.Plans[0].Steps[0].ASrc = 7 }},
+		{"negative bytes", func(cp *CompiledPlan) { cp.Plans[0].Steps[0].BBytes = -4 }},
+		{"fetch mode disagrees", func(cp *CompiledPlan) { cp.Plans[0].Steps[0].SubTile = !cp.Key.SubTile }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var cp CompiledPlan
+			if err := json.Unmarshal(blob, &cp); err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(&cp)
+			bad, err := json.Marshal(&cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back CompiledPlan
+			if err := json.Unmarshal(bad, &back); err == nil {
+				t.Fatal("deserializer accepted corrupted plan")
+			}
+		})
+	}
+	// And the untouched blob must still load.
+	var ok CompiledPlan
+	if err := json.Unmarshal(blob, &ok); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+// FuzzCompiledPlanJSON hammers the deserializer with arbitrary bytes: it
+// must never panic, and anything it accepts must round-trip and satisfy the
+// validator's invariants.
+func FuzzCompiledPlanJSON(f *testing.F) {
+	prob := buildDraw(planDraw{
+		p: 2, m: 9, n: 7, k: 5,
+		partA: distmat.RowBlock{}, partB: distmat.ColBlock{}, partC: distmat.RowBlock{},
+		cA: 1, cB: 1, cC: 1,
+	})
+	for _, cfg := range []Config{{}, {SubTileFetch: true}, {Stationary: StationaryA, CacheTiles: 2}} {
+		blob, err := json.Marshal(CompilePlans(prob, cfg))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"key":{"NumPE":-1}}`))
+	f.Add([]byte(`{"key":{"NumPE":2,"Stationary":3,"CacheTiles":8},"plans":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cp CompiledPlan
+		if err := json.Unmarshal(data, &cp); err != nil {
+			return
+		}
+		if err := cp.validate(); err != nil {
+			t.Fatalf("accepted plan fails validate: %v", err)
+		}
+		again, err := json.Marshal(&cp)
+		if err != nil {
+			t.Fatalf("accepted plan fails to re-marshal: %v", err)
+		}
+		var back CompiledPlan
+		if err := json.Unmarshal(again, &back); err != nil {
+			t.Fatalf("accepted plan fails round trip: %v", err)
+		}
+	})
+}
+
+// ExecuteCompiled must agree with the per-rank rebuild path on the same
+// problem (within accumulate-order tolerance).
+func TestExecuteCompiledMatchesDirect(t *testing.T) {
+	const p, m, n, k = 4, 25, 17, 21
+	for _, sub := range []bool{false, true} {
+		t.Run(fmt.Sprintf("subtile=%v", sub), func(t *testing.T) {
+			w := shmem.NewWorld(p)
+			a := distmat.New(w, m, k, distmat.RowBlock{}, 1)
+			b := distmat.New(w, k, n, distmat.ColBlock{}, 1)
+			c := distmat.New(w, m, n, distmat.Block2D{}, 1)
+			w.Run(func(pe rt.PE) {
+				a.FillRandom(pe, 11)
+				b.FillRandom(pe, 22)
+			})
+			ref := referenceProduct(m, n, k, 11, 22, a, b, w)
+			prob := NewProblem(c, a, b)
+			cfg := DefaultConfig()
+			cfg.SubTileFetch = sub
+			cp := CompilePlans(prob, cfg)
+			w.Run(func(pe rt.PE) {
+				c.Zero(pe)
+				ExecuteCompiled(pe, prob, cp, cfg)
+				pe.Barrier()
+				if pe.Rank() == 0 {
+					got := c.Gather(pe, 0)
+					if !got.AllClose(ref, 1e-3) {
+						t.Errorf("compiled execution wrong: maxdiff %g", got.MaxAbsDiff(ref))
+					}
+				}
+			})
+		})
+	}
+}

@@ -42,6 +42,14 @@ type Config struct {
 	// Pool supplies scratch buffers for partial results and fetched tiles;
 	// nil allocates one internally.
 	Pool *gpusim.Pool
+	// Plans, when non-nil, makes Multiply/MultiplyAccumulate look up the
+	// problem's CompiledPlan in this cache instead of re-running the §4.1
+	// slicing pass per call: a hit executes the precompiled per-rank plan
+	// and fetch schedule directly (zero slicing work, zero additional
+	// allocations), a miss compiles once for the whole world and caches
+	// the result. Use PlansOf(world) for the world's shared cache. Nil
+	// preserves the per-rank rebuild-every-call behaviour.
+	Plans *PlanCache
 	// ReduceOrigin is the replica partial C results are reduced into when C
 	// is replicated.
 	ReduceOrigin int
@@ -91,11 +99,24 @@ func Multiply(pe rt.PE, c, a, b *distmat.Matrix, cfg Config) Stationary {
 }
 
 // MultiplyAccumulate computes C += A·B assuming C already holds the values
-// to accumulate onto (zeroed for a plain product). Collective.
+// to accumulate onto (zeroed for a plain product). Collective. With
+// cfg.Plans set, the plan comes from the compiled-plan cache (built once
+// per world on a miss, re-executed with zero slicing work on a hit);
+// otherwise each rank rebuilds its plan per call as before.
 func MultiplyAccumulate(pe rt.PE, prob Problem, cfg Config) Stationary {
 	cfg = cfg.withDefaults()
-	plan := BuildPlanMode(pe.Rank(), prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
-	ExecutePlan(pe, prob, plan, cfg)
+	var stat Stationary
+	if cfg.Plans != nil {
+		cp := cfg.Plans.GetOrCompile(prob, cfg)
+		rank := pe.Rank()
+		executePlanSched(pe, prob, cp.Plans[rank], &cp.scheds[rank], cfg)
+		stat = cp.Key.Stationary
+	} else {
+		plan := BuildPlanMode(pe.Rank(), prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
+		sched := planFetchSchedule(plan, cfg.CacheTiles)
+		executePlanSched(pe, prob, plan, &sched, cfg)
+		stat = plan.Stationary
+	}
 	pe.Barrier() // all one-sided updates must land before replica reduction
 	if prob.C.Replication() > 1 {
 		prob.C.ReduceReplicas(pe, cfg.ReduceOrigin)
@@ -103,7 +124,7 @@ func MultiplyAccumulate(pe rt.PE, prob Problem, cfg Config) Stationary {
 			prob.C.BroadcastReplica(pe, cfg.ReduceOrigin)
 		}
 	}
-	return plan.Stationary
+	return stat
 }
 
 // tileSlot is one fetched tile buffer with its in-flight future and a
@@ -151,9 +172,63 @@ type stepOperands struct {
 // synchronization; callers barrier afterwards.
 func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
 	cfg = cfg.withDefaults()
+	sched := planFetchSchedule(plan, cfg.CacheTiles)
+	executePlanSched(pe, prob, plan, &sched, cfg)
+}
+
+// startChainCrew spawns the bounded GEMM→accumulate worker crew (§4.2's
+// configurable chain-concurrency limit): MaxInflight workers drain a channel
+// of ready chains. Tasks are plain values, so dispatching a step allocates
+// nothing; the unbuffered send blocks exactly when all workers are busy,
+// which is the same admission control as a counting semaphore. The crew is
+// problem-agnostic (each task carries its own Problem), so one crew can
+// drain the chains of many fused multiplies.
+func startChainCrew(pe rt.PE, cfg Config) (chan<- chainTask, *sync.WaitGroup) {
+	tasks := make(chan chainTask)
+	wg := new(sync.WaitGroup)
+	for w := 0; w < cfg.MaxInflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				gemmAccumulateWorkers(pe, t.prob, t.op, &t.ops.a, &t.ops.b, cfg.Pool, cfg.KernelWorkers)
+				if t.aSlot != nil {
+					t.aSlot.release()
+				}
+				if t.bSlot != nil {
+					t.bSlot.release()
+				}
+			}
+		}()
+	}
+	return tasks, wg
+}
+
+// executePlanSched is ExecutePlan with the plan-time LRU replay already
+// computed — the shared body of the direct path (which derives sched per
+// call) and the compiled-plan path (which reuses the schedule frozen at
+// compile time, so a plan-cache hit re-runs zero slicing work). cfg must
+// already have defaults applied. sched is read-only: concurrent executions
+// of one CompiledPlan share it.
+func executePlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config) {
+	tasks, wg := startChainCrew(pe, cfg)
+	finish := feedPlanSched(pe, prob, plan, sched, cfg, tasks)
+	close(tasks)
+	wg.Wait()
+	finish()
+}
+
+// feedPlanSched walks one per-rank plan, issuing prefetches and handing each
+// ready GEMM→accumulate chain to an already-running crew. It owns the
+// plan's slot arrays; the refcounts keep pooled buffers alive until the last
+// in-flight chain using them retires, so the caller may feed further plans
+// to the same crew before this one's chains drain. The returned finish func
+// drops the residual plan-time LRU residencies; callers run it after the
+// crew drains so the final pool returns happen deterministically on the
+// feeder, not racing worker releases mid-execution.
+func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config, tasks chan<- chainTask) (finish func()) {
 	pool := cfg.Pool
 	nsteps := len(plan.Steps)
-	sched := planFetchSchedule(plan, cfg.CacheTiles)
 	aSlots := make([]tileSlot, nsteps)
 	bSlots := make([]tileSlot, nsteps)
 	operands := make([]stepOperands, nsteps)
@@ -229,30 +304,7 @@ func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
 		return m.GetTile(pe, idx, distmat.LocalReplica), nil
 	}
 
-	// Bounded chain concurrency (§4.2's configurable limit): a fixed crew
-	// of MaxInflight workers drains a channel of ready chains. Tasks are
-	// plain values, so dispatching a step allocates nothing; the unbuffered
-	// send blocks exactly when all workers are busy, which is the same
-	// admission control as a counting semaphore.
-	tasks := make(chan chainTask)
 	evictCursor := 0
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.MaxInflight; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				gemmAccumulateWorkers(pe, prob, t.op, &t.ops.a, &t.ops.b, pool, cfg.KernelWorkers)
-				if t.aSlot != nil {
-					t.aSlot.release()
-				}
-				if t.bSlot != nil {
-					t.bSlot.release()
-				}
-			}
-		}()
-	}
-
 	issueFetches(0, 1+cfg.PrefetchDepth)
 	for i, s := range plan.Steps {
 		issueFetches(i+1+cfg.PrefetchDepth, i+2+cfg.PrefetchDepth)
@@ -273,7 +325,7 @@ func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
 			bTile.ViewInto(&ops.b, s.Op.K.Begin-bb.Rows.Begin, s.Op.N.Begin-bb.Cols.Begin, s.Op.K.Len(), s.Op.N.Len())
 		}
 
-		tasks <- chainTask{op: s.Op, ops: ops, aSlot: aSlot, bSlot: bSlot}
+		tasks <- chainTask{prob: prob, op: s.Op, ops: ops, aSlot: aSlot, bSlot: bSlot}
 
 		// Sub-tile fetches are single-use: drop their residency reference
 		// now that the chain holds its own.
@@ -291,15 +343,18 @@ func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
 			evictCursor++
 		}
 	}
-	close(tasks)
-	wg.Wait()
-	for ; evictCursor < len(sched.evictions); evictCursor++ {
-		slotFor(sched.evictions[evictCursor].ref).release()
+	return func() {
+		for ; evictCursor < len(sched.evictions); evictCursor++ {
+			slotFor(sched.evictions[evictCursor].ref).release()
+		}
 	}
 }
 
 // chainTask is one ready GEMM→accumulate chain handed to the worker crew.
+// It carries its own Problem so one crew can serve a fused batch of
+// multiplies.
 type chainTask struct {
+	prob         Problem
 	op           LocalOp
 	ops          *stepOperands
 	aSlot, bSlot *tileSlot

@@ -1,9 +1,22 @@
 package universal
 
 import (
+	"sort"
+	"sync/atomic"
+
 	"slicing/internal/distmat"
 	"slicing/internal/index"
 )
+
+// planBuilds counts executed slicing passes (BuildPlanMode calls), the
+// observable for pass-count tests proving a plan-cache hit re-runs zero
+// slicing work.
+var planBuilds atomic.Int64
+
+// PlanBuildCount returns the number of slicing passes run so far in this
+// process. Diagnostic/test hook: the delta across a cached Multiply must be
+// zero on a plan-cache hit.
+func PlanBuildCount() int64 { return planBuilds.Load() }
 
 // Step is one scheduled local operation in an execution plan: the op plus
 // the communication it requires, with tile-cache hits already resolved so
@@ -196,9 +209,20 @@ func planFetchSchedule(pl Plan, cacheTiles int) fetchSchedule {
 		resolve(i, &sched.srcA[i], s.FetchA, s.ALocal, cacheKey{'A', s.Op.AIdx})
 		resolve(i, &sched.srcB[i], s.FetchB, s.BLocal, cacheKey{'B', s.Op.BIdx})
 	}
+	// Fetches still resident at plan end are retired together; emit them in
+	// step order (not map order) so identical plans always produce
+	// bit-identical schedules.
+	tail := len(sched.evictions)
 	for _, ref := range lastFetch {
 		sched.evictions = append(sched.evictions, fetchEvict{atStep: n, ref: ref})
 	}
+	sort.Slice(sched.evictions[tail:], func(i, j int) bool {
+		a, b := sched.evictions[tail+i].ref, sched.evictions[tail+j].ref
+		if a.step != b.step {
+			return a.step < b.step
+		}
+		return a.mat < b.mat
+	})
 	return sched
 }
 
@@ -215,6 +239,7 @@ func BuildPlan(rank int, p Problem, stat Stationary, cacheTiles int) Plan {
 // whole tiles through the LRU cache — more bytes, amortized across the ops
 // sharing a tile. The tradeoff is benchmarked in BenchmarkFetchModeAblation.
 func BuildPlanMode(rank int, p Problem, stat Stationary, cacheTiles int, subTile bool) Plan {
+	planBuilds.Add(1)
 	resolved := p.ResolveStationary(stat)
 	ops := GenerateOps(rank, p, resolved)
 	cache := newTileLRU(cacheTiles)

@@ -34,6 +34,7 @@ import (
 	"slicing/internal/gpubackend"
 	"slicing/internal/gpusim"
 	"slicing/internal/runtime"
+	"slicing/internal/serve"
 	"slicing/internal/shmem"
 	"slicing/internal/simbackend"
 	"slicing/internal/tile"
@@ -270,3 +271,56 @@ func NewSparseMatrix(alloc Allocator, global *CSR, part Partition, replication i
 func MultiplySparse(pe PE, c *Matrix, a *SparseMatrix, b *Matrix, cfg Config) Stationary {
 	return universal.MultiplySparse(pe, c, a, b, cfg)
 }
+
+// PlanKey is the canonical identity of a compiled plan: every problem and
+// config spelling that slices identically maps to the same key.
+type PlanKey = universal.PlanKey
+
+// PlanKeyOf canonicalizes (problem, config) into its plan-cache key.
+func PlanKeyOf(p Problem, cfg Config) PlanKey { return universal.PlanKeyOf(p, cfg) }
+
+// CompiledPlan is an immutable compiled multiply: per-rank step plans plus
+// frozen fetch schedules, reusable across every request with the same key
+// and serializable (JSON) so tuned plans survive restarts.
+type CompiledPlan = universal.CompiledPlan
+
+// CompilePlans runs the slicing pass for all ranks once and freezes the
+// result.
+func CompilePlans(p Problem, cfg Config) *CompiledPlan { return universal.CompilePlans(p, cfg) }
+
+// PlanCache is a bounded LRU of compiled plans with single-flight
+// compilation. Set Config.Plans to one (or use PlansOf) to make Multiply
+// reuse compiled plans across calls.
+type PlanCache = universal.PlanCache
+
+// NewPlanCache returns a plan cache holding up to capacity plans.
+func NewPlanCache(capacity int) *PlanCache { return universal.NewPlanCache(capacity) }
+
+// PlansOf returns the world's shared plan cache, creating it on first use.
+func PlansOf(w World) *PlanCache { return universal.PlansOf(w) }
+
+// Server is the multiply-as-a-service layer: a long-lived server
+// multiplexing concurrent multiply requests from many tenants over one
+// world, with bounded admission queues, round-robin fairness, fused
+// batching of small GEMMs, deadlines via context, and per-tenant traffic
+// accounting. See docs/SERVING.md.
+type Server = serve.Server
+
+// ServerConfig tunes a Server.
+type ServerConfig = serve.Config
+
+// ServerStats is a server-wide accounting snapshot.
+type ServerStats = serve.Stats
+
+// TenantStats is one tenant's accounting snapshot.
+type TenantStats = serve.TenantStats
+
+// NewServer creates a serving loop over w and starts its dispatcher. The
+// server assumes exclusive use of w until Close.
+func NewServer(w World, cfg ServerConfig) *Server { return serve.NewServer(w, cfg) }
+
+// ErrQueueFull and ErrClosed are the Server.Multiply admission errors.
+var (
+	ErrQueueFull = serve.ErrQueueFull
+	ErrClosed    = serve.ErrClosed
+)

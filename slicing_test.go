@@ -1,7 +1,10 @@
 package slicing_test
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"sync"
 	"testing"
 
 	"slicing"
@@ -154,5 +157,105 @@ func TestPublicAPITimedBackends(t *testing.T) {
 	}
 	if ss, ok := slicing.StreamStatsOf(streamed); !ok || ss.StreamOps == 0 {
 		t.Fatalf("stream-timed world reported stats (%+v, %v)", ss, ok)
+	}
+}
+
+// TestPublicAPIServing exercises the multiply-as-a-service surface through
+// the façade: a server over one world, two tenants, cached compiled plans,
+// results checked against the serial reference.
+func TestPublicAPIServing(t *testing.T) {
+	const p, m, n, k = 4, 24, 20, 16
+	world := slicing.NewWorld(p)
+	a := slicing.NewMatrix(world, m, k, slicing.Block2D{}, 1)
+	b := slicing.NewMatrix(world, k, n, slicing.Block2D{}, 1)
+	c1 := slicing.NewMatrix(world, m, n, slicing.Block2D{}, 1)
+	c2 := slicing.NewMatrix(world, m, n, slicing.Block2D{}, 1)
+
+	var ref *tile.Matrix
+	world.Run(func(pe slicing.PE) {
+		a.FillRandom(pe, 7)
+		b.FillRandom(pe, 8)
+		if pe.Rank() == 0 {
+			ref = tile.New(m, n)
+			tile.GemmNaive(ref, a.Gather(pe, 0), b.Gather(pe, 0))
+		}
+	})
+
+	srv := slicing.NewServer(world, slicing.ServerConfig{Batch: 2})
+	var wg sync.WaitGroup
+	for _, req := range []struct {
+		tenant string
+		c      *slicing.Matrix
+	}{{"alice", c1}, {"bob", c2}} {
+		wg.Add(1)
+		go func(tenant string, c *slicing.Matrix) {
+			defer wg.Done()
+			if _, err := srv.Multiply(context.Background(), tenant, c, a, b); err != nil {
+				t.Errorf("tenant %s: %v", tenant, err)
+			}
+		}(req.tenant, req.c)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	srv.Close()
+
+	if st.Served != 2 {
+		t.Fatalf("served %d, want 2", st.Served)
+	}
+	if st.PlanCache.Builds != 1 {
+		t.Fatalf("plan builds %d, want 1 (second request must hit the cache)", st.PlanCache.Builds)
+	}
+	world.Run(func(pe slicing.PE) {
+		if pe.Rank() != 0 {
+			return
+		}
+		for _, c := range []*slicing.Matrix{c1, c2} {
+			got := c.Gather(pe, 0)
+			for i := range got.Data {
+				d := got.Data[i] - ref.Data[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-3 {
+					t.Fatalf("served result diverges from reference at %d: %g vs %g", i, got.Data[i], ref.Data[i])
+				}
+			}
+		}
+	})
+}
+
+// TestPublicAPIPlanCache round-trips a compiled plan through JSON and a
+// cache via the façade types.
+func TestPublicAPIPlanCache(t *testing.T) {
+	const p, m, n, k = 2, 12, 10, 8
+	world := slicing.NewWorld(p)
+	a := slicing.NewMatrix(world, m, k, slicing.RowBlock{}, 1)
+	b := slicing.NewMatrix(world, k, n, slicing.ColBlock{}, 1)
+	c := slicing.NewMatrix(world, m, n, slicing.Block2D{}, 1)
+	prob := slicing.NewProblem(c, a, b)
+	cfg := slicing.DefaultConfig()
+
+	cp := slicing.CompilePlans(prob, cfg)
+	if cp.Key != slicing.PlanKeyOf(prob, cfg) {
+		t.Fatal("compiled plan key does not match PlanKeyOf")
+	}
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back slicing.CompiledPlan
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key != cp.Key {
+		t.Fatal("round-tripped plan changed key")
+	}
+	cache := slicing.NewPlanCache(4)
+	cache.Put(&back)
+	if _, ok := cache.Get(cp.Key); !ok {
+		t.Fatal("restored plan not retrievable from cache")
+	}
+	if same := slicing.PlansOf(world); same != slicing.PlansOf(world) {
+		t.Fatal("PlansOf must return a stable per-world cache")
 	}
 }
