@@ -143,7 +143,7 @@ func runReal(w rt.World, prob universal.Problem, cfg universal.Config) {
 	start := time.Now()
 	var stat universal.Stationary
 	w.Run(func(pe rt.PE) {
-		stat = universal.Multiply(pe, prob.C, prob.A, prob.B, cfg)
+		stat, _ = universal.Multiply(pe, prob.C, prob.A, prob.B, cfg)
 	})
 	elapsed := time.Since(start)
 	var ok bool

@@ -38,7 +38,7 @@ func main() {
 	var stat slicing.Stationary
 	start := time.Now()
 	world.Run(func(pe slicing.PE) {
-		stat = slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
+		stat, _ = slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
 	})
 	elapsed := time.Since(start)
 	fmt.Printf("multiplied %dx%dx%d over %d PEs (data movement: %v)\n", m, n, k, p, stat)

@@ -235,7 +235,7 @@ func RunUATimedOn(b rt.Backend, sys universal.SimSystem, m, n, k int, pk Partiti
 	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 1)
 		bm.FillRandom(pe, 2)
-		s := universal.Multiply(pe, c, a, bm, cfg)
+		s, _ := universal.Multiply(pe, c, a, bm, cfg)
 		if pe.Rank() == 0 {
 			resolved = s
 		}

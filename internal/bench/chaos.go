@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"slicing/internal/chaos"
+	"slicing/internal/distmat"
+	"slicing/internal/fabric"
+	rt "slicing/internal/runtime"
+	"slicing/internal/serve"
+	"slicing/internal/shmem"
+)
+
+// ServeChaosOptions sizes the RunServeChaos fault storm. The zero value
+// selects the ISSUE acceptance workload: 4 PEs, 16³ multiplies, 64
+// concurrent clients across 4 tenants, a seeded 1% transient storm on
+// gets and accumulates, and one rail degraded mid-run.
+type ServeChaosOptions struct {
+	P         int     // PEs (default 4)
+	Dim       int     // square multiply dimension (default 16)
+	TileDim   int     // partition tile (default Dim/2)
+	Workers   int     // concurrent clients (default 64)
+	Tenants   int     // tenants the clients spread over (default 4)
+	PerWorker int     // requests per client (default 10)
+	Batch     int     // server batch size (default 8)
+	Rate      float64 // transient fault rate per op (default 0.01)
+	Seed      int64   // chaos seed (default 42)
+}
+
+func (o ServeChaosOptions) withDefaults() ServeChaosOptions {
+	if o.P <= 0 {
+		o.P = 4
+	}
+	if o.Dim <= 0 {
+		o.Dim = 16
+	}
+	if o.TileDim <= 0 {
+		o.TileDim = o.Dim / 2
+	}
+	if o.Workers <= 0 {
+		o.Workers = 64
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 4
+	}
+	if o.PerWorker <= 0 {
+		o.PerWorker = 10
+	}
+	if o.Batch <= 0 {
+		o.Batch = 8
+	}
+	if o.Rate <= 0 {
+		o.Rate = 0.01
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// ServeChaosResult reports one chaos serving run: availability and tail
+// latency under the storm against the same workload on a healthy world.
+type ServeChaosResult struct {
+	Requests        int     // total requests issued under the storm
+	AvailabilityPct float64 // completed / issued, percent
+	P99MsFaulty     float64 // p99 latency under the storm
+	P99MsClean      float64 // p99 latency of the identical healthy run
+	RetriesPerReq   float64 // transparently recovered faults per request
+	Transients      int64   // injected transient failures
+	Degrades        int64   // rails degraded (1: the mid-run rule fired)
+}
+
+// TwoRailFabric is the chaos bench's hand-built rail-redundant cluster: 2
+// machines of 2 PEs, each PE PCIe-attached to one of the machine's 2 NICs
+// (PE i rides rail i%2), per-machine local switch for intra-machine
+// traffic, one shared switch per rail, and a spine joining the rails for
+// rail-crossing flows. Small enough to read in one sitting, structured
+// enough that degrading one rail leaves a redundant path — the topology
+// the DegradeRail storm rule downtrains mid-run.
+func TwoRailFabric() *fabric.Fabric {
+	const gb, us = 1e9, 1e-6
+	f := fabric.New("2x2 two-rail cluster", 2000*gb)
+	rails := [2]int{
+		f.AddSwitch("rail0"),
+		f.AddSwitch("rail1"),
+	}
+	spine := f.AddSwitch("spine")
+	for r, rail := range rails {
+		f.BiConnect(rail, spine, 100*gb, 1*us, fmt.Sprintf("rail%d.spine", r))
+	}
+	for m := 0; m < 2; m++ {
+		sw := f.AddSwitch(fmt.Sprintf("m%d.sw", m))
+		var nics [2]int
+		for r := range nics {
+			nics[r] = f.AddNIC(fmt.Sprintf("m%d.nic%d", m, r))
+			f.BiConnect(nics[r], rails[r], 50*gb, 3*us, fmt.Sprintf("m%d.nic%d.ib", m, r))
+		}
+		for g := 0; g < 2; g++ {
+			pe := f.AddPE(fmt.Sprintf("m%d.pe%d", m, g), m)
+			f.BiConnect(pe, sw, 450*gb, 1*us, fmt.Sprintf("m%d.pe%d.local", m, g))
+			f.BiConnect(pe, nics[g%2], 450*gb, 2*us, fmt.Sprintf("m%d.pe%d.pcie", m, g))
+		}
+	}
+	return f.Freeze()
+}
+
+// stormRules is the acceptance storm: rate transient failures on gets and
+// accumulates, plus one mid-run degrade of rail 0's spine uplink.
+func stormRules(rate float64) []chaos.Rule {
+	return []chaos.Rule{
+		{Name: "get-storm", Ops: chaos.OpGet, Rate: rate},
+		{Name: "accum-storm", Ops: chaos.OpAccum, Rate: rate},
+		{Name: "rail-down", Kind: chaos.DegradeRail, Ops: chaos.OpGet,
+			Rate: 1, After: 50, Link: "rail0.spine>", Factor: 0.25},
+	}
+}
+
+// runServeStorm drives the chaos workload against one world (chaos-
+// wrapped or healthy) and returns per-request latencies, the completed
+// count, and the server's fault accounting.
+func runServeStorm(o ServeChaosOptions, w rt.World) (lat []time.Duration, completed int, st serve.Stats) {
+	part := distmat.Custom{TileRows: o.TileDim, TileCols: o.TileDim, ProcRows: 2, ProcCols: o.P / 2}
+	a := distmat.New(w, o.Dim, o.Dim, part, 1)
+	b := distmat.New(w, o.Dim, o.Dim, part, 1)
+	cs := make([]*distmat.Matrix, o.Workers)
+	for i := range cs {
+		cs[i] = distmat.New(w, o.Dim, o.Dim, part, 1)
+	}
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 1)
+		b.FillRandom(pe, 2)
+	})
+	s := serve.NewServer(w, serve.Config{Batch: o.Batch, Queue: 2 * o.Workers * o.PerWorker})
+	lats := make([][]time.Duration, o.Workers)
+	var done sync.WaitGroup
+	var okCount sync.Map
+	for i := 0; i < o.Workers; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			tn := fmt.Sprintf("tenant-%d", i%o.Tenants)
+			ok := 0
+			l := make([]time.Duration, 0, o.PerWorker)
+			for j := 0; j < o.PerWorker; j++ {
+				t0 := time.Now()
+				if _, err := s.Multiply(context.Background(), tn, cs[i], a, b); err == nil {
+					ok++
+					l = append(l, time.Since(t0))
+				}
+			}
+			lats[i] = l
+			okCount.Store(i, ok)
+		}(i)
+	}
+	done.Wait()
+	st = s.Stats()
+	s.Close()
+	for i := range lats {
+		lat = append(lat, lats[i]...)
+		if v, loaded := okCount.Load(i); loaded {
+			completed += v.(int)
+		}
+	}
+	return lat, completed, st
+}
+
+// RunServeChaos measures graceful degradation of the serving loop under
+// the seeded acceptance storm: the same 64-client workload runs once on a
+// healthy world and once under the chaos plan (1% transient gets and
+// accumulates, one rail degraded mid-run), reporting availability, the
+// faulty and clean p99, and the retry cost per request.
+func RunServeChaos(o ServeChaosOptions) ServeChaosResult {
+	o = o.withDefaults()
+
+	cleanLat, _, _ := runServeStorm(o, shmem.NewWorld(o.P))
+
+	plan := &chaos.Plan{Seed: o.Seed, Rules: stormRules(o.Rate), Fabric: TwoRailFabric()}
+	w := chaos.WrapWorld(shmem.NewWorld(o.P), plan)
+	cw, _ := chaos.Of(w)
+	faultyLat, completed, st := runServeStorm(o, w)
+
+	total := o.Workers * o.PerWorker
+	res := ServeChaosResult{
+		Requests:        total,
+		AvailabilityPct: 100 * float64(completed) / float64(total),
+		Transients:      cw.Injected().Transient,
+		Degrades:        cw.Injected().Degrades,
+	}
+	if total > 0 {
+		res.RetriesPerReq = float64(st.Retries) / float64(total)
+	}
+	_, res.P99MsFaulty = percentiles(faultyLat)
+	_, res.P99MsClean = percentiles(cleanLat)
+	return res
+}

@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// The chaos harness at the committed acceptance scale (4 PEs, 16³, 64
+// clients, 4 tenants): a transient-only storm plus one degraded rail must
+// leave availability at 99%+ with the storm demonstrably real — injected
+// transients, a positive retry bill, and exactly one rail downtrained.
+func TestServeChaosAcceptance(t *testing.T) {
+	res := RunServeChaos(ServeChaosOptions{PerWorker: 4})
+	if res.Requests != 64*4 {
+		t.Fatalf("issued %d requests, want 256", res.Requests)
+	}
+	if res.AvailabilityPct < 99 {
+		t.Fatalf("availability %.2f%% under the storm, want >= 99%%", res.AvailabilityPct)
+	}
+	if res.Transients == 0 || res.RetriesPerReq <= 0 {
+		t.Fatalf("storm exercised nothing: %+v", res)
+	}
+	if res.Degrades != 1 {
+		t.Fatalf("degraded %d rails, want exactly the one mid-run rule", res.Degrades)
+	}
+	if res.P99MsFaulty <= 0 || res.P99MsClean <= 0 {
+		t.Fatalf("missing latency percentiles: %+v", res)
+	}
+}
+
+// TwoRailFabric is the degrade target of the committed storm: the rail
+// rule's link must exist and rails must be redundant (degrading rail 0
+// leaves every PE pair connected — Freeze would have panicked otherwise,
+// so this pins the name contract the storm rule depends on).
+func TestTwoRailFabricHasTheStormRail(t *testing.T) {
+	f := TwoRailFabric()
+	if f.NumPE() != 4 {
+		t.Fatalf("two-rail fabric has %d PEs, want 4", f.NumPE())
+	}
+	li := f.LinkID("rail0.spine>")
+	before := f.LinkBandwidth(li)
+	f.DegradeAt(li, 0.25)
+	if got := f.LinkBandwidth(li); got != before*0.25 {
+		t.Fatalf("rail0.spine> bandwidth %g after degrade, want %g", got, before*0.25)
+	}
+}

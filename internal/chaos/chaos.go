@@ -1,0 +1,243 @@
+// Package chaos is the deterministic fault-injection layer (PR 8,
+// docs/RESILIENCE.md): a seeded Plan of rate- and target-scoped Rules
+// wrapped around any runtime.Backend or runtime.World via a decorator
+// that intercepts every one-sided operation and — with per-rule, per-op
+// probability — fails it with the runtime's typed error taxonomy,
+// delays it, hangs it into the per-op deadline, crashes the whole PE,
+// or downtrains a fabric rail mid-run.
+//
+// Determinism. Fire decisions are a pure hash of (seed, rule, rank,
+// op-class sequence number) — splitmix64 over the tuple — with the
+// sequence numbers drawn from per-(rank, class) atomic counters. No
+// shared PRNG state is consumed, so goroutine interleaving cannot change
+// WHICH sequence numbers fault: the same seed over the same workload
+// reproduces the identical fault schedule (the set of fired
+// (rule, rank, class, seq) tuples), which is what the reproducibility
+// acceptance test pins. When ops of one class are issued concurrently
+// (accumulates from the worker crew), the mapping from sequence number
+// to logical operation can vary between runs; the schedule itself cannot.
+//
+// Scope. Faults are raised only inside a fault scope
+// (runtime.FaultScoper): the retrying executor brackets its recoverable
+// region, so collectives that cannot tolerate a mid-call unwind (reduce,
+// broadcast, zeroing) and the barrier backbone never observe injected
+// faults. A crashed PE keeps participating in barriers — exactly like a
+// GPU whose NIC died but whose host process still reaches the collective
+// — so a crash surfaces as an error from the executor, not a wedged
+// world.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"slicing/internal/fabric"
+)
+
+// OpClass is a bitmask of one-sided operation classes a rule applies to.
+type OpClass uint8
+
+const (
+	// OpGet covers Get, GetStrided, GetAsync, GetStridedAsync.
+	OpGet OpClass = 1 << iota
+	// OpPut covers Put and PutStrided.
+	OpPut
+	// OpAccum covers AccumulateAdd, AccumulateAddGetPut,
+	// AccumulateAddStrided, AccumulateAddAsync.
+	OpAccum
+
+	// OpAll matches every interceptable class. Barriers, Local views, and
+	// allocation are never fault-injected: they are the synchronization
+	// backbone recovery itself relies on.
+	OpAll = OpGet | OpPut | OpAccum
+)
+
+// numClasses is the number of distinct sequence-counter streams per rank.
+const numClasses = 3
+
+func classIndex(c OpClass) int {
+	switch c {
+	case OpGet:
+		return 0
+	case OpPut:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// String names the class for logs.
+func (c OpClass) String() string {
+	switch c {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpAccum:
+		return "accum"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Kind selects what a firing rule does to the operation.
+type Kind uint8
+
+const (
+	// Transient fails the op with runtime.ErrTransient before any data
+	// moves; a retry reissues the full operation.
+	Transient Kind = iota
+	// Delay sleeps Rule.Delay of real time, then performs the op — a slow
+	// rail, not a failure.
+	Delay
+	// Hang sleeps Rule.Delay, but if the backend's per-op deadline
+	// (runtime.SetOpDeadline) is shorter, sleeps only the deadline and
+	// fails the op with runtime.ErrOpTimeout. With no deadline set the
+	// full Delay elapses and the op then proceeds (a very slow op, the
+	// failure mode deadlines exist for).
+	Hang
+	// Crash fails this op with runtime.ErrPEFailed and marks the rank
+	// crashed: every later intercepted op on the rank fails the same way.
+	// Fires at most once per rank regardless of MaxFires.
+	Crash
+	// DegradeRail downtrains the fabric link named Rule.Link by
+	// Rule.Factor through the mid-run-safe degrade hook, then performs
+	// the op normally. Fires at most once per world regardless of rank.
+	DegradeRail
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Delay:
+		return "delay"
+	case Hang:
+		return "hang"
+	case Crash:
+		return "crash"
+	case DegradeRail:
+		return "degrade-rail"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Rule is one fault-injection rule. The zero value of every scoping
+// field means "unscoped": all classes, all ranks, from the first op.
+type Rule struct {
+	// Name labels the rule in fire logs.
+	Name string
+	// Ops is the op-class mask the rule applies to (0 = OpAll).
+	Ops OpClass
+	// Ranks scopes the rule to specific initiating ranks (nil = all).
+	Ranks []int
+	// Rate is the per-op firing probability in [0, 1]. 1 fires on every
+	// matching op past After.
+	Rate float64
+	// After skips the first After matching ops per (rank, class), letting
+	// a run warm up before the storm starts — and positioning
+	// deterministic single-shot rules (Crash, DegradeRail with Rate 1)
+	// at an exact op index.
+	After int
+	// MaxFires caps the rule's total fires per rank (0 = unlimited).
+	MaxFires int
+	// Kind selects the effect; Transient is the zero value.
+	Kind Kind
+	// Delay is the Delay/Hang duration.
+	Delay time.Duration
+	// Link and Factor configure DegradeRail: the fabric link name and the
+	// bandwidth multiplier in (0, 1].
+	Link   string
+	Factor float64
+}
+
+// matches reports whether the rule applies to an op of class c initiated
+// by rank.
+func (r *Rule) matches(c OpClass, rank int) bool {
+	if r.Ops != 0 && r.Ops&c == 0 {
+		return false
+	}
+	if len(r.Ranks) == 0 {
+		return true
+	}
+	for _, rk := range r.Ranks {
+		if rk == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is an immutable fault-injection configuration: a seed plus rules.
+// One Plan may wrap many worlds; each world keeps its own counters, so
+// every wrapped world replays the same schedule independently.
+type Plan struct {
+	// Seed drives every fire decision. The same seed over the same
+	// workload reproduces the identical fault schedule.
+	Seed int64
+	// Rules are evaluated in order for every intercepted op; the first
+	// firing rule wins for that op.
+	Rules []Rule
+	// Fabric, when non-nil, is the DegradeRail target for worlds that do
+	// not implement runtime.LinkDegrader themselves (e.g. a chaos-wrapped
+	// shmem world used to exercise serving-layer behaviour while the
+	// fabric is only priced elsewhere). Worlds with the capability take
+	// precedence.
+	Fabric *fabric.Fabric
+}
+
+// splitmix64 is the avalanche permutation behind the fire decisions: a
+// tiny, stateless, high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fireHash01 maps (seed, rule, rank, seq) to a uniform float64 in [0, 1).
+func fireHash01(seed int64, rule, rank int, seq uint64) float64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(rule)<<32 ^ uint64(uint32(rank)))
+	h = splitmix64(h ^ seq)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Decide reports whether rule ruleIdx fires for the seq-th matching op of
+// (rank, class-counter). It is a pure function — the deterministic core
+// the reproducibility tests pin directly.
+func (p *Plan) Decide(ruleIdx, rank int, seq int) bool {
+	r := &p.Rules[ruleIdx]
+	if seq < r.After {
+		return false
+	}
+	if r.Rate >= 1 {
+		return true
+	}
+	if r.Rate <= 0 {
+		return false
+	}
+	return fireHash01(p.Seed, ruleIdx, rank, uint64(seq)) < r.Rate
+}
+
+// Fire is one fired rule occurrence, the unit of the fault schedule.
+type Fire struct {
+	Rule  string
+	Kind  Kind
+	Class OpClass
+	Rank  int
+	// Seq is the per-(rank, class) op sequence number that faulted.
+	Seq int
+}
+
+// String formats a fire for logs.
+func (f Fire) String() string {
+	return fmt.Sprintf("%s/%s rank %d %s#%d", f.Rule, f.Kind, f.Rank, f.Class, f.Seq)
+}
+
+// Stats counts injected effects per kind across a world's lifetime.
+type Stats struct {
+	Transient, Delayed, Hung, Crashes, Degrades int64
+}

@@ -27,6 +27,7 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // NodeKind classifies a fabric node.
@@ -68,14 +69,19 @@ type Link struct {
 }
 
 // Fabric is the immutable-after-Freeze link graph plus its routing table.
+// The one mutable-after-Freeze quantity is effective link bandwidth: it
+// lives in the bw array as atomic float64 bits so Degrade/DegradeAt can
+// downtrain a link while timed worlds are pricing transfers through
+// PathBandwidth concurrently (links[i].BW keeps the as-built value).
 type Fabric struct {
 	name    string
 	localBW float64 // bytes/s for src == dst device-local copies
 	nodes   []Node
 	links   []Link
-	peNodes []int   // rank -> node id
-	out     [][]int // node id -> outgoing link indices
-	routes  [][]int // [src*P+dst] -> link indices; non-nil once frozen
+	peNodes []int           // rank -> node id
+	out     [][]int         // node id -> outgoing link indices
+	routes  [][]int         // [src*P+dst] -> link indices; non-nil once frozen
+	bw      []atomic.Uint64 // effective per-link bandwidth, math.Float64bits
 }
 
 // New starts an empty fabric. localBW is the device-local copy bandwidth
@@ -153,6 +159,10 @@ func (f *Fabric) Freeze() *Fabric {
 	for src := 0; src < p; src++ {
 		f.routeFrom(src)
 	}
+	f.bw = make([]atomic.Uint64, len(f.links))
+	for li := range f.links {
+		f.bw[li].Store(math.Float64bits(f.links[li].BW))
+	}
 	return f
 }
 
@@ -212,18 +222,27 @@ func (f *Fabric) Route(src, dst int) []int {
 }
 
 // PathBandwidth returns the bottleneck bandwidth of a route in bytes/s.
-// An empty route (local copy) runs at the device-local bandwidth.
+// An empty route (local copy) runs at the device-local bandwidth. It
+// reads the effective (possibly degraded) bandwidths through their
+// atomic storage, so it is safe to call concurrently with DegradeAt.
 func (f *Fabric) PathBandwidth(route []int) float64 {
 	if len(route) == 0 {
 		return f.localBW
 	}
-	bw := f.links[route[0]].BW
+	bw := f.LinkBandwidth(route[0])
 	for _, li := range route[1:] {
-		if b := f.links[li].BW; b < bw {
+		if b := f.LinkBandwidth(li); b < bw {
 			bw = b
 		}
 	}
 	return bw
+}
+
+// LinkBandwidth returns one link's current effective bandwidth in
+// bytes/s: the as-built Link.BW times every degradation applied since.
+// Safe to call concurrently with DegradeAt; requires a frozen fabric.
+func (f *Fabric) LinkBandwidth(link int) float64 {
+	return math.Float64frombits(f.bw[link].Load())
 }
 
 // PathLatency returns the total latency of a route in seconds.
@@ -240,15 +259,43 @@ func (f *Fabric) PathLatency(route []int) float64 {
 // — latency-based — so degradation changes pricing and queueing, not
 // paths, exactly like a bandwidth-downtrained link in a real fat-tree.
 //
-// Link bandwidth is the one knob that stays adjustable after Freeze, and
-// it carves an exception out of the read-only sharing contract: pricing
-// reads bandwidths unsynchronized, so Degrade may only be called while no
-// world built over this fabric is running (set up the failure scenario,
-// then run — as examples/fabric_incast does). Degrading between runs of
-// an existing timed world is fine; degrading during one is a data race.
+// Concurrency contract: link bandwidth is the one knob that stays
+// adjustable after Freeze. Effective bandwidths live in atomic storage
+// (PathBandwidth/LinkBandwidth load them atomically), so on a frozen
+// fabric Degrade is safe even while timed worlds built over it are
+// running — it is DegradeAt. Before Freeze it simply rewrites the
+// as-built Link.BW, which Freeze then snapshots.
 func (f *Fabric) Degrade(link int, factor float64) {
+	if !f.frozen() {
+		checkDegradeFactor(factor)
+		f.links[link].BW *= factor
+		return
+	}
+	f.DegradeAt(link, factor)
+}
+
+// DegradeAt multiplies one link's effective bandwidth by factor in
+// (0, 1] on a frozen fabric, safely while worlds built over the fabric
+// are mid-run: the update is an atomic read-modify-write on the
+// bandwidth bits that pricing reads through the same atomics, so a
+// chaos rule (or an operator) can downtrain a rail in the middle of a
+// timed execution without a data race. Transfers priced before the call
+// keep their old duration — exactly the semantics of a link that
+// downtrains between two DMAs. The as-built Link.BW is not modified.
+func (f *Fabric) DegradeAt(link int, factor float64) {
+	checkDegradeFactor(factor)
+	f.mustBeFrozen()
+	for {
+		old := f.bw[link].Load()
+		degraded := math.Float64bits(math.Float64frombits(old) * factor)
+		if f.bw[link].CompareAndSwap(old, degraded) {
+			return
+		}
+	}
+}
+
+func checkDegradeFactor(factor float64) {
 	if factor <= 0 || factor > 1 || math.IsNaN(factor) {
 		panic(fmt.Sprintf("fabric: invalid degradation factor %g", factor))
 	}
-	f.links[link].BW *= factor
 }

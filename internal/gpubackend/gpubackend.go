@@ -56,6 +56,7 @@ import (
 	"sync"
 
 	"slicing/internal/costmodel"
+	"slicing/internal/fabric"
 	"slicing/internal/gpusim"
 	rt "slicing/internal/runtime"
 	"slicing/internal/shmem"
@@ -164,14 +165,15 @@ type World struct {
 
 // Compile-time checks against the runtime contract.
 var (
-	_ rt.Backend     = Backend{}
-	_ rt.World       = (*World)(nil)
-	_ rt.TimedWorld  = (*World)(nil)
-	_ rt.StreamTimer = (*World)(nil)
-	_ rt.FabricTimer = (*World)(nil)
-	_ rt.PE          = (*pe)(nil)
-	_ rt.Clock       = (*pe)(nil)
-	_ rt.GemmTimer   = (*pe)(nil)
+	_ rt.Backend      = Backend{}
+	_ rt.World        = (*World)(nil)
+	_ rt.TimedWorld   = (*World)(nil)
+	_ rt.StreamTimer  = (*World)(nil)
+	_ rt.FabricTimer  = (*World)(nil)
+	_ rt.LinkDegrader = (*World)(nil)
+	_ rt.PE           = (*pe)(nil)
+	_ rt.Clock        = (*pe)(nil)
+	_ rt.GemmTimer    = (*pe)(nil)
 )
 
 // World returns the world itself, satisfying runtime.Allocator.
@@ -274,6 +276,25 @@ func (w *World) FabricLinkStats() []rt.LinkStats {
 // unavailable and AccumulateAdd must take the §3 get+put path.
 func (w *World) crossNode(a, b int) bool {
 	return w.nodes != nil && w.nodes.NodeOf(a) != w.nodes.NodeOf(b)
+}
+
+// DegradeLink downtrains the named fabric link mid-run
+// (runtime.LinkDegrader) via the race-safe fabric.DegradeAt path; ops
+// priced after the call see the degraded rail. Returns false on scalar
+// topologies or unknown link names.
+func (w *World) DegradeLink(name string, factor float64) bool {
+	ft, ok := w.topo.(interface{ Fabric() *fabric.Fabric })
+	if !ok {
+		return false
+	}
+	f := ft.Fabric()
+	for li := 0; li < f.NumLinks(); li++ {
+		if f.LinkAt(li).Name == name {
+			f.DegradeAt(li, factor)
+			return true
+		}
+	}
+	return false
 }
 
 // netResources returns the network resources a src→dst transfer occupies:

@@ -1,0 +1,155 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the fault-handling half of the runtime contract (PR 8,
+// docs/RESILIENCE.md): a typed error taxonomy for one-sided operation
+// failures, the panic-based delivery channel that lets an error-less PE
+// interface surface faults without widening every method signature, and
+// the optional capability interfaces a fault-injecting backend implements
+// (fault scopes, per-op deadlines, mid-run link degradation).
+//
+// The PE primitives deliberately return no errors: on real hardware a
+// failed get is an RDMA completion error surfaced out-of-band, and the
+// hot path must not pay an error check per memcpy. A backend that CAN
+// fail (the chaos decorator; a future real-network backend) instead
+// panics with a *Fault before performing the operation. Code prepared to
+// recover — the retrying executor in internal/universal — converts the
+// panic back into an error at its op boundary with CatchFault and retries
+// or aborts; code that is not prepared sees the ordinary panic it would
+// see for any contract violation.
+
+// Sentinel errors classifying one-sided operation failures. Everything
+// wrapping ErrTransient is retryable (a dropped packet, a timed-out
+// completion that may succeed on reissue); everything else is fatal to
+// the current collective.
+var (
+	// ErrTransient marks a retryable one-sided op failure: reissuing the
+	// operation may succeed.
+	ErrTransient = errors.New("transient one-sided op failure")
+	// ErrPEFailed marks a whole-PE failure: every subsequent operation
+	// initiated by the rank will fail, so retrying is pointless.
+	ErrPEFailed = errors.New("processing element failed")
+	// ErrOpTimeout marks a one-sided op that exceeded its per-op deadline
+	// (Config.Retry.OpTimeout). Treated as fatal: a hung op that already
+	// ate its deadline once is assumed wedged, and escalating beats
+	// stacking timeouts.
+	ErrOpTimeout = errors.New("one-sided op deadline exceeded")
+)
+
+// Fault is the typed panic value a fault-capable backend raises in place
+// of performing a one-sided operation. Err is one of the sentinels above
+// (possibly wrapped); Op and Rank identify the failed call for error
+// messages and logs.
+type Fault struct {
+	Err  error
+	Op   string
+	Rank int
+}
+
+// Error formats the fault; Fault satisfies error so CatchFault can hand
+// it straight to callers.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("runtime: rank %d %s: %v", f.Rank, f.Op, f.Err)
+}
+
+// Unwrap exposes the sentinel for errors.Is classification.
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Fail raises a *Fault panic. Backends call it instead of performing an
+// operation they have decided fails.
+func Fail(err error, op string, rank int) {
+	panic(&Fault{Err: err, Op: op, Rank: rank})
+}
+
+// CatchFault converts an in-flight *Fault panic into an error written to
+// *errp, re-panicking on anything else. Use it as a deferred call in a
+// named function so the no-fault path stays an open-coded defer (zero
+// allocations):
+//
+//	func tryGet(...) (err error) {
+//		defer rt.CatchFault(&err)
+//		m.GetTileInto(...)
+//		return nil
+//	}
+func CatchFault(errp *error) {
+	if r := recover(); r != nil {
+		if f, ok := r.(*Fault); ok {
+			*errp = f
+			return
+		}
+		panic(r)
+	}
+}
+
+// IsTransient reports whether err is a retryable one-sided failure.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsFatal reports whether err is a one-sided failure not worth retrying
+// (PE crash, per-op deadline, or any unclassified fault).
+func IsFatal(err error) bool { return err != nil && !IsTransient(err) }
+
+// FaultScoper is implemented by fault-injecting backends. Faults are only
+// raised while the initiating PE is inside at least one fault scope; the
+// retrying executor brackets its recoverable op region with Push/Pop, so
+// collectives whose internal barriers cannot tolerate a mid-call unwind
+// (reduce, broadcast, zeroing) never observe injected faults. Scopes
+// nest; the backbone Barrier is never fault-injected regardless.
+type FaultScoper interface {
+	PushFaultScope()
+	PopFaultScope()
+}
+
+// PushFaultScope opens a fault scope on pe; no-op on backends that never
+// fail.
+func PushFaultScope(pe PE) {
+	if s, ok := pe.(FaultScoper); ok {
+		s.PushFaultScope()
+	}
+}
+
+// PopFaultScope closes the innermost fault scope on pe.
+func PopFaultScope(pe PE) {
+	if s, ok := pe.(FaultScoper); ok {
+		s.PopFaultScope()
+	}
+}
+
+// OpDeadliner is implemented by backends that can bound a single
+// one-sided op's duration. A backend honoring the deadline truncates an
+// injected (or real) stall at d and fails the op with ErrOpTimeout
+// instead of letting it hang the worker crew. Zero disables the bound.
+type OpDeadliner interface {
+	SetOpDeadline(d time.Duration)
+}
+
+// SetOpDeadline bounds each one-sided op on pe to at most d; no-op on
+// backends without the capability.
+func SetOpDeadline(pe PE, d time.Duration) {
+	if s, ok := pe.(OpDeadliner); ok {
+		s.SetOpDeadline(d)
+	}
+}
+
+// LinkDegrader is implemented by worlds that can downtrain a fabric link
+// mid-run — timed worlds built over an internal/fabric routed topology,
+// whose bandwidth reads go through the race-safe fabric.DegradeAt path.
+type LinkDegrader interface {
+	// DegradeLink multiplies the named link's bandwidth by factor in
+	// (0, 1], returning false when the world has no such link (scalar
+	// topology, or no link model at all).
+	DegradeLink(name string, factor float64) bool
+}
+
+// DegradeLinkOf downtrains a fabric link on w mid-run, reporting whether
+// the world could. Safe to call while the world is running.
+func DegradeLinkOf(w World, name string, factor float64) bool {
+	if d, ok := w.(LinkDegrader); ok {
+		return d.DegradeLink(name, factor)
+	}
+	return false
+}

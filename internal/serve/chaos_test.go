@@ -1,0 +1,319 @@
+package serve
+
+// Serving-loop chaos acceptance tests (PR 8): the seeded fault storm of
+// ISSUE.md — 1% transient get/accumulate failures plus one mid-run
+// degraded rail over 4 PEs, 64 clients, 4 tenants — must keep
+// availability at 99%+ with every completed result still correct; a
+// PE-crash rule must trip the tenant's breaker and drain cleanly with no
+// leaked pool slots; shedding and admission fast-fail cover the
+// degradation ladder. Run with -race: this is also the concurrency
+// contract of the chaos decorator under real serving load.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"slicing/internal/chaos"
+	"slicing/internal/distmat"
+	"slicing/internal/fabric"
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+	"slicing/internal/universal"
+)
+
+// chaosWorld wraps a fresh 4-PE shmem world in the fault injector. The
+// fabric only exists as the DegradeRail target (shmem moves bytes through
+// local memory), mirroring a serving deployment where the rail model is
+// priced elsewhere.
+func chaosWorld(plan *chaos.Plan) (rt.World, *chaos.World) {
+	w := chaos.WrapWorld(shmem.NewWorld(4), plan)
+	cw, _ := chaos.Of(w)
+	return w, cw
+}
+
+// TestServeChaosStormAvailability is the headline acceptance storm.
+func TestServeChaosStormAvailability(t *testing.T) {
+	f := fabric.SingleSwitch(4, 100e9, 1e12, 1e-6, "serve-chaos")
+	rail := f.LinkID("pe2.up")
+	healthyBW := f.LinkBandwidth(rail)
+	plan := &chaos.Plan{
+		Seed: 2024,
+		Rules: []chaos.Rule{
+			{Name: "get-storm", Ops: chaos.OpGet, Rate: 0.01},
+			{Name: "accum-storm", Ops: chaos.OpAccum, Rate: 0.01},
+			// One rail degrades mid-run: first get past the warm-up on any
+			// rank pulls the trigger, the once-latch keeps it single-shot.
+			{Name: "rail-down", Kind: chaos.DegradeRail, Ops: chaos.OpGet,
+				Rate: 1, After: 20, Link: "pe2.up", Factor: 0.5},
+		},
+		Fabric: f,
+	}
+	w, cw := chaosWorld(plan)
+	const tenants, perTenant = 4, 16
+	shapes := [][3]int{{24, 20, 16}, {17, 23, 19}, {32, 8, 24}, {11, 13, 29}}
+	var fixtures []*tenantFixture
+	for i := 0; i < tenants; i++ {
+		sh := shapes[i%len(shapes)]
+		fixtures = append(fixtures,
+			makeTenant(w, fmt.Sprintf("tenant-%d", i), sh[0], sh[1], sh[2], perTenant, int64(500*i+7)))
+	}
+	pool := gpusim.NewPool()
+	s := NewServer(w, Config{
+		Batch: 8, Queue: tenants * perTenant,
+		Exec: universal.Config{Pool: pool},
+	})
+
+	// 64 concurrent clients, one request each.
+	type outcome struct {
+		f   *tenantFixture
+		idx int
+		err error
+	}
+	outcomes := make([]outcome, 0, tenants*perTenant)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, fx := range fixtures {
+		for i, c := range fx.cs {
+			wg.Add(1)
+			go func(fx *tenantFixture, i int, c *distmat.Matrix) {
+				defer wg.Done()
+				_, err := s.Multiply(context.Background(), fx.name, c, fx.a, fx.b)
+				mu.Lock()
+				outcomes = append(outcomes, outcome{fx, i, err})
+				mu.Unlock()
+			}(fx, i, c)
+		}
+	}
+	wg.Wait()
+	st := s.Stats()
+	s.Close()
+
+	total, completed := len(outcomes), 0
+	for _, o := range outcomes {
+		if o.err == nil {
+			completed++
+		} else if !errors.Is(o.err, rt.ErrTransient) {
+			t.Errorf("tenant %s request %d failed non-transiently: %v", o.f.name, o.idx, o.err)
+		}
+	}
+	if avail := 100 * float64(completed) / float64(total); avail < 99 {
+		t.Fatalf("availability %.2f%% under the storm, want >= 99%%", avail)
+	}
+	// Every completed result must match the serial reference within 1e-4:
+	// retries are invisible to correctness.
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() != 0 {
+			return
+		}
+		for _, o := range outcomes {
+			if o.err != nil {
+				continue
+			}
+			if d := maxRelDiff(o.f.ref, o.f.cs[o.idx].Gather(pe, 0)); d > 1e-4 {
+				t.Errorf("tenant %s request %d: max rel diff %g under storm", o.f.name, o.idx, d)
+			}
+		}
+	})
+
+	inj := cw.Injected()
+	if inj.Transient == 0 || st.Retries == 0 {
+		t.Errorf("storm exercised nothing: injected %+v, retries %d", inj, st.Retries)
+	}
+	if inj.Degrades != 1 {
+		t.Errorf("rail degraded %d times, want exactly once", inj.Degrades)
+	}
+	if got, want := f.LinkBandwidth(rail), healthyBW*0.5; got != want {
+		t.Errorf("rail bandwidth %g after storm, want %g", got, want)
+	}
+	if live := pool.Stats().Live; live != 0 {
+		t.Errorf("%d pooled elements leaked across the storm", live)
+	}
+	// Same seed, same workload: the fault schedule is the set of fired
+	// (rule, rank, class, seq) tuples, which a second identical run of the
+	// decision function must reproduce exactly.
+	for _, fire := range cw.Fires() {
+		// Every logged fire must be re-derivable from the pure decision.
+		idx := -1
+		for i := range plan.Rules {
+			if plan.Rules[i].Name == fire.Rule {
+				idx = i
+			}
+		}
+		if idx < 0 || !plan.Decide(idx, fire.Rank, fire.Seq) {
+			t.Fatalf("logged fire %v is not reproducible from the plan", fire)
+		}
+	}
+}
+
+// TestServeBreakerTripsAndRecovers drives one tenant through fail → trip
+// → reject → half-open probe → close, sequentially so the fire budget is
+// consumed deterministically: a rate-1 transient rule with 6 fires per
+// rank exhausts the 3-attempt retry budget on exactly the first two
+// requests.
+func TestServeBreakerTripsAndRecovers(t *testing.T) {
+	plan := &chaos.Plan{Seed: 9, Rules: []chaos.Rule{
+		{Name: "burst", Rate: 1, MaxFires: 6},
+	}}
+	w, _ := chaosWorld(plan)
+	fx := makeTenant(w, "victim", 17, 23, 19, 6, 41)
+	pool := gpusim.NewPool()
+	s := NewServer(w, Config{
+		Batch: 1, Queue: 16,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 25 * time.Millisecond},
+		Exec:    universal.Config{Pool: pool},
+	})
+	req := func(i int) error {
+		_, err := s.Multiply(context.Background(), fx.name, fx.cs[i], fx.a, fx.b)
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := req(i); !errors.Is(err, rt.ErrTransient) {
+			t.Fatalf("request %d under the burst: %v (want exhausted transient budget)", i, err)
+		}
+	}
+	// Two consecutive fatal failures = Threshold: the breaker is open.
+	if err := req(2); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("request while tripped: %v, want ErrCircuitOpen", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Cooldown elapsed: this request is the half-open probe. The burst
+	// rule is out of fires, so it succeeds and closes the breaker.
+	if err := req(3); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if err := req(4); err != nil {
+		t.Fatalf("request after recovery: %v", err)
+	}
+	st := s.Stats()
+	s.Close()
+	ten := st.Tenants["victim"]
+	if ten.Failed != 2 || ten.Tripped != 1 || ten.Served != 2 || ten.Shed != 1 {
+		t.Fatalf("breaker accounting: %+v", ten)
+	}
+	if st.Failed != 2 || st.Tripped != 1 {
+		t.Fatalf("global accounting: failed %d tripped %d", st.Failed, st.Tripped)
+	}
+	// The two recovered requests must be correct.
+	w.Run(func(pe rt.PE) {
+		if pe.Rank() != 0 {
+			return
+		}
+		for _, i := range []int{3, 4} {
+			if d := maxRelDiff(fx.ref, fx.cs[i].Gather(pe, 0)); d > 1e-4 {
+				t.Errorf("post-recovery request %d: max rel diff %g", i, d)
+			}
+		}
+	})
+	if live := pool.Stats().Live; live != 0 {
+		t.Fatalf("%d pooled elements leaked across the trip", live)
+	}
+}
+
+// TestServePECrashTripsBreakerWithoutLeaks pins the acceptance criterion
+// verbatim: after a PE-crash rule fires, requests fail with ErrPEFailed,
+// the tenant's breaker trips, nothing deadlocks, and the pool balances.
+func TestServePECrashTripsBreakerWithoutLeaks(t *testing.T) {
+	plan := &chaos.Plan{Seed: 3, Rules: []chaos.Rule{
+		{Name: "die", Kind: chaos.Crash, Ranks: []int{1}, Rate: 1, After: 2},
+	}}
+	w, cw := chaosWorld(plan)
+	fx := makeTenant(w, "doomed", 24, 20, 16, 4, 77)
+	pool := gpusim.NewPool()
+	s := NewServer(w, Config{
+		Batch: 1, Queue: 16,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Minute},
+		Exec:    universal.Config{Pool: pool},
+	})
+	var sawCrash bool
+	for i := 0; i < 4; i++ {
+		_, err := s.Multiply(context.Background(), fx.name, fx.cs[i], fx.a, fx.b)
+		switch {
+		case errors.Is(err, rt.ErrPEFailed):
+			sawCrash = true
+		case errors.Is(err, ErrCircuitOpen):
+		case err == nil && !cw.Crashed(1):
+			// The first request may complete before the crash rule's After
+			// threshold is crossed; once the rank is crashed, success is a
+			// bug.
+		default:
+			t.Fatalf("request %d after PE crash: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	s.Close() // must return: no wedged batch loop behind the crash
+	if !sawCrash || !cw.Crashed(1) {
+		t.Fatal("crash rule never surfaced as ErrPEFailed")
+	}
+	if st.Tenants["doomed"].Tripped != 1 {
+		t.Fatalf("breaker accounting after crash: %+v", st.Tenants["doomed"])
+	}
+	if live := pool.Stats().Live; live != 0 {
+		t.Fatalf("%d pooled elements leaked across the crash", live)
+	}
+}
+
+// TestServeShedsDoomedDeadlines: with shedding on, a request whose
+// deadline is closer than one EWMA batch duration is rejected at
+// admission with ErrShed instead of burning a batch slot.
+func TestServeShedsDoomedDeadlines(t *testing.T) {
+	// A delay rule makes the measured batch duration large and reliable:
+	// the warm-up request's gets sleep 4ms each.
+	plan := &chaos.Plan{Seed: 6, Rules: []chaos.Rule{
+		{Name: "slow", Kind: chaos.Delay, Ops: chaos.OpGet, Rate: 1, Delay: 4 * time.Millisecond, MaxFires: 2},
+	}}
+	w, _ := chaosWorld(plan)
+	fx := makeTenant(w, "rush", 17, 23, 19, 3, 55)
+	pool := gpusim.NewPool()
+	s := NewServer(w, Config{
+		Batch: 1, Queue: 16, Shed: true,
+		Exec: universal.Config{Pool: pool},
+	})
+	// Warm-up: measures a batch EWMA of several milliseconds.
+	if _, err := s.Multiply(context.Background(), fx.name, fx.cs[0], fx.a, fx.b); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	// A 1ms deadline cannot survive a projected multi-ms wait: shed.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := s.Multiply(ctx, fx.name, fx.cs[1], fx.a, fx.b); !errors.Is(err, ErrShed) {
+		t.Fatalf("doomed-deadline request: %v, want ErrShed", err)
+	}
+	// No deadline, no shedding.
+	if _, err := s.Multiply(context.Background(), fx.name, fx.cs[2], fx.a, fx.b); err != nil {
+		t.Fatalf("deadline-free request after shed: %v", err)
+	}
+	st := s.Stats()
+	s.Close()
+	ten := st.Tenants["rush"]
+	if ten.Shed != 1 || ten.Served != 2 {
+		t.Fatalf("shed accounting: %+v", ten)
+	}
+}
+
+// TestServeExpiredAtAdmission: a request already past its deadline (or
+// cancelled) fast-fails inside Multiply without touching the queue, and
+// lands in Expired.
+func TestServeExpiredAtAdmission(t *testing.T) {
+	w := shmem.NewWorld(4)
+	fx := makeTenant(w, "late", 24, 20, 16, 2, 13)
+	s := NewServer(w, Config{Batch: 1, Queue: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Multiply(ctx, fx.name, fx.cs[0], fx.a, fx.b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled request: %v", err)
+	}
+	if _, err := s.Multiply(context.Background(), fx.name, fx.cs[1], fx.a, fx.b); err != nil {
+		t.Fatalf("healthy request: %v", err)
+	}
+	st := s.Stats()
+	s.Close()
+	ten := st.Tenants["late"]
+	if ten.Expired != 1 || ten.Served != 1 || st.Expired != 1 {
+		t.Fatalf("admission fast-fail accounting: tenant %+v global expired %d", ten, st.Expired)
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// Degradation errors returned by Multiply at admission.
+var (
+	// ErrCircuitOpen reports that the tenant's circuit breaker is open:
+	// its recent requests failed consecutively (fatal execution faults or
+	// missed deadlines) and the server is refusing new work for the
+	// tenant until a half-open probe succeeds. Callers should back off
+	// for at least the breaker cooldown.
+	ErrCircuitOpen = errors.New("serve: tenant circuit breaker open")
+	// ErrShed reports deadline-aware load shedding: the request carries a
+	// deadline the server projects it cannot meet from the back of the
+	// current queue, so it is rejected immediately instead of burning a
+	// batch slot on a result nobody can use.
+	ErrShed = errors.New("serve: request shed, projected completion past deadline")
+)
+
+// BreakerConfig tunes the per-tenant circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures (fatal execution
+	// errors or deadline expiries during execution) that trips a tenant's
+	// breaker open. 0 selects the default of 5; negative disables the
+	// breakers entirely.
+	Threshold int
+	// Cooldown is how long a tripped breaker rejects admissions before
+	// letting one half-open probe request through. 0 selects the default
+	// of 250ms.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	return c
+}
+
+// breaker state constants: the classic three-state machine.
+type breakerState uint8
+
+const (
+	brkClosed breakerState = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// breaker is one tenant's circuit breaker. All fields are guarded by the
+// server mutex — transitions only happen at admission and at batch
+// completion, both already under it.
+type breaker struct {
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	// probing is true while the half-open probe request is in flight;
+	// other admissions keep rejecting until it resolves.
+	probing bool
+}
+
+// admit decides whether the breaker lets a request through at admission
+// time; probe reports that the request is the half-open probe (the caller
+// must mark the request so cancellation can release the slot).
+func (b *breaker) admit(cfg BreakerConfig, now time.Time) (ok, probe bool) {
+	switch b.state {
+	case brkOpen:
+		if now.Sub(b.openedAt) < cfg.Cooldown {
+			return false, false
+		}
+		b.state = brkHalfOpen
+		b.probing = true
+		return true, true
+	case brkHalfOpen:
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// success records a completed request that met its deadline: failure
+// streaks reset and a half-open breaker closes.
+func (b *breaker) success() {
+	b.consecFails = 0
+	if b.state != brkClosed {
+		b.state = brkClosed
+		b.probing = false
+	}
+}
+
+// failure records a fatal or deadline failure, reporting whether this
+// transition tripped the breaker open (from closed via the threshold, or
+// a failed half-open probe re-opening).
+func (b *breaker) failure(cfg BreakerConfig, now time.Time) (tripped bool) {
+	switch b.state {
+	case brkHalfOpen:
+		b.state = brkOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	case brkClosed:
+		b.consecFails++
+		if b.consecFails >= cfg.Threshold {
+			b.state = brkOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// releaseProbe undoes a probe admission that never executed (cancelled or
+// drained while queued), so the next admission can probe instead.
+func (b *breaker) releaseProbe() { b.probing = false }
+
+// ewmaAlpha weights the batch-duration moving average used for load
+// shedding: high enough to track a degrading world within a few batches,
+// low enough that one slow batch doesn't shed the next wave.
+const ewmaAlpha = 0.25
+
+// projectedWait estimates how long a request admitted now will wait until
+// its batch completes: the queue ahead of it, in units of batches, each
+// costing the observed average batch duration. Zero until the first batch
+// has been measured.
+func projectedWait(batchEWMA float64, queued, batchSize int) time.Duration {
+	if batchEWMA <= 0 {
+		return 0
+	}
+	batches := 1 + queued/batchSize
+	return time.Duration(float64(batches) * batchEWMA * float64(time.Second))
+}

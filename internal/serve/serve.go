@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slicing/internal/distmat"
@@ -80,6 +81,17 @@ type Config struct {
 	// rebuild its plans per rank — the naive pre-serving behaviour, kept
 	// as the benchmark baseline.
 	NoCache bool
+	// Breaker tunes the per-tenant circuit breakers (docs/RESILIENCE.md):
+	// a tenant whose requests keep failing fatally or missing their
+	// deadlines is fenced off with ErrCircuitOpen until a half-open probe
+	// succeeds, so a poisoned workload cannot keep burning batch slots.
+	// Threshold < 0 disables them.
+	Breaker BreakerConfig
+	// Shed enables deadline-aware load shedding: a request whose context
+	// deadline is closer than the projected queue wait (queue depth in
+	// batches × the EWMA batch duration) is rejected at admission with
+	// ErrShed instead of executing past its deadline.
+	Shed bool
 }
 
 func (cfg Config) withDefaults(w rt.World) Config {
@@ -88,6 +100,12 @@ func (cfg Config) withDefaults(w rt.World) Config {
 	}
 	if cfg.Batch <= 0 {
 		cfg.Batch = 8
+	}
+	cfg.Breaker = cfg.Breaker.withDefaults()
+	if cfg.Exec.Retry.Retries == nil {
+		// The server owns a retry counter so Stats can report the world's
+		// transparently-recovered faults (every Config copy shares it).
+		cfg.Exec.Retry.Retries = new(atomic.Int64)
 	}
 	if cfg.NoCache {
 		cfg.Exec.Plans = nil
@@ -116,14 +134,18 @@ type request struct {
 	// inQueue is true while the request sits in its tenant's queue and can
 	// still be cancelled; guarded by the server mutex.
 	inQueue bool
+	// probe marks the tenant breaker's half-open probe request; guarded by
+	// the server mutex.
+	probe bool
 }
 
 // tenant is one traffic source: a bounded FIFO of pending requests plus
-// accounting.
+// accounting and its circuit breaker.
 type tenant struct {
 	name  string
 	queue []*request
 	stats TenantStats
+	brk   breaker
 }
 
 // TenantStats is one tenant's accounting snapshot.
@@ -131,9 +153,17 @@ type TenantStats struct {
 	// Served counts requests executed to completion (including ones whose
 	// deadline expired mid-execution; those also count in Expired).
 	// Rejected counts ErrQueueFull admissions, Cancelled requests removed
-	// from the queue before execution, Expired requests that completed
-	// after their context was done.
+	// from the queue before execution, Expired requests whose deadline
+	// passed before admission or that completed after their context was
+	// done.
 	Served, Rejected, Cancelled, Expired int64
+	// Failed counts requests whose fused batch hit a fatal one-sided
+	// fault (every request of the batch fails — there is no telling which
+	// results the fault poisoned). Shed counts admissions rejected by
+	// deadline-aware load shedding or an open circuit breaker. Tripped
+	// counts this tenant's breaker trips (including failed half-open
+	// probes re-opening it).
+	Failed, Shed, Tripped int64
 	// Traffic aggregates the runtime.Stats deltas attributed to this
 	// tenant's executed requests.
 	Traffic rt.Stats
@@ -145,6 +175,11 @@ type TenantStats struct {
 // Stats is a server-wide accounting snapshot.
 type Stats struct {
 	Served, Rejected, Cancelled, Expired int64
+	// Failed, Shed, Tripped aggregate the per-tenant fault accounting
+	// (see TenantStats); Retries counts one-sided op retries the executor
+	// performed transparently on the server's behalf — recovered faults
+	// that never surfaced to any caller.
+	Failed, Shed, Tripped, Retries int64
 	// Batches counts collective activations; BatchedRequests their total
 	// request count (BatchedRequests/Batches is the realized batch size).
 	Batches, BatchedRequests int64
@@ -168,7 +203,11 @@ type Server struct {
 	closed  bool
 
 	served, rejected, cancelled, expired int64
+	failed, shed, tripped                int64
 	batches, batchedRequests             int64
+	// batchEWMA is the exponentially-weighted average batch duration in
+	// seconds, the load-shedding wait model; guarded by mu.
+	batchEWMA float64
 
 	wake chan struct{}
 	quit chan struct{}
@@ -238,16 +277,21 @@ func (s *Server) validate(c, a, b *distmat.Matrix) error {
 // Multiply submits C = A·B on behalf of tenantName and blocks until the
 // result has been computed, the context is done, or the server closes.
 // Safe for any number of concurrent callers. The three matrices must live
-// in the server's world; C is written in place. When the context expires
-// while the request is still queued, the request is cancelled without
+// in the server's world; C is written in place. When the context is
+// already done at admission the request fast-fails with ctx.Err() (and
+// counts in the tenant's Expired) without ever occupying a queue slot;
+// when it expires while queued, the request is cancelled without
 // executing; when it expires after execution has started, the computation
 // completes (C is written) but ctx.Err() is returned to signal the missed
-// deadline.
+// deadline. Under degradation, admission can also fail with ErrShed
+// (projected wait past the deadline) or ErrCircuitOpen (the tenant's
+// recent requests kept failing).
 func (s *Server) Multiply(ctx context.Context, tenantName string, c, a, b *distmat.Matrix) (universal.Stationary, error) {
 	if err := s.validate(c, a, b); err != nil {
 		return 0, err
 	}
 	if err := ctx.Err(); err != nil {
+		s.countExpired(tenantName)
 		return 0, err
 	}
 	r := &request{
@@ -284,13 +328,9 @@ func (s *Server) Multiply(ctx context.Context, tenantName string, c, a, b *distm
 	}
 }
 
-// enqueue admits r into tenantName's bounded queue.
-func (s *Server) enqueue(tenantName string, r *request) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
+// tenantLocked returns tenantName's record, creating it on first contact.
+// Callers hold s.mu.
+func (s *Server) tenantLocked(tenantName string) *tenant {
 	t, ok := s.tenants[tenantName]
 	if !ok {
 		t = &tenant{name: tenantName}
@@ -298,10 +338,61 @@ func (s *Server) enqueue(tenantName string, r *request) error {
 		s.names = append(s.names, tenantName)
 		sort.Strings(s.names)
 	}
+	return t
+}
+
+// countExpired attributes a request that was already past its deadline at
+// admission: it never occupies a queue slot, but the miss still shows in
+// the tenant's accounting.
+func (s *Server) countExpired(tenantName string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	t := s.tenantLocked(tenantName)
+	t.stats.Expired++
+	s.expired++
+}
+
+// enqueue admits r into tenantName's bounded queue, applying the
+// admission-control ladder: deadline-aware shedding first (don't queue
+// work that cannot finish in time), then the queue bound, then the
+// tenant's circuit breaker (last, so rejections on the earlier rungs
+// never consume the half-open probe slot).
+func (s *Server) enqueue(tenantName string, r *request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t := s.tenantLocked(tenantName)
+	if s.cfg.Shed {
+		if deadline, ok := r.ctx.Deadline(); ok {
+			queued := 0
+			for _, qt := range s.tenants {
+				queued += len(qt.queue)
+			}
+			if wait := projectedWait(s.batchEWMA, queued, s.cfg.Batch); wait > time.Until(deadline) {
+				t.stats.Shed++
+				s.shed++
+				return ErrShed
+			}
+		}
+	}
 	if len(t.queue) >= s.cfg.Queue {
 		t.stats.Rejected++
 		s.rejected++
 		return ErrQueueFull
+	}
+	if s.cfg.Breaker.Threshold > 0 {
+		ok, probe := t.brk.admit(s.cfg.Breaker, time.Now())
+		if !ok {
+			t.stats.Shed++
+			s.shed++
+			return ErrCircuitOpen
+		}
+		r.probe = probe
 	}
 	r.tenant = t
 	r.inQueue = true
@@ -324,6 +415,9 @@ func (s *Server) tryCancel(r *request) bool {
 			r.inQueue = false
 			r.tenant.stats.Cancelled++
 			s.cancelled++
+			if r.probe {
+				r.tenant.brk.releaseProbe()
+			}
 			return true
 		}
 	}
@@ -377,6 +471,9 @@ func (s *Server) nextBatch() []*request {
 					r.err = r.ctx.Err()
 					t.stats.Cancelled++
 					s.cancelled++
+					if r.probe {
+						t.brk.releaseProbe()
+					}
 					cancelled = append(cancelled, r)
 				} else {
 					batch = append(batch, r)
@@ -428,6 +525,9 @@ func (s *Server) drainClosed() {
 	for _, t := range s.tenants {
 		for _, r := range t.queue {
 			r.inQueue = false
+			if r.probe {
+				t.brk.releaseProbe()
+			}
 			pending = append(pending, r)
 		}
 		t.queue = nil
@@ -446,6 +546,7 @@ func (s *Server) drainClosed() {
 // unsynchronized interleaving safe: all intervening one-sided updates
 // target disjoint matrices and commute.
 func (s *Server) runBatch(batch []*request) {
+	start := time.Now()
 	cfg := s.cfg.Exec
 	// Plan lookup happens once per batch on the dispatcher thread, not P
 	// times inside the collective: on a hit the PEs receive ready-to-run
@@ -461,6 +562,21 @@ func (s *Server) runBatch(batch []*request) {
 			r.stat = cps[i].Stationary()
 		}
 	}
+	// Any rank's fatal fault fails the whole fused batch: the requests'
+	// accumulates interleave without synchronization, so there is no
+	// telling which results the aborted rank had already contributed to.
+	var execMu sync.Mutex
+	var execErr error
+	setErr := func(err error) {
+		if err == nil {
+			return
+		}
+		execMu.Lock()
+		if execErr == nil {
+			execErr = err
+		}
+		execMu.Unlock()
+	}
 	s.world.Run(func(pe rt.PE) {
 		rank0 := pe.Rank() == 0
 		var snap rt.Stats
@@ -474,14 +590,14 @@ func (s *Server) runBatch(batch []*request) {
 		}
 		pe.Barrier() // all results zeroed before any accumulate can land
 		if cps != nil {
-			universal.ExecuteCompiledBatch(pe, probs, cps, cfg)
+			setErr(universal.ExecuteCompiledBatch(pe, probs, cps, cfg))
 		} else {
 			// The naive per-request path: rebuild the rank's plan, replay
 			// its fetch schedule from scratch, and pay a full executor
 			// setup per request — serving's pre-cache baseline.
 			for _, r := range batch {
 				plan := universal.BuildPlanMode(pe.Rank(), r.prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
-				universal.ExecutePlan(pe, r.prob, plan, cfg)
+				setErr(universal.ExecutePlan(pe, r.prob, plan, cfg))
 				if rank0 {
 					r.stat = plan.Stationary
 				}
@@ -505,12 +621,41 @@ func (s *Server) runBatch(batch []*request) {
 	})
 	now := time.Now()
 	s.mu.Lock()
+	if s.batchEWMA == 0 {
+		s.batchEWMA = now.Sub(start).Seconds()
+	} else {
+		s.batchEWMA += ewmaAlpha * (now.Sub(start).Seconds() - s.batchEWMA)
+	}
+	breakerOn := s.cfg.Breaker.Threshold > 0
 	for _, r := range batch {
 		t := r.tenant
+		if execErr != nil {
+			r.err = execErr
+			t.stats.Failed++
+			s.failed++
+			if breakerOn && t.brk.failure(s.cfg.Breaker, now) {
+				t.stats.Tripped++
+				s.tripped++
+			}
+			continue
+		}
 		t.stats.Served++
 		addStats(&t.stats.Traffic, r.traffic)
 		t.stats.QueueSeconds += now.Sub(r.queued).Seconds()
 		s.served++
+		if breakerOn {
+			// A missed deadline counts against the breaker like a fatal
+			// fault: the tenant keeps submitting work the server cannot
+			// land in time.
+			if r.ctx.Err() != nil {
+				if t.brk.failure(s.cfg.Breaker, now) {
+					t.stats.Tripped++
+					s.tripped++
+				}
+			} else {
+				t.brk.success()
+			}
+		}
 	}
 	s.batches++
 	s.batchedRequests += int64(len(batch))
@@ -572,6 +717,10 @@ func (s *Server) Stats() Stats {
 		Rejected:        s.rejected,
 		Cancelled:       s.cancelled,
 		Expired:         s.expired,
+		Failed:          s.failed,
+		Shed:            s.shed,
+		Tripped:         s.tripped,
+		Retries:         s.cfg.Exec.Retry.Retries.Load(),
 		Batches:         s.batches,
 		BatchedRequests: s.batchedRequests,
 		Tenants:         make(map[string]TenantStats, len(s.tenants)),

@@ -70,7 +70,7 @@ func runScenario(w rt.World, sc scenario, cfg universal.Config) (*tile.Matrix, u
 	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 11)
 		bm.FillRandom(pe, 22)
-		s := universal.Multiply(pe, c, a, bm, cfg)
+		s, _ := universal.Multiply(pe, c, a, bm, cfg)
 		pe.Barrier()
 		if pe.Rank() == 0 {
 			stat = s
@@ -239,7 +239,7 @@ func TestSimnetBackendPredictsRuntimeComparableToCostModel(t *testing.T) {
 	w.Run(func(pe rt.PE) {
 		a.FillRandom(pe, 1)
 		b.FillRandom(pe, 2)
-		s := universal.Multiply(pe, c, a, b, cfg)
+		s, _ := universal.Multiply(pe, c, a, b, cfg)
 		if pe.Rank() == 0 {
 			stat = s
 		}

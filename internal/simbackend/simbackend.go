@@ -123,13 +123,14 @@ type World struct {
 // depth or accumulate/GEMM interference; internal/gpubackend exists for
 // that.
 var (
-	_ rt.Backend     = Backend{}
-	_ rt.World       = (*World)(nil)
-	_ rt.TimedWorld  = (*World)(nil)
-	_ rt.FabricTimer = (*World)(nil)
-	_ rt.PE          = (*pe)(nil)
-	_ rt.Clock       = (*pe)(nil)
-	_ rt.GemmTimer   = (*pe)(nil)
+	_ rt.Backend      = Backend{}
+	_ rt.World        = (*World)(nil)
+	_ rt.TimedWorld   = (*World)(nil)
+	_ rt.FabricTimer  = (*World)(nil)
+	_ rt.LinkDegrader = (*World)(nil)
+	_ rt.PE           = (*pe)(nil)
+	_ rt.Clock        = (*pe)(nil)
+	_ rt.GemmTimer    = (*pe)(nil)
 )
 
 // World returns the world itself, satisfying runtime.Allocator.
@@ -219,6 +220,27 @@ func (w *World) FabricLinkStats() []rt.LinkStats {
 		}
 	}
 	return out
+}
+
+// DegradeLink downtrains the named fabric link mid-run
+// (runtime.LinkDegrader): on a link-routed topology it multiplies the
+// link's effective bandwidth by factor through the race-safe
+// fabric.DegradeAt path, so transfers priced after the call see the
+// degraded rail while in-flight reservations keep their old durations.
+// Returns false on scalar topologies or unknown link names.
+func (w *World) DegradeLink(name string, factor float64) bool {
+	ft, ok := w.topo.(interface{ Fabric() *fabric.Fabric })
+	if !ok {
+		return false
+	}
+	f := ft.Fabric()
+	for li := 0; li < f.NumLinks(); li++ {
+		if f.LinkAt(li).Name == name {
+			f.DegradeAt(li, factor)
+			return true
+		}
+	}
+	return false
 }
 
 // crossNode reports whether two PEs live on different machines of a

@@ -278,10 +278,12 @@ func (cp *CompiledPlan) Matches(prob Problem, cfg Config) bool {
 // re-runs zero slicing work. The problem must match the plan's key (checked
 // in MultiplyAccumulate's cache path by construction; direct callers can
 // assert with Matches). It performs no collective synchronization; callers
-// barrier afterwards, exactly like ExecutePlan.
-func ExecuteCompiled(pe rt.PE, prob Problem, cp *CompiledPlan, cfg Config) {
+// barrier afterwards, exactly like ExecutePlan — and shares ExecutePlan's
+// error contract: the returned error is the rank's first fatal one-sided
+// fault after retries, with pooled buffers balanced either way.
+func ExecuteCompiled(pe rt.PE, prob Problem, cp *CompiledPlan, cfg Config) error {
 	rank := pe.Rank()
-	executePlanSched(pe, prob, cp.Plans[rank], &cp.scheds[rank], cfg.withDefaults())
+	return executePlanSched(pe, prob, cp.Plans[rank], &cp.scheds[rank], cfg.withDefaults())
 }
 
 // ExecuteCompiledBatch executes several compiled plans as one fused group:
@@ -292,20 +294,31 @@ func ExecuteCompiled(pe rt.PE, prob Problem, cp *CompiledPlan, cfg Config) {
 // must be pairwise distinct from each other and from every operand (their
 // interleaved one-sided accumulates are unsynchronized and must commute).
 // Performs no collective synchronization; callers barrier afterwards.
-func ExecuteCompiledBatch(pe rt.PE, probs []Problem, cps []*CompiledPlan, cfg Config) {
+//
+// Fault semantics: the fused plans share one crew and one abort flag, so
+// this rank's first fatal fault stops dispatch across the WHOLE batch and
+// is returned once — the serving layer fails every fused request on it,
+// since there is no telling which plans' accumulates had already landed.
+func ExecuteCompiledBatch(pe rt.PE, probs []Problem, cps []*CompiledPlan, cfg Config) error {
 	if len(probs) != len(cps) {
 		panic("universal: ExecuteCompiledBatch problem/plan count mismatch")
 	}
 	cfg = cfg.withDefaults()
 	rank := pe.Rank()
-	tasks, wg := startChainCrew(pe, cfg)
+	rt.PushFaultScope(pe)
+	defer rt.PopFaultScope(pe)
+	rt.SetOpDeadline(pe, cfg.Retry.OpTimeout)
+	defer rt.SetOpDeadline(pe, 0)
+	var box errBox
+	tasks, wg := startChainCrew(pe, cfg, &box)
 	finishers := make([]func(), len(cps))
 	for i, cp := range cps {
-		finishers[i] = feedPlanSched(pe, probs[i], cp.Plans[rank], &cp.scheds[rank], cfg, tasks)
+		finishers[i] = feedPlanSched(pe, probs[i], cp.Plans[rank], &cp.scheds[rank], cfg, tasks, &box)
 	}
 	close(tasks)
 	wg.Wait()
 	for _, finish := range finishers {
 		finish()
 	}
+	return box.err()
 }

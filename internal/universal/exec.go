@@ -57,6 +57,10 @@ type Config struct {
 	// final result. The paper's algorithm only reduces; enabling this adds
 	// a broadcast_replica for API convenience.
 	SyncReplicas bool
+	// Retry budgets recovery from one-sided op faults on fault-capable
+	// backends: per-op attempts, backoff, and the per-op deadline
+	// (docs/RESILIENCE.md). The zero value selects the defaults.
+	Retry RetryConfig
 }
 
 // DefaultConfig mirrors the paper's direct-execution settings: prefetch
@@ -86,13 +90,19 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Pool == nil {
 		cfg.Pool = gpusim.NewPool()
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	return cfg
 }
 
 // Multiply computes C = A·B with the universal one-sided algorithm,
 // zeroing C first. Collective: every PE of the world must call it with the
-// same arguments. It returns the resolved stationary strategy.
-func Multiply(pe rt.PE, c, a, b *distmat.Matrix, cfg Config) Stationary {
+// same arguments. It returns the resolved stationary strategy and the
+// first fatal one-sided fault of this rank's slice of the work, nil on
+// fault-free backends. An erroring rank still participates in every
+// collective (the crew drains, the barrier and replica reduction run), so
+// a fault never wedges the world — but its C contribution is incomplete,
+// so the result is only meaningful when every rank returns nil.
+func Multiply(pe rt.PE, c, a, b *distmat.Matrix, cfg Config) (Stationary, error) {
 	prob := NewProblem(c, a, b)
 	c.Zero(pe) // includes a barrier
 	return MultiplyAccumulate(pe, prob, cfg)
@@ -102,29 +112,34 @@ func Multiply(pe rt.PE, c, a, b *distmat.Matrix, cfg Config) Stationary {
 // to accumulate onto (zeroed for a plain product). Collective. With
 // cfg.Plans set, the plan comes from the compiled-plan cache (built once
 // per world on a miss, re-executed with zero slicing work on a hit);
-// otherwise each rank rebuilds its plan per call as before.
-func MultiplyAccumulate(pe rt.PE, prob Problem, cfg Config) Stationary {
+// otherwise each rank rebuilds its plan per call as before. Error
+// semantics are Multiply's.
+func MultiplyAccumulate(pe rt.PE, prob Problem, cfg Config) (Stationary, error) {
 	cfg = cfg.withDefaults()
 	var stat Stationary
+	var err error
 	if cfg.Plans != nil {
 		cp := cfg.Plans.GetOrCompile(prob, cfg)
 		rank := pe.Rank()
-		executePlanSched(pe, prob, cp.Plans[rank], &cp.scheds[rank], cfg)
+		err = executePlanSched(pe, prob, cp.Plans[rank], &cp.scheds[rank], cfg)
 		stat = cp.Key.Stationary
 	} else {
 		plan := BuildPlanMode(pe.Rank(), prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
 		sched := planFetchSchedule(plan, cfg.CacheTiles)
-		executePlanSched(pe, prob, plan, &sched, cfg)
+		err = executePlanSched(pe, prob, plan, &sched, cfg)
 		stat = plan.Stationary
 	}
 	pe.Barrier() // all one-sided updates must land before replica reduction
 	if prob.C.Replication() > 1 {
+		// The collectives run outside the executor's fault scope, so they
+		// proceed (and stay barrier-matched across ranks) even after an
+		// error; the reduced values are only meaningful if no rank failed.
 		prob.C.ReduceReplicas(pe, cfg.ReduceOrigin)
 		if cfg.SyncReplicas {
 			prob.C.BroadcastReplica(pe, cfg.ReduceOrigin)
 		}
 	}
-	return stat
+	return stat, err
 }
 
 // tileSlot is one fetched tile buffer with its in-flight future and a
@@ -169,11 +184,13 @@ type stepOperands struct {
 // refcounted slots whose eviction mirrors the plan-time tile LRU
 // (planFetchSchedule), operand views live in per-plan arrays, and GEMM
 // partials come from the same pool. It performs no collective
-// synchronization; callers barrier afterwards.
-func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
+// synchronization; callers barrier afterwards. The returned error is the
+// rank's first fatal one-sided fault (after per-op retries), with every
+// pooled buffer back in the pool either way.
+func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) error {
 	cfg = cfg.withDefaults()
 	sched := planFetchSchedule(plan, cfg.CacheTiles)
-	executePlanSched(pe, prob, plan, &sched, cfg)
+	return executePlanSched(pe, prob, plan, &sched, cfg)
 }
 
 // startChainCrew spawns the bounded GEMM→accumulate worker crew (§4.2's
@@ -183,15 +200,25 @@ func ExecutePlan(pe rt.PE, prob Problem, plan Plan, cfg Config) {
 // which is the same admission control as a counting semaphore. The crew is
 // problem-agnostic (each task carries its own Problem), so one crew can
 // drain the chains of many fused multiplies.
-func startChainCrew(pe rt.PE, cfg Config) (chan<- chainTask, *sync.WaitGroup) {
+//
+// box is the crew's abort flag: a worker whose accumulate fails fatally
+// (after its retry budget) publishes the error, and every worker keeps
+// draining tasks — releasing their slots so pooled buffers balance — but
+// skips their compute. The feeder polls the same box and stops
+// dispatching, so a failed step ends the run cleanly instead of
+// deadlocking the channel.
+func startChainCrew(pe rt.PE, cfg Config, box *errBox) (chan<- chainTask, *sync.WaitGroup) {
 	tasks := make(chan chainTask)
 	wg := new(sync.WaitGroup)
 	for w := 0; w < cfg.MaxInflight; w++ {
 		wg.Add(1)
-		go func() {
+		go func(seed uint64) {
 			defer wg.Done()
+			ret := newRetrier(cfg.Retry, seed)
 			for t := range tasks {
-				gemmAccumulateWorkers(pe, t.prob, t.op, &t.ops.a, &t.ops.b, cfg.Pool, cfg.KernelWorkers)
+				if box.err() == nil {
+					box.set(gemmAccumulateChain(pe, t.prob, t.op, &t.ops.a, &t.ops.b, cfg.Pool, cfg.KernelWorkers, &ret))
+				}
 				if t.aSlot != nil {
 					t.aSlot.release()
 				}
@@ -199,7 +226,7 @@ func startChainCrew(pe rt.PE, cfg Config) (chan<- chainTask, *sync.WaitGroup) {
 					t.bSlot.release()
 				}
 			}
-		}()
+		}(uint64(pe.Rank())<<16 | uint64(w+1))
 	}
 	return tasks, wg
 }
@@ -210,12 +237,24 @@ func startChainCrew(pe rt.PE, cfg Config) (chan<- chainTask, *sync.WaitGroup) {
 // compile time, so a plan-cache hit re-runs zero slicing work). cfg must
 // already have defaults applied. sched is read-only: concurrent executions
 // of one CompiledPlan share it.
-func executePlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config) {
-	tasks, wg := startChainCrew(pe, cfg)
-	finish := feedPlanSched(pe, prob, plan, sched, cfg, tasks)
+//
+// It brackets the run in a fault scope with the configured per-op
+// deadline: on fault-capable backends this is the recoverable region
+// (injected faults fire only here, retried per Config.Retry), and the
+// collectives around it stay fault-free so ranks never diverge on
+// barrier counts.
+func executePlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config) error {
+	rt.PushFaultScope(pe)
+	defer rt.PopFaultScope(pe)
+	rt.SetOpDeadline(pe, cfg.Retry.OpTimeout)
+	defer rt.SetOpDeadline(pe, 0)
+	var box errBox
+	tasks, wg := startChainCrew(pe, cfg, &box)
+	finish := feedPlanSched(pe, prob, plan, sched, cfg, tasks, &box)
 	close(tasks)
 	wg.Wait()
 	finish()
+	return box.err()
 }
 
 // feedPlanSched walks one per-rank plan, issuing prefetches and handing each
@@ -226,8 +265,20 @@ func executePlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, c
 // drops the residual plan-time LRU residencies; callers run it after the
 // crew drains so the final pool returns happen deterministically on the
 // feeder, not racing worker releases mid-execution.
-func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config, tasks chan<- chainTask) (finish func()) {
+//
+// Fault handling: fetch issues and synchronous fallback gets run under the
+// retry budget; a fatal failure (or one published by a worker, or by a
+// fused sibling plan sharing the crew) stops dispatch at that step.
+// Already-issued fetches are safe to abandon — every backend completes
+// the data movement of an async get at issue time — so finish can return
+// their buffers to the pool unconditionally.
+func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config, tasks chan<- chainTask, box *errBox) (finish func()) {
+	if box.err() != nil {
+		// A fused sibling plan already failed; skip this one entirely.
+		return func() {}
+	}
 	pool := cfg.Pool
+	ret := newRetrier(cfg.Retry, uint64(pe.Rank())<<16|0xfeed)
 	nsteps := len(plan.Steps)
 	aSlots := make([]tileSlot, nsteps)
 	bSlots := make([]tileSlot, nsteps)
@@ -240,48 +291,57 @@ func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg 
 	}
 
 	// issueTileFetch starts the async whole-tile copy for step i's operand
-	// into a recycled pooled buffer.
-	issueTileFetch := func(s *tileSlot, m *distmat.Matrix, idx index.TileIdx) {
+	// into a recycled pooled buffer, retrying transient issue failures.
+	issueTileFetch := func(s *tileSlot, m *distmat.Matrix, idx index.TileIdx) error {
 		b := m.TileBounds(idx)
 		rows, cols := b.Shape()
 		s.pool = pool
 		s.buf = pool.GetUninit(rows * cols)
 		s.mat = tile.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: s.buf}
 		s.refs.Store(1) // the cache's residency reference
-		m.GetTileIntoAsync(pe, &s.fut, &s.mat, idx, distmat.LocalReplica)
+		return ret.do(func() { m.GetTileIntoAsync(pe, &s.fut, &s.mat, idx, distmat.LocalReplica) })
 	}
 	// issueSubFetch starts the async exact-slice copy for a sub-tile step.
 	// Sub-tile fetches are single-use, so their residency reference is
 	// dropped as soon as the step's chain holds its own.
-	issueSubFetch := func(s *tileSlot, m *distmat.Matrix, idx index.TileIdx, sub index.Rect) {
+	issueSubFetch := func(s *tileSlot, m *distmat.Matrix, idx index.TileIdx, sub index.Rect) error {
 		rows, cols := sub.Shape()
 		s.pool = pool
 		s.buf = pool.GetUninit(rows * cols)
 		s.mat = tile.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: s.buf}
 		s.refs.Store(1)
-		m.GetSubTileIntoAsync(pe, &s.fut, &s.mat, idx, distmat.LocalReplica, sub)
+		return ret.do(func() { m.GetSubTileIntoAsync(pe, &s.fut, &s.mat, idx, distmat.LocalReplica, sub) })
 	}
 
 	// issueFetches starts the async copies needed by steps [from, to).
-	issueFetches := func(from, to int) {
+	issueFetches := func(from, to int) error {
 		for i := from; i < to && i < nsteps; i++ {
 			s := plan.Steps[i]
 			if s.SubTile {
 				if s.FetchA {
-					issueSubFetch(&aSlots[i], prob.A, s.Op.AIdx, index.Rect{Rows: s.Op.M, Cols: s.Op.K})
+					if err := issueSubFetch(&aSlots[i], prob.A, s.Op.AIdx, index.Rect{Rows: s.Op.M, Cols: s.Op.K}); err != nil {
+						return err
+					}
 				}
 				if s.FetchB {
-					issueSubFetch(&bSlots[i], prob.B, s.Op.BIdx, index.Rect{Rows: s.Op.K, Cols: s.Op.N})
+					if err := issueSubFetch(&bSlots[i], prob.B, s.Op.BIdx, index.Rect{Rows: s.Op.K, Cols: s.Op.N}); err != nil {
+						return err
+					}
 				}
 				continue
 			}
 			if s.FetchA {
-				issueTileFetch(&aSlots[i], prob.A, s.Op.AIdx)
+				if err := issueTileFetch(&aSlots[i], prob.A, s.Op.AIdx); err != nil {
+					return err
+				}
 			}
 			if s.FetchB {
-				issueTileFetch(&bSlots[i], prob.B, s.Op.BIdx)
+				if err := issueTileFetch(&bSlots[i], prob.B, s.Op.BIdx); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
 
 	// acquireTile resolves a full-tile operand: a zero-copy local view, the
@@ -292,37 +352,70 @@ func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg 
 	// across steps, so slicing allocates nothing) so a step with two local
 	// tiles never aliases them.
 	var aLocalView, bLocalView tile.Matrix
-	acquireTile := func(m *distmat.Matrix, local bool, src int, idx index.TileIdx, slots []tileSlot, localView *tile.Matrix) (*tile.Matrix, *tileSlot) {
+	acquireTile := func(m *distmat.Matrix, local bool, src int, idx index.TileIdx, slots []tileSlot, localView *tile.Matrix) (*tile.Matrix, *tileSlot, error) {
 		if local {
 			m.TileInto(pe, localView, idx, distmat.LocalReplica)
-			return localView, nil
+			return localView, nil, nil
 		}
 		if src >= 0 {
 			slot := &slots[src]
-			return slot.acquire(), slot
+			return slot.acquire(), slot, nil
 		}
-		return m.GetTile(pe, idx, distmat.LocalReplica), nil
+		var t *tile.Matrix
+		err := ret.do(func() { t = m.GetTile(pe, idx, distmat.LocalReplica) })
+		return t, nil, err
 	}
 
 	evictCursor := 0
-	issueFetches(0, 1+cfg.PrefetchDepth)
+	abortAt := -1 // first step never dispatched; -1 = ran to completion
+	if err := issueFetches(0, 1+cfg.PrefetchDepth); err != nil {
+		box.set(err)
+	}
 	for i, s := range plan.Steps {
-		issueFetches(i+1+cfg.PrefetchDepth, i+2+cfg.PrefetchDepth)
+		if box.err() != nil {
+			abortAt = i
+			break
+		}
+		if err := issueFetches(i+1+cfg.PrefetchDepth, i+2+cfg.PrefetchDepth); err != nil {
+			box.set(err)
+			abortAt = i
+			break
+		}
 
 		ops := &operands[i]
 		var aSlot, bSlot *tileSlot
+		var err error
 		if s.SubTile {
-			aSlot = acquireSub(pe, prob.A, s.ALocal, s.Op.AIdx, index.Rect{Rows: s.Op.M, Cols: s.Op.K}, &aSlots[i], &ops.a)
-			bSlot = acquireSub(pe, prob.B, s.BLocal, s.Op.BIdx, index.Rect{Rows: s.Op.K, Cols: s.Op.N}, &bSlots[i], &ops.b)
+			aSlot, err = acquireSub(pe, prob.A, s.ALocal, s.Op.AIdx, index.Rect{Rows: s.Op.M, Cols: s.Op.K}, &aSlots[i], &ops.a, &ret)
+			if err == nil {
+				bSlot, err = acquireSub(pe, prob.B, s.BLocal, s.Op.BIdx, index.Rect{Rows: s.Op.K, Cols: s.Op.N}, &bSlots[i], &ops.b, &ret)
+			}
 		} else {
 			var aTile, bTile *tile.Matrix
-			aTile, aSlot = acquireTile(prob.A, s.ALocal, sched.srcA[i], s.Op.AIdx, aSlots, &aLocalView)
-			bTile, bSlot = acquireTile(prob.B, s.BLocal, sched.srcB[i], s.Op.BIdx, bSlots, &bLocalView)
-			// Slice the tiles down to the op's global (M, K, N) bounds.
-			ab := prob.A.TileBounds(s.Op.AIdx)
-			aTile.ViewInto(&ops.a, s.Op.M.Begin-ab.Rows.Begin, s.Op.K.Begin-ab.Cols.Begin, s.Op.M.Len(), s.Op.K.Len())
-			bb := prob.B.TileBounds(s.Op.BIdx)
-			bTile.ViewInto(&ops.b, s.Op.K.Begin-bb.Rows.Begin, s.Op.N.Begin-bb.Cols.Begin, s.Op.K.Len(), s.Op.N.Len())
+			aTile, aSlot, err = acquireTile(prob.A, s.ALocal, sched.srcA[i], s.Op.AIdx, aSlots, &aLocalView)
+			if err == nil {
+				bTile, bSlot, err = acquireTile(prob.B, s.BLocal, sched.srcB[i], s.Op.BIdx, bSlots, &bLocalView)
+			}
+			if err == nil {
+				// Slice the tiles down to the op's global (M, K, N) bounds.
+				ab := prob.A.TileBounds(s.Op.AIdx)
+				aTile.ViewInto(&ops.a, s.Op.M.Begin-ab.Rows.Begin, s.Op.K.Begin-ab.Cols.Begin, s.Op.M.Len(), s.Op.K.Len())
+				bb := prob.B.TileBounds(s.Op.BIdx)
+				bTile.ViewInto(&ops.b, s.Op.K.Begin-bb.Rows.Begin, s.Op.N.Begin-bb.Cols.Begin, s.Op.K.Len(), s.Op.N.Len())
+			}
+		}
+		if err != nil {
+			// Drop the chain references taken before the failure; the
+			// residency references fall to finish.
+			box.set(err)
+			if aSlot != nil {
+				aSlot.release()
+			}
+			if bSlot != nil {
+				bSlot.release()
+			}
+			abortAt = i
+			break
 		}
 
 		tasks <- chainTask{prob: prob, op: s.Op, ops: ops, aSlot: aSlot, bSlot: bSlot}
@@ -344,8 +437,28 @@ func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg 
 		}
 	}
 	return func() {
+		// Full-tile fetches (issued or not) all appear in the eviction
+		// list; releasing an unissued slot is a no-op, so the walk is
+		// correct on the abort path as well.
 		for ; evictCursor < len(sched.evictions); evictCursor++ {
 			slotFor(sched.evictions[evictCursor].ref).release()
+		}
+		if abortAt < 0 {
+			return
+		}
+		// Sub-tile fetches are not in the eviction list (their residency
+		// ends at dispatch), so on abort the issued-but-never-dispatched
+		// ones still hold their single-use reference.
+		for j := abortAt; j < nsteps; j++ {
+			if !plan.Steps[j].SubTile {
+				continue
+			}
+			if aSlots[j].buf != nil {
+				aSlots[j].release()
+			}
+			if bSlots[j].buf != nil {
+				bSlots[j].release()
+			}
 		}
 	}
 }
@@ -362,25 +475,29 @@ type chainTask struct {
 
 // acquireSub resolves one operand in sub-tile mode, filling view: a strided
 // view of the local tile, or the step's prefetched slice (falling back to a
-// synchronous sub-tile get if the prefetch was never issued). It returns
-// the slot whose chain reference the caller must release, nil for local
-// operands.
+// synchronous sub-tile get, under the retry budget, if the prefetch was
+// never issued). It returns the slot whose chain reference the caller must
+// release, nil for local operands.
 func acquireSub(pe rt.PE, m *distmat.Matrix, local bool, idx index.TileIdx,
-	sub index.Rect, slot *tileSlot, view *tile.Matrix) *tileSlot {
+	sub index.Rect, slot *tileSlot, view *tile.Matrix, ret *retrier) (*tileSlot, error) {
 	if local {
 		b := m.TileBounds(idx)
 		var t tile.Matrix
 		m.TileInto(pe, &t, idx, distmat.LocalReplica)
 		loc := sub.Localize(b.Rows.Begin, b.Cols.Begin)
 		t.ViewInto(view, loc.Rows.Begin, loc.Cols.Begin, sub.Rows.Len(), sub.Cols.Len())
-		return nil
+		return nil, nil
 	}
 	if slot.buf != nil || slot.fut.Tile != nil {
 		*view = *slot.acquire()
-		return slot
+		return slot, nil
 	}
-	*view = *m.GetSubTile(pe, idx, distmat.LocalReplica, sub)
-	return nil
+	var t *tile.Matrix
+	if err := ret.do(func() { t = m.GetSubTile(pe, idx, distmat.LocalReplica, sub) }); err != nil {
+		return nil, err
+	}
+	*view = *t
+	return nil, nil
 }
 
 // gemmAccumulate multiplies the sliced tiles into a pooled scratch buffer
@@ -396,6 +513,14 @@ func gemmAccumulate(pe rt.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Mat
 // workers goroutines (Config.KernelWorkers); workers <= 1 stays on the
 // single-goroutine packed kernel.
 func gemmAccumulateWorkers(pe rt.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Matrix, pool *gpusim.Pool, workers int) {
+	gemmAccumulateChain(pe, prob, op, aSlice, bSlice, pool, workers, nil)
+}
+
+// gemmAccumulateChain is the crew's chain body. With ret non-nil the
+// accumulate runs under the retry budget and a fatal fault comes back as
+// an error with the scratch buffer already back in the pool; with ret nil
+// faults panic through unchanged (the IR path's contract).
+func gemmAccumulateChain(pe rt.PE, prob Problem, op LocalOp, aSlice, bSlice *tile.Matrix, pool *gpusim.Pool, workers int, ret *retrier) error {
 	rows, cols := op.M.Len(), op.N.Len()
 	buf := pool.Get(rows * cols)
 	partial := tile.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: buf}
@@ -405,8 +530,14 @@ func gemmAccumulateWorkers(pe rt.PE, prob Problem, op LocalOp, aSlice, bSlice *t
 		tile.Gemm(&partial, aSlice, bSlice)
 	}
 	rt.ChargeGemm(pe, rows, cols, op.K.Len())
-	prob.C.AccumulateSubTile(pe, op.CIdx, distmat.LocalReplica, subRect(op), &partial)
+	var err error
+	if ret != nil {
+		err = ret.do(func() { prob.C.AccumulateSubTile(pe, op.CIdx, distmat.LocalReplica, subRect(op), &partial) })
+	} else {
+		prob.C.AccumulateSubTile(pe, op.CIdx, distmat.LocalReplica, subRect(op), &partial)
+	}
 	pool.Put(buf)
+	return err
 }
 
 // RunStep executes one plan step given its (full) A and B tiles: it slices

@@ -1,0 +1,127 @@
+package universal
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rt "slicing/internal/runtime"
+)
+
+// failNTimes returns an op that raises a transient fault on its first n
+// invocations and succeeds afterwards.
+func failNTimes(n int) (op func(), calls *int) {
+	calls = new(int)
+	return func() {
+		*calls++
+		if *calls <= n {
+			rt.Fail(rt.ErrTransient, "Get", 0)
+		}
+	}, calls
+}
+
+func testRetrier(attempts int, counter *atomic.Int64) retrier {
+	// Nanosecond base keeps the backoff real but the test instant.
+	return newRetrier(RetryConfig{Attempts: attempts, BaseDelay: time.Nanosecond, Retries: counter}.withDefaults(), 1)
+}
+
+func TestRetrierAbsorbsTransientsWithinBudget(t *testing.T) {
+	var n atomic.Int64
+	r := testRetrier(3, &n)
+	op, calls := failNTimes(2)
+	if err := r.do(op); err != nil {
+		t.Fatalf("2 transients under a 3-attempt budget: %v", err)
+	}
+	if *calls != 3 {
+		t.Fatalf("op called %d times, want 3", *calls)
+	}
+	if n.Load() != 2 {
+		t.Fatalf("counted %d retries, want 2", n.Load())
+	}
+}
+
+func TestRetrierExhaustsBudget(t *testing.T) {
+	var n atomic.Int64
+	r := testRetrier(3, &n)
+	op, calls := failNTimes(99)
+	err := r.do(op)
+	if !rt.IsTransient(err) {
+		t.Fatalf("exhausted budget returned %v, want the transient error", err)
+	}
+	if *calls != 3 {
+		t.Fatalf("op called %d times, want exactly the budget", *calls)
+	}
+	if n.Load() != 2 {
+		t.Fatalf("counted %d retries, want 2 (the reissues, not the first try)", n.Load())
+	}
+}
+
+func TestRetrierFatalNeverRetries(t *testing.T) {
+	var n atomic.Int64
+	r := testRetrier(5, &n)
+	calls := 0
+	err := r.do(func() {
+		calls++
+		rt.Fail(rt.ErrPEFailed, "Put", 1)
+	})
+	if !errors.Is(err, rt.ErrPEFailed) || calls != 1 || n.Load() != 0 {
+		t.Fatalf("fatal fault: err=%v calls=%d retries=%d", err, calls, n.Load())
+	}
+}
+
+func TestRetrierRepanicsNonFaults(t *testing.T) {
+	r := testRetrier(3, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-fault panic was swallowed")
+		}
+	}()
+	r.do(func() { panic("index out of range") })
+}
+
+func TestRetryConfigDefaults(t *testing.T) {
+	c := RetryConfig{}.withDefaults()
+	if c.Attempts != 3 || c.BaseDelay != 50*time.Microsecond {
+		t.Fatalf("defaults: %+v", c)
+	}
+	keep := RetryConfig{Attempts: 7, BaseDelay: time.Millisecond}.withDefaults()
+	if keep.Attempts != 7 || keep.BaseDelay != time.Millisecond {
+		t.Fatalf("explicit values overridden: %+v", keep)
+	}
+}
+
+func TestErrBoxFirstErrorWins(t *testing.T) {
+	var b errBox
+	if b.err() != nil {
+		t.Fatal("fresh box not empty")
+	}
+	b.set(nil) // nil never occupies the box
+	if b.err() != nil {
+		t.Fatal("set(nil) occupied the box")
+	}
+	first := errors.New("first")
+	b.set(first)
+	b.set(errors.New("second"))
+	if b.err() != first {
+		t.Fatalf("box holds %v, want the first error", b.err())
+	}
+}
+
+// TestRetrierNoFaultAllocFree guards the retry wrapper's hot path: on a
+// backend that never faults, routing every one-sided op through
+// retrier.do must not allocate (the CatchFault defer is open-coded and
+// the op closure does not escape).
+func TestRetrierNoFaultAllocFree(t *testing.T) {
+	r := testRetrier(3, nil)
+	op := func() {}
+	r.do(op) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := r.do(op); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("no-fault retrier.do allocates %v objects per op, want 0", allocs)
+	}
+}

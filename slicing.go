@@ -168,8 +168,11 @@ func DefaultConfig() Config {
 
 // Multiply computes C = A·B with the universal one-sided algorithm for any
 // combination of partitionings and replication factors. Collective: every
-// PE must call it. Returns the resolved stationary strategy.
-func Multiply(pe PE, c, a, b *Matrix, cfg Config) Stationary {
+// PE must call it. Returns the resolved stationary strategy and, on
+// fault-capable backends, the rank's first fatal one-sided fault after
+// per-op retries (always nil on the in-process and simulated backends);
+// see docs/RESILIENCE.md for the error taxonomy and retry budget.
+func Multiply(pe PE, c, a, b *Matrix, cfg Config) (Stationary, error) {
 	return universal.Multiply(pe, c, a, b, cfg)
 }
 

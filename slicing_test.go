@@ -34,7 +34,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		}
 	})
 	world.Run(func(pe slicing.PE) {
-		stat := slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
+		stat, _ := slicing.Multiply(pe, c, a, b, slicing.DefaultConfig())
 		if stat != slicing.StationaryC && stat != slicing.StationaryA && stat != slicing.StationaryB {
 			t.Errorf("unexpected stationary %v", stat)
 		}
