@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -39,6 +40,10 @@ type Baseline struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS is the worker ceiling the parallel numbers below ran
+	// under — without it a baseline from a constrained container reads
+	// like a kernel regression on a wide machine (and vice versa).
+	GOMAXPROCS int `json:"gomaxprocs"`
 
 	// Kernel is the 512x512x512 local GEMM comparison. packed_gflops is the
 	// dispatched (best-ISA) single-goroutine packed kernel; avx2_gflops /
@@ -58,7 +63,13 @@ type Baseline struct {
 		Avx512GFlops      float64 `json:"avx512_gflops"`
 		ParallelGFlops    float64 `json:"parallel_gflops"`
 		ParallelSpeedupX  float64 `json:"parallel_speedup_x"`
-		Dispatch          string  `json:"dispatch"`
+		// ParallelSpeedupXWorkers breaks the speedup out per explicit
+		// worker count ("1", "2", "4"), so the scaling curve — not just
+		// the GOMAXPROCS endpoint — is pinned. Counts above GOMAXPROCS
+		// still run (the crew just oversubscribes), which on a 1-CPU box
+		// keeps all three near 1.
+		ParallelSpeedupXWorkers map[string]float64 `json:"parallel_speedup_x_workers"`
+		Dispatch                string             `json:"dispatch"`
 	} `json:"kernel"`
 
 	// Accumulate is the PGAS accumulate bandwidth on 1M floats.
@@ -287,7 +298,7 @@ func benchScheduler() (opsPerSec, oracleOpsPerSec float64, dagOps int) {
 }
 
 func main() {
-	pr := flag.Int("pr", 8, "PR number for the default output name")
+	pr := flag.Int("pr", 9, "PR number for the default output name")
 	out := flag.String("out", "", "output path (default BENCH_PR<pr>.json)")
 	flag.Parse()
 	path := *out
@@ -302,6 +313,7 @@ func main() {
 	base.GOOS = runtime.GOOS
 	base.GOARCH = runtime.GOARCH
 	base.CPUs = runtime.NumCPU()
+	base.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
 	fmt.Fprintln(os.Stderr, "measuring local GEMM kernels (512x512x512)...")
 	base.Kernel.Dispatch = tile.KernelName()
@@ -315,6 +327,12 @@ func main() {
 	}
 	if base.Kernel.PackedGFlops > 0 {
 		base.Kernel.ParallelSpeedupX = base.Kernel.ParallelGFlops / base.Kernel.PackedGFlops
+		base.Kernel.ParallelSpeedupXWorkers = make(map[string]float64)
+		for _, workers := range []int{1, 2, 4} {
+			wk := workers
+			g := benchKernel(func(c, a, b *tile.Matrix) { tile.GemmParallel(c, a, b, wk) })
+			base.Kernel.ParallelSpeedupXWorkers[strconv.Itoa(wk)] = g / base.Kernel.PackedGFlops
+		}
 	}
 	base.Kernel.Sse2GFlops = benchForcedKernel("sse2")
 	base.Kernel.Avx2GFlops = benchForcedKernel("avx2")

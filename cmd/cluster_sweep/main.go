@@ -1,0 +1,169 @@
+// Command cluster_sweep runs a Figure 2/3-shaped cluster sweep through the
+// model-only executor and writes a schema-versioned SWEEP_PR<N>.json
+// artifact: the universal algorithm autotuned and replayed over a grid of
+// H100 fat-tree clusters (node counts × rail counts × oversubscription,
+// with a degraded-rail column), at full MLP scale, with no real arithmetic
+// and no tile allocation.
+//
+//	go run ./cmd/cluster_sweep -pr 9              # writes SWEEP_PR9.json
+//	go run ./cmd/cluster_sweep -nodes 2,8 -rails 8 -oversub 1 -degrade 1
+//	go run ./cmd/cluster_sweep -validate SWEEP_PR9.json
+//
+// The sweep is deterministic: the same flags always produce byte-identical
+// artifacts (CI diffs two runs), unless -stamp adds a generation
+// timestamp. -plancache warm-starts plan compilation from a plan-cache
+// file (see internal/serve's PlanCacheFile) and saves what the sweep
+// compiled back to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"slicing/internal/bench"
+	"slicing/internal/sweep"
+	"slicing/internal/trace"
+	"slicing/internal/universal"
+)
+
+func ints(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func floats(csv string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cluster_sweep:", err)
+	os.Exit(1)
+}
+
+func main() {
+	pr := flag.Int("pr", 9, "PR number for the default output name")
+	out := flag.String("out", "", "output path (default SWEEP_PR<pr>.json)")
+	layer := flag.String("layer", "mlp1", "MLP layer to sweep: mlp1 or mlp2")
+	batch := flag.Int("batch", 0, "global batch size (0: the largest paper batch)")
+	nodes := flag.String("nodes", "", "comma-separated node counts (default 2,8,32,128)")
+	rails := flag.String("rails", "", "comma-separated rail counts (default 1,4,8)")
+	oversub := flag.String("oversub", "", "comma-separated oversubscription ratios (default 1,2)")
+	degrade := flag.String("degrade", "", "comma-separated degrade factors (default 1,0.5)")
+	seed := flag.Int64("seed", 0, "identity seed recorded in the artifact")
+	stamp := flag.Bool("stamp", false, "record the generation time (breaks byte-determinism)")
+	planCache := flag.String("plancache", "", "plan-cache file to warm-start from and save back to")
+	validate := flag.String("validate", "", "validate an existing artifact file and exit")
+	flag.Parse()
+
+	if *validate != "" {
+		art, err := sweep.ReadFile(*validate)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: valid %s artifact, %d points\n", *validate, art.Schema, len(art.Points))
+		return
+	}
+
+	spec := sweep.Spec{
+		Name:  fmt.Sprintf("cluster-sweep-pr%d", *pr),
+		Batch: *batch,
+		Seed:  *seed,
+	}
+	switch strings.ToLower(*layer) {
+	case "mlp1":
+		spec.Layer = bench.MLP1
+	case "mlp2":
+		spec.Layer = bench.MLP2
+	default:
+		fail(fmt.Errorf("unknown layer %q (want mlp1 or mlp2)", *layer))
+	}
+	var err error
+	if *nodes != "" {
+		if spec.NodeCounts, err = ints(*nodes); err != nil {
+			fail(fmt.Errorf("-nodes: %w", err))
+		}
+	}
+	if *rails != "" {
+		if spec.RailCounts, err = ints(*rails); err != nil {
+			fail(fmt.Errorf("-rails: %w", err))
+		}
+	}
+	if *oversub != "" {
+		if spec.Oversubs, err = floats(*oversub); err != nil {
+			fail(fmt.Errorf("-oversub: %w", err))
+		}
+	}
+	if *degrade != "" {
+		if spec.DegradeFactors, err = floats(*degrade); err != nil {
+			fail(fmt.Errorf("-degrade: %w", err))
+		}
+	}
+
+	cache := universal.NewPlanCache(256)
+	if *planCache != "" {
+		n, err := cache.LoadFile(*planCache)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "warm-started %d plans from %s\n", n, *planCache)
+	}
+
+	points := spec.Points()
+	fmt.Fprintf(os.Stderr, "sweeping %d cluster points (%s, batch %d)...\n",
+		len(points), spec.Layer, specBatch(spec))
+	start := time.Now()
+	art, err := sweep.Run(spec, cache)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "swept %d points in %v (%d plan builds)\n",
+		len(art.Points), time.Since(start).Round(time.Millisecond), art.PlanBuilds)
+	if *stamp {
+		art.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("SWEEP_PR%d.json", *pr)
+	}
+	if err := art.WriteFile(path); err != nil {
+		fail(err)
+	}
+	if *planCache != "" {
+		if err := cache.SaveFile(*planCache); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved %d plans to %s\n", cache.Len(), *planCache)
+	}
+
+	trace.WriteSweepTable(os.Stdout, art)
+	fmt.Printf("\nwrote %s\n", path)
+}
+
+// specBatch mirrors the spec's default so the progress line matches what
+// Run will actually sweep.
+func specBatch(s sweep.Spec) int {
+	if s.Batch != 0 {
+		return s.Batch
+	}
+	return bench.Batches[len(bench.Batches)-1]
+}

@@ -17,8 +17,8 @@ import (
 	"slicing/internal/bench"
 	"slicing/internal/costmodel"
 	"slicing/internal/distmat"
+	"slicing/internal/modelworld"
 	rt "slicing/internal/runtime"
-	"slicing/internal/shmem"
 	"slicing/internal/universal"
 )
 
@@ -52,6 +52,15 @@ type Options struct {
 	// entirely (full input replication). Off by default, matching the
 	// paper's evaluation methodology (§5.2.1).
 	AllowZeroComm bool
+	// Partitionings restricts the enumeration to the given partitionings;
+	// nil enumerates all of bench.UAPartitionings. Cluster-scale sweeps use
+	// this: pricing every partitioning × divisor pair at thousands of PEs is
+	// wasted work when a figure compares two or three layouts.
+	Partitionings []bench.Partitioning
+	// Replications restricts the replication factors considered for both
+	// the input pair and C to the listed values (non-divisors of p are
+	// skipped); nil enumerates every divisor of p.
+	Replications []int
 }
 
 // memElems estimates a configuration's per-PE footprint: each matrix's
@@ -68,7 +77,10 @@ func memElems(m, n, k, p, cAB, cC int) float64 {
 // diagnostic, since no valid configuration exists.
 func Search(sys universal.SimSystem, m, n, k int, opt Options) []Candidate {
 	p := sys.Topo.NumPE()
-	md := costmodel.New(sys.Topo, sys.Dev)
+	// The search is single-goroutine, so memoizing GEMM pricing is safe —
+	// and essential at cluster scale, where candidates × ranks × steps
+	// share a handful of tile shapes.
+	md := costmodel.New(sys.Topo, sys.Dev).Memoize()
 	budget := opt.MemBudgetElems
 	if budget <= 0 {
 		budget = math.Inf(1)
@@ -76,9 +88,17 @@ func Search(sys universal.SimSystem, m, n, k int, opt Options) []Candidate {
 
 	var divisors []int
 	for c := 1; c <= p; c++ {
-		if p%c == 0 {
-			divisors = append(divisors, c)
+		if p%c != 0 {
+			continue
 		}
+		if opt.Replications != nil && !containsInt(opt.Replications, c) {
+			continue
+		}
+		divisors = append(divisors, c)
+	}
+	parts := opt.Partitionings
+	if parts == nil {
+		parts = bench.UAPartitionings
 	}
 
 	// Enumerate the (cheap) layout specs sequentially, then price them —
@@ -97,7 +117,7 @@ func Search(sys universal.SimSystem, m, n, k int, opt Options) []Candidate {
 		eligible [2]bool
 	}
 	var specs []spec
-	for _, part := range bench.UAPartitionings {
+	for _, part := range parts {
 		for _, cAB := range divisors {
 			for _, cC := range divisors {
 				mem := memElems(m, n, k, p, cAB, cC)
@@ -179,8 +199,22 @@ func (c Candidate) Config() universal.Config {
 	return cfg
 }
 
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// buildProblem lays the three matrices out over a model-only world: the
+// search reads nothing but metadata (shapes, ownership, replication), so
+// backing the candidates with real storage — gigabytes per candidate at
+// cluster scale — would be pure waste. Candidates are instantiated on a
+// real backend only after selection (Candidate.Instantiate).
 func buildProblem(sys universal.SimSystem, m, n, k int, part bench.Partitioning, cAB, cC int) universal.Problem {
-	w := shmem.NewWorld(sys.Topo.NumPE())
+	w := modelworld.NewWorld(sys.Topo.NumPE())
 	pa, pb, pc := part.Parts()
 	a := distmat.New(w, m, k, pa, cAB)
 	b := distmat.New(w, k, n, pb, cAB)

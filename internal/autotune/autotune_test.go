@@ -258,3 +258,36 @@ func TestTunePipelineConcurrentSweepCoversGridSorted(t *testing.T) {
 		}
 	}
 }
+
+// Options.Partitionings and Options.Replications restrict the search to
+// the requested families and replication factors — the knob cluster sweeps
+// use to keep the per-point search bounded at thousands of PEs.
+func TestSearchRestrictedOptions(t *testing.T) {
+	sys := universal.H100System()
+	cands := Search(sys, 2048, 2048, 2048, Options{
+		Partitionings: []bench.Partitioning{bench.PartBlock},
+		Replications:  []int{1},
+	})
+	if len(cands) == 0 {
+		t.Fatal("restricted search returned no candidates")
+	}
+	for _, c := range cands {
+		if c.Part != bench.PartBlock {
+			t.Fatalf("partitioning %v slipped past the restriction", c.Part)
+		}
+		if c.ReplAB != 1 || c.ReplC != 1 {
+			t.Fatalf("replication (%d, %d) slipped past the restriction", c.ReplAB, c.ReplC)
+		}
+	}
+	// The restricted winner must equal the matching candidate of the full
+	// search: restriction filters, it does not re-rank.
+	full := Search(sys, 2048, 2048, 2048, Options{})
+	for _, c := range full {
+		if c.Part == bench.PartBlock && c.ReplAB == 1 && c.ReplC == 1 {
+			if c != cands[0] {
+				t.Fatalf("restricted winner %+v differs from full-search candidate %+v", cands[0], c)
+			}
+			break
+		}
+	}
+}

@@ -17,15 +17,40 @@ import (
 type Model struct {
 	Topo simnet.Topology
 	Dev  gpusim.Device
+
+	// gemmMemo, when non-nil (see Memoize), caches GemmCost by shape.
+	gemmMemo map[gemmShape]float64
 }
+
+type gemmShape struct{ m, n, k int }
 
 // New returns a cost model over the given system.
 func New(topo simnet.Topology, dev gpusim.Device) *Model {
 	return &Model{Topo: topo, Dev: dev}
 }
 
+// Memoize caches GemmCost results by shape and returns the model. A plan's
+// steps reuse a handful of tile shapes, so pricing thousands of ranks ×
+// steps during an autotune search collapses to a few Roofline evaluations.
+// The cache is not synchronized: memoized models must stay on a single
+// goroutine (the timed backends share one Model across concurrent PEs and
+// therefore must not call this).
+func (md *Model) Memoize() *Model {
+	md.gemmMemo = make(map[gemmShape]float64)
+	return md
+}
+
 // GemmCost returns the Roofline-estimated seconds for a local m×n×k GEMM.
 func (md *Model) GemmCost(m, n, k int) float64 {
+	if md.gemmMemo != nil {
+		s := gemmShape{m, n, k}
+		c, ok := md.gemmMemo[s]
+		if !ok {
+			c = md.Dev.GemmTime(m, n, k) + md.Dev.LaunchOverhead
+			md.gemmMemo[s] = c
+		}
+		return c
+	}
 	return md.Dev.GemmTime(m, n, k) + md.Dev.LaunchOverhead
 }
 

@@ -51,7 +51,7 @@ func (t *Topology) Bandwidth(src, dst int) float64 {
 // Latency returns the total latency of the src→dst route (0 for local
 // copies).
 func (t *Topology) Latency(src, dst int) float64 {
-	return t.f.PathLatency(t.f.Route(src, dst))
+	return t.f.RouteLatency(src, dst)
 }
 
 // Name returns the fabric's name.

@@ -74,14 +74,15 @@ type Link struct {
 // downtrain a link while timed worlds are pricing transfers through
 // PathBandwidth concurrently (links[i].BW keeps the as-built value).
 type Fabric struct {
-	name    string
-	localBW float64 // bytes/s for src == dst device-local copies
-	nodes   []Node
-	links   []Link
-	peNodes []int           // rank -> node id
-	out     [][]int         // node id -> outgoing link indices
-	routes  [][]int         // [src*P+dst] -> link indices; non-nil once frozen
-	bw      []atomic.Uint64 // effective per-link bandwidth, math.Float64bits
+	name     string
+	localBW  float64 // bytes/s for src == dst device-local copies
+	nodes    []Node
+	links    []Link
+	peNodes  []int           // rank -> node id
+	out      [][]int         // node id -> outgoing link indices
+	routes   [][]int         // [src*P+dst] -> link indices; non-nil once frozen
+	routeLat []float64       // [src*P+dst] -> summed route latency, frozen with routes
+	bw       []atomic.Uint64 // effective per-link bandwidth, math.Float64bits
 }
 
 // New starts an empty fabric. localBW is the device-local copy bandwidth
@@ -156,8 +157,10 @@ func (f *Fabric) Freeze() *Fabric {
 		f.out[l.From] = append(f.out[l.From], li)
 	}
 	f.routes = make([][]int, p*p)
+	f.routeLat = make([]float64, p*p)
+	scratch := newRouteScratch(len(f.nodes))
 	for src := 0; src < p; src++ {
-		f.routeFrom(src)
+		f.routeFrom(src, scratch)
 	}
 	f.bw = make([]atomic.Uint64, len(f.links))
 	for li := range f.links {
@@ -243,6 +246,18 @@ func (f *Fabric) PathBandwidth(route []int) float64 {
 // Safe to call concurrently with DegradeAt; requires a frozen fabric.
 func (f *Fabric) LinkBandwidth(link int) float64 {
 	return math.Float64frombits(f.bw[link].Load())
+}
+
+// RouteLatency returns the total latency of the static src→dst route,
+// precomputed at Freeze (equal to PathLatency(Route(src, dst)) without the
+// per-query walk).
+func (f *Fabric) RouteLatency(src, dst int) float64 {
+	f.mustBeFrozen()
+	p := len(f.peNodes)
+	if src < 0 || src >= p || dst < 0 || dst >= p {
+		panic(fmt.Sprintf("fabric: pe pair (%d,%d) out of %d-PE fabric", src, dst, p))
+	}
+	return f.routeLat[src*p+dst]
 }
 
 // PathLatency returns the total latency of a route in seconds.

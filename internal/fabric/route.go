@@ -26,31 +26,113 @@ func routeEq(a, b float64) bool {
 	return d <= 1e-15+1e-12*m
 }
 
+// heapEntry is a pending Dijkstra visit: a node and the distance it was
+// enqueued at. Entries are ordered by (dist, node) — the node index breaks
+// exact ties, reproducing the finalization order of the O(V²) linear scan
+// this heap replaced, so routes (and the ECMP predecessor lists they hash
+// over) are unchanged.
+type heapEntry struct {
+	dist float64
+	node int
+}
+
+func heapLess(a, b heapEntry) bool {
+	return a.dist < b.dist || (a.dist == b.dist && a.node < b.node)
+}
+
+// routeHeap is a lazy-deletion binary min-heap: decrease-key pushes a
+// duplicate and pop discards entries for already-finalized nodes.
+type routeHeap []heapEntry
+
+func (h *routeHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !heapLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *routeHeap) pop() heapEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && heapLess(s[l], s[min]) {
+			min = l
+		}
+		if r < len(s) && heapLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
+}
+
+// routeScratch holds one Freeze's Dijkstra working state, reused across
+// the per-source passes so a cluster-scale freeze (thousands of sources ×
+// thousands of nodes) does not churn the garbage collector.
+type routeScratch struct {
+	dist    []float64
+	done    []bool
+	reached []bool
+	// preds[v] lists the incoming link of every shortest path to v.
+	preds [][]int
+	heap  routeHeap
+	rev   []int
+}
+
+func newRouteScratch(nodes int) *routeScratch {
+	return &routeScratch{
+		dist:    make([]float64, nodes),
+		done:    make([]bool, nodes),
+		reached: make([]bool, nodes),
+		preds:   make([][]int, nodes),
+		heap:    make(routeHeap, 0, nodes),
+	}
+}
+
+func (s *routeScratch) reset() {
+	for i := range s.done {
+		s.done[i] = false
+		s.reached[i] = false
+		s.preds[i] = s.preds[i][:0]
+	}
+	s.heap = s.heap[:0]
+}
+
 // routeFrom fills f.routes[src*P+dst] for all dst with a Dijkstra pass
-// from src's node. Graphs are small (tens to hundreds of nodes), so the
-// O(V²) scan is simpler and deterministic.
-func (f *Fabric) routeFrom(src int) {
+// from src's node, using a binary heap so cluster-scale fabrics
+// (thousands of nodes, one pass per PE) stay O(E log V) per source
+// rather than O(V²).
+func (f *Fabric) routeFrom(src int, s *routeScratch) {
 	p := len(f.peNodes)
 	start := f.peNodes[src]
-	const unreached = -1
 
-	dist := make([]float64, len(f.nodes))
-	done := make([]bool, len(f.nodes))
-	reached := make([]bool, len(f.nodes))
-	// preds[v] lists the incoming link of every shortest path to v.
-	preds := make([][]int, len(f.nodes))
+	s.reset()
+	dist, done, reached, preds := s.dist, s.done, s.reached, s.preds
 	dist[start] = 0
 	reached[start] = true
 
-	for {
-		u := unreached
-		for v := range f.nodes {
-			if reached[v] && !done[v] && (u == unreached || dist[v] < dist[u]) {
-				u = v
-			}
-		}
-		if u == unreached {
-			break
+	heap := s.heap
+	heap.push(heapEntry{0, start})
+	for len(heap) > 0 {
+		u := heap.pop().node
+		if done[u] {
+			continue
 		}
 		done[u] = true
 		// Only the source PE and forwarding nodes relay traffic onward.
@@ -71,11 +153,13 @@ func (f *Fabric) routeFrom(src int) {
 				reached[l.To] = true
 				dist[l.To] = d
 				preds[l.To] = append(preds[l.To][:0], li)
+				heap.push(heapEntry{d, l.To})
 			case routeEq(d, dist[l.To]):
 				preds[l.To] = append(preds[l.To], li)
 			}
 		}
 	}
+	s.heap = heap
 
 	for dst := 0; dst < p; dst++ {
 		if dst == src {
@@ -87,7 +171,7 @@ func (f *Fabric) routeFrom(src int) {
 			panic(fmt.Sprintf("fabric %s: PE %d cannot reach PE %d", f.name, src, dst))
 		}
 		// Walk predecessors back from dst, breaking ECMP ties by hash.
-		var rev []int
+		rev := s.rev[:0]
 		for v := end; v != start; {
 			cands := preds[v]
 			li := cands[int(ecmpHash(src, dst, v)%uint32(len(cands)))]
@@ -95,10 +179,18 @@ func (f *Fabric) routeFrom(src int) {
 			v = f.links[li].From
 		}
 		route := make([]int, len(rev))
+		lat := 0.0
 		for i, li := range rev {
 			route[len(rev)-1-i] = li
+			lat += f.links[li].Lat
 		}
 		f.routes[src*p+dst] = route
+		// Latencies are immutable after Freeze (only bandwidth degrades),
+		// so the per-pair sum is computed once here instead of on every
+		// Latency query — the cost model asks millions of times per
+		// cluster-scale autotune pass.
+		f.routeLat[src*p+dst] = lat
+		s.rev = rev[:0]
 	}
 }
 

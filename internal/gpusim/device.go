@@ -168,12 +168,21 @@ func cbrt(x float64) float64 {
 		return 0
 	}
 	// Newton iterations from a decent seed converge fast in (0, 1].
+	// Stop as soon as the iterate is stationary: once next == g every
+	// remaining iteration would reproduce g, so the early exit returns
+	// bit-identical results to the fixed 40-pass loop it replaced — it
+	// just skips the dead spins (the loop is on the cost model's hottest
+	// path, one call per plan step per rank per autotune candidate).
 	g := x
 	if g > 1 {
 		g = 1
 	}
 	for i := 0; i < 40; i++ {
-		g = (2*g + x/(g*g)) / 3
+		next := (2*g + x/(g*g)) / 3
+		if next == g {
+			break
+		}
+		g = next
 	}
 	return g
 }

@@ -173,6 +173,24 @@ func (e *Engine) AddOp(label string, kind OpKind, duration float64, deps []OpID,
 // NumOps returns the number of ops added so far.
 func (e *Engine) NumOps() int { return len(e.ops) }
 
+// Reset discards every op and resource so the engine can host a fresh DAG,
+// keeping all storage — the CSR arrays, the interned label table, and the
+// scheduler scratch — at capacity. A long-lived engine can therefore replay
+// one DAG per sweep point with zero steady-state allocations once the
+// largest point has been seen. The next Run rebuilds the reverse CSR
+// unconditionally: builtOps is poisoned rather than zeroed, because a new
+// DAG with the same op count as the old one would otherwise satisfy the
+// "already built" check and reuse stale reverse edges.
+func (e *Engine) Reset() {
+	e.ops = e.ops[:0]
+	e.depOff = e.depOff[:0]
+	e.depFlat = e.depFlat[:0]
+	e.resOff = e.resOff[:0]
+	e.resFlat = e.resFlat[:0]
+	e.resources = e.resources[:0]
+	e.sched.builtOps = -1
+}
+
 // depsOf returns op id's dependency list (a view into the CSR storage).
 func (e *Engine) depsOf(id OpID) []OpID {
 	return e.depFlat[e.depOff[id]:e.depOff[id+1]]

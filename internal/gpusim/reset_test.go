@@ -1,0 +1,122 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildChainGrid adds a w-wide, d-deep grid of ops over w resources with
+// cross-links, a small DAG with genuine contention.
+func buildChainGrid(e *Engine, w, d int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	res := make([]ResourceID, w)
+	for i := range res {
+		res[i] = e.AddResource("r")
+	}
+	prev := make([]OpID, w)
+	for i := range prev {
+		prev[i] = -1
+	}
+	deps := make([]OpID, 0, 2)
+	for step := 0; step < d; step++ {
+		for lane := 0; lane < w; lane++ {
+			deps = deps[:0]
+			if prev[lane] >= 0 {
+				deps = append(deps, prev[lane])
+			}
+			if other := (lane + 1) % w; step > 0 && prev[other] >= 0 && rng.Intn(2) == 0 {
+				deps = append(deps, prev[other])
+			}
+			prev[lane] = e.AddOp("op", OpCompute, 1+rng.Float64(), deps, res[lane:lane+1])
+		}
+	}
+}
+
+// Reset must let one engine host a sequence of different DAGs, each run
+// matching what a fresh engine (and the list oracle) produces.
+func TestEngineResetRebuildMatchesFresh(t *testing.T) {
+	reused := NewEngine()
+	for seed := int64(1); seed <= 6; seed++ {
+		reused.Reset()
+		buildChainGrid(reused, 4, 20, seed)
+		got := reused.Run()
+
+		fresh := NewEngine()
+		buildChainGrid(fresh, 4, 20, seed)
+		want := fresh.Run()
+
+		if got.Makespan != want.Makespan {
+			t.Fatalf("seed %d: reset engine makespan %g, fresh %g", seed, got.Makespan, want.Makespan)
+		}
+		oracle := fresh.RunListOracle()
+		if got.Makespan != oracle.Makespan {
+			t.Fatalf("seed %d: reset engine makespan %g, oracle %g", seed, got.Makespan, oracle.Makespan)
+		}
+		for i := range got.Timings {
+			if got.Timings[i].Start != want.Timings[i].Start || got.Timings[i].End != want.Timings[i].End {
+				t.Fatalf("seed %d: op %d timing (%g,%g) != fresh (%g,%g)", seed, i,
+					got.Timings[i].Start, got.Timings[i].End, want.Timings[i].Start, want.Timings[i].End)
+			}
+		}
+	}
+}
+
+// The trap Reset must not fall into: a new DAG with the SAME op count as
+// the previous one must not reuse the stale reverse CSR. The two DAGs here
+// have identical sizes but different edges, so a stale reverse CSR would
+// produce a wrong (or deadlocked) schedule.
+func TestEngineResetSameSizeDifferentEdges(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("r")
+	a := e.AddOp("a", OpCompute, 1, nil, []ResourceID{r})
+	e.AddOp("b", OpCompute, 1, []OpID{a}, []ResourceID{r})
+	e.Run() // builds the reverse CSR for DAG 1
+
+	e.Reset()
+	r = e.AddResource("r")
+	e.AddOp("a", OpCompute, 1, nil, []ResourceID{r})
+	e.AddOp("b", OpCompute, 1, nil, []ResourceID{r}) // independent this time
+	got := e.Run()
+	want := e.RunListOracle()
+	if got.Makespan != want.Makespan {
+		t.Fatalf("same-size rebuild: heap %g, oracle %g", got.Makespan, want.Makespan)
+	}
+	if got.Timings[1].Start != 1 {
+		t.Fatalf("op b should start at 1 (resource serialization), got %g", got.Timings[1].Start)
+	}
+}
+
+// After one warmup build at a given size, a Reset → rebuild → Run cycle
+// must not allocate: the CSR arrays, label table, and scheduler scratch
+// all persist across Reset. This is the property that makes a long-lived
+// engine free to replay one DAG per sweep point.
+func TestEngineResetRebuildAllocFree(t *testing.T) {
+	e := NewEngine()
+	var res [2]ResourceID
+	var deps [1]OpID
+	build := func() {
+		res[0] = e.AddResource("r0")
+		res[1] = e.AddResource("r1")
+		prev := OpID(-1)
+		for i := 0; i < 200; i++ {
+			var d []OpID
+			if prev >= 0 {
+				deps[0] = prev
+				d = deps[:1]
+			}
+			lane := i % 2
+			prev = e.AddOp("op", OpCompute, 1, d, res[lane:lane+1])
+		}
+	}
+	build()
+	e.Run()
+
+	allocs := testing.AllocsPerRun(20, func() {
+		e.Reset()
+		build()
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("reset+rebuild+run allocates %.0f, want 0", allocs)
+	}
+}

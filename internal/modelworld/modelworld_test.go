@@ -1,0 +1,80 @@
+package modelworld_test
+
+import (
+	"testing"
+
+	"slicing/internal/distmat"
+	"slicing/internal/modelworld"
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+	"slicing/internal/universal"
+)
+
+var _ rt.Backend = modelworld.Backend{}
+var _ rt.World = (*modelworld.World)(nil)
+
+// Plans built over a model world must be identical to plans built over a
+// real backend: the slicing pass reads only metadata, and the model world
+// must present exactly the same metadata.
+func TestModelWorldPlansMatchShmem(t *testing.T) {
+	build := func(alloc rt.Allocator) universal.Problem {
+		a := distmat.New(alloc, 96, 128, distmat.RowBlock{}, 1)
+		b := distmat.New(alloc, 128, 80, distmat.ColBlock{}, 1)
+		c := distmat.New(alloc, 96, 80, distmat.Block2D{}, 2)
+		return universal.NewProblem(c, a, b)
+	}
+	mw := modelworld.NewWorld(8)
+	sw := shmem.NewWorld(8)
+	mp := build(mw)
+	sp := build(sw)
+
+	cfg := universal.DefaultConfig()
+	if universal.PlanKeyOf(mp, cfg) != universal.PlanKeyOf(sp, cfg) {
+		t.Fatal("model-world plan key differs from shmem plan key")
+	}
+	for rank := 0; rank < 8; rank++ {
+		pm := universal.BuildPlan(rank, mp, universal.StationaryC, 0)
+		ps := universal.BuildPlan(rank, sp, universal.StationaryC, 0)
+		if len(pm.Steps) != len(ps.Steps) {
+			t.Fatalf("rank %d: %d steps on model world, %d on shmem", rank, len(pm.Steps), len(ps.Steps))
+		}
+		for i := range pm.Steps {
+			if pm.Steps[i] != ps.Steps[i] {
+				t.Fatalf("rank %d step %d differs: %+v vs %+v", rank, i, pm.Steps[i], ps.Steps[i])
+			}
+		}
+	}
+}
+
+func TestModelWorldSegmentMetadata(t *testing.T) {
+	w := modelworld.NewWorld(4)
+	if w.NumPE() != 4 {
+		t.Fatalf("NumPE = %d", w.NumPE())
+	}
+	s0 := w.AllocSymmetric(100)
+	s1 := w.AllocSymmetric(0)
+	if w.SegmentLen(s0) != 100 || w.SegmentLen(s1) != 0 {
+		t.Fatalf("segment lengths %d, %d", w.SegmentLen(s0), w.SegmentLen(s1))
+	}
+	if w.World() != rt.World(w) {
+		t.Fatal("World() must return the world itself")
+	}
+	if w.Stats() != (rt.Stats{}) {
+		t.Fatal("model world must report zero traffic")
+	}
+}
+
+func TestModelWorldDataPathsPanic(t *testing.T) {
+	w := modelworld.NewWorld(2)
+	seg := w.AllocSymmetric(8)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on a model world should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SegmentStorage", func() { w.SegmentStorage(seg, 0) })
+	mustPanic("Run", func() { w.Run(func(pe rt.PE) {}) })
+}

@@ -92,6 +92,13 @@ type Config struct {
 	// batches × the EWMA batch duration) is rejected at admission with
 	// ErrShed instead of executing past its deadline.
 	Shed bool
+	// PlanCacheFile, when non-empty, persists the compiled-plan cache
+	// across processes: the server warm-starts by loading the file at
+	// construction (a missing file is fine — first run), and saves the
+	// cache back on Close. Ignored under NoCache. Load/save outcomes are
+	// reported by PlanCachePersistence, not surfaced as serving errors: a
+	// cold start is a performance event, never a correctness one.
+	PlanCacheFile string
 }
 
 func (cfg Config) withDefaults(w rt.World) Config {
@@ -212,6 +219,12 @@ type Server struct {
 	wake chan struct{}
 	quit chan struct{}
 	wg   sync.WaitGroup
+
+	// Plan-cache persistence outcome (see Config.PlanCacheFile): how many
+	// plans the warm start loaded, and the first load/save error; guarded
+	// by mu after construction.
+	warmLoaded int
+	persistErr error
 }
 
 // NewServer creates a server over w and starts its dispatcher. The server
@@ -225,13 +238,17 @@ func NewServer(w rt.World, cfg Config) *Server {
 // newServer builds a server without starting the dispatcher; tests use it
 // to stage deterministic queue states before serving begins.
 func newServer(w rt.World, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		world:   w,
 		cfg:     cfg.withDefaults(w),
 		tenants: make(map[string]*tenant),
 		wake:    make(chan struct{}, 1),
 		quit:    make(chan struct{}),
 	}
+	if s.cfg.PlanCacheFile != "" && s.cfg.Exec.Plans != nil {
+		s.warmLoaded, s.persistErr = s.cfg.Exec.Plans.LoadFile(s.cfg.PlanCacheFile)
+	}
+	return s
 }
 
 // Start launches the dispatcher. It is called by NewServer; calling it
@@ -255,6 +272,24 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.quit)
 	s.wg.Wait()
+	if s.cfg.PlanCacheFile != "" && s.cfg.Exec.Plans != nil {
+		if err := s.cfg.Exec.Plans.SaveFile(s.cfg.PlanCacheFile); err != nil {
+			s.mu.Lock()
+			if s.persistErr == nil {
+				s.persistErr = err
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// PlanCachePersistence reports the plan-cache file outcome: how many plans
+// the warm start loaded at construction, and the first load or save error
+// (nil when persistence is disabled or everything worked).
+func (s *Server) PlanCachePersistence() (loaded int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warmLoaded, s.persistErr
 }
 
 // validate checks a request's operands against the server's world before

@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ArtifactSchema versions the sweep artifact format. Tooling that reads
+// SWEEP_*.json rejects any other value rather than guessing at fields.
+const ArtifactSchema = "sweep/v1"
+
+// Artifact is the machine-readable result of one sweep: the problem, the
+// identity fields that make runs comparable, and every evaluated point in
+// the spec's deterministic expansion order. Everything here is a pure
+// function of (Spec, code version) — no timestamps, no map iteration, no
+// scheduler-dependent counters — so equal specs produce byte-identical
+// files, which CI checks. GeneratedAt is the one exception: it is stamped
+// only on explicit request (cmd/cluster_sweep -stamp) and omitted
+// otherwise.
+type Artifact struct {
+	Schema string `json:"schema"`
+	Name   string `json:"name"`
+	Seed   int64  `json:"seed"`
+
+	// The swept problem.
+	Layer string `json:"layer"`
+	Batch int    `json:"batch"`
+	M     int    `json:"m"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+
+	// PlanBuilds counts the distinct plans compiled for this sweep —
+	// deterministic because the plan cache's single-flight path builds
+	// each key exactly once no matter how points are scheduled.
+	PlanBuilds int64 `json:"plan_builds"`
+
+	Points []Point `json:"points"`
+
+	// GeneratedAt is an RFC 3339 stamp, present only when explicitly
+	// requested; determinism checks run without it.
+	GeneratedAt string `json:"generated_at,omitempty"`
+}
+
+// Validate checks an artifact against the sweep/v1 schema contract: the
+// schema tag, non-empty points, and per-point invariants (positive PE
+// counts and makespans, percent-of-peak within (0, 100], degraded rails
+// carrying a factor < 1 and healthy points exactly 1). It is shared by
+// cmd/cluster_sweep -validate and the CI smoke test so "valid" means one
+// thing.
+func Validate(a *Artifact) error {
+	if a == nil {
+		return fmt.Errorf("sweep: nil artifact")
+	}
+	if a.Schema != ArtifactSchema {
+		return fmt.Errorf("sweep: artifact schema %q, want %q", a.Schema, ArtifactSchema)
+	}
+	if a.Name == "" {
+		return fmt.Errorf("sweep: artifact has no name")
+	}
+	if a.Batch <= 0 || a.M <= 0 || a.N <= 0 || a.K <= 0 {
+		return fmt.Errorf("sweep: artifact problem %dx%dx%d batch %d is not positive", a.M, a.N, a.K, a.Batch)
+	}
+	if len(a.Points) == 0 {
+		return fmt.Errorf("sweep: artifact has no points")
+	}
+	if a.PlanBuilds < 0 {
+		return fmt.Errorf("sweep: negative plan_builds %d", a.PlanBuilds)
+	}
+	for i, pt := range a.Points {
+		if err := validatePoint(pt); err != nil {
+			return fmt.Errorf("sweep: point %d (%d nodes, %d rails, %gx oversub): %w", i, pt.Nodes, pt.Rails, pt.Oversub, err)
+		}
+	}
+	return nil
+}
+
+func validatePoint(pt Point) error {
+	switch {
+	case pt.Nodes < 2:
+		return fmt.Errorf("nodes %d < 2", pt.Nodes)
+	case pt.PEs != 8*pt.Nodes:
+		return fmt.Errorf("%d PEs on %d nodes, want %d", pt.PEs, pt.Nodes, 8*pt.Nodes)
+	case pt.Rails < 1 || pt.Rails > 8 || 8%pt.Rails != 0:
+		return fmt.Errorf("rail count %d does not divide 8", pt.Rails)
+	case pt.Oversub < 1:
+		return fmt.Errorf("oversubscription %g < 1", pt.Oversub)
+	case pt.DegradedRail == "" && pt.DegradeFactor != 1:
+		return fmt.Errorf("healthy point carries degrade factor %g", pt.DegradeFactor)
+	case pt.DegradedRail != "" && (pt.DegradeFactor <= 0 || pt.DegradeFactor >= 1):
+		return fmt.Errorf("degraded rail %q with factor %g outside (0, 1)", pt.DegradedRail, pt.DegradeFactor)
+	case pt.Partitioning == "":
+		return fmt.Errorf("no partitioning recorded")
+	case pt.ReplAB < 1 || pt.ReplC < 1:
+		return fmt.Errorf("replication (%d, %d) not positive", pt.ReplAB, pt.ReplC)
+	case pt.CostSeconds <= 0:
+		return fmt.Errorf("cost estimate %g not positive", pt.CostSeconds)
+	case pt.MakespanSeconds <= 0:
+		return fmt.Errorf("makespan %g not positive", pt.MakespanSeconds)
+	case pt.PercentOfPeak <= 0 || pt.PercentOfPeak > 100:
+		return fmt.Errorf("percent of peak %g outside (0, 100]", pt.PercentOfPeak)
+	case pt.AvgComputeUtil < 0 || pt.AvgComputeUtil > 1:
+		return fmt.Errorf("compute utilization %g outside [0, 1]", pt.AvgComputeUtil)
+	case pt.Ops <= 0:
+		return fmt.Errorf("op count %d not positive", pt.Ops)
+	case pt.RemoteGetBytes < 0 || pt.RemoteAccumBytes < 0:
+		return fmt.Errorf("negative traffic (%d get, %d accum)", pt.RemoteGetBytes, pt.RemoteAccumBytes)
+	}
+	return nil
+}
+
+// Encode renders the artifact as indented JSON with a trailing newline —
+// the exact bytes WriteFile commits, exposed so determinism checks can
+// compare in memory.
+func (a *Artifact) Encode() ([]byte, error) {
+	if err := Validate(a); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile atomically persists the artifact (temp file + rename, like the
+// plan cache) after re-validating it.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads and validates an artifact written by WriteFile.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := Validate(&a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}

@@ -1,0 +1,202 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slicing/internal/bench"
+	"slicing/internal/universal"
+)
+
+// smallSpec is a cheap grid for tests: 16- and 32-PE clusters at batch
+// 1024 with one healthy and one degraded column.
+func smallSpec() Spec {
+	return Spec{
+		Name:           "test-sweep",
+		Batch:          1024,
+		NodeCounts:     []int{2, 4},
+		RailCounts:     []int{4},
+		Oversubs:       []float64{1},
+		DegradeFactors: []float64{1, 0.25},
+	}
+}
+
+func TestPointsExpansion(t *testing.T) {
+	pts := Spec{}.Points()
+	if len(pts) < 24 {
+		t.Fatalf("default grid has %d points, want >= 24 for a figure-shaped sweep", len(pts))
+	}
+	degraded := 0
+	for _, ps := range pts {
+		if ps.Rails == 1 && ps.Oversub != 1 {
+			t.Fatalf("invalid point survived expansion: %+v", ps)
+		}
+		if ps.Degrade < 1 {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("default grid has no degraded-rail column")
+	}
+	// Expansion must be deterministic: same spec, same order.
+	again := Spec{}.Points()
+	if len(again) != len(pts) {
+		t.Fatalf("expansion not stable: %d then %d points", len(pts), len(again))
+	}
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatalf("point %d differs across expansions: %+v vs %+v", i, pts[i], again[i])
+		}
+	}
+}
+
+func TestRunSmallGrid(t *testing.T) {
+	cache := universal.NewPlanCache(16)
+	art, err := Run(smallSpec(), cache)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := Validate(art); err != nil {
+		t.Fatalf("artifact invalid: %v", err)
+	}
+	if len(art.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(art.Points))
+	}
+	if art.PlanBuilds == 0 {
+		t.Fatal("sweep compiled no plans")
+	}
+	m, n, k := bench.MLP1.Dims(1024)
+	if art.M != m || art.N != n || art.K != k {
+		t.Fatalf("artifact problem %dx%dx%d, want %dx%dx%d", art.M, art.N, art.K, m, n, k)
+	}
+	// Points come back in expansion order, pairing each healthy point with
+	// its degraded twin; crippling a rail must never make the model faster.
+	for i := 0; i < len(art.Points); i += 2 {
+		healthy, degraded := art.Points[i], art.Points[i+1]
+		if healthy.DegradedRail != "" || degraded.DegradedRail != DegradedRailName {
+			t.Fatalf("points %d/%d not a healthy/degraded pair: %q %q",
+				i, i+1, healthy.DegradedRail, degraded.DegradedRail)
+		}
+		if degraded.MakespanSeconds < healthy.MakespanSeconds {
+			t.Fatalf("%d nodes: degraded rail faster than healthy (%.6g < %.6g)",
+				healthy.Nodes, degraded.MakespanSeconds, healthy.MakespanSeconds)
+		}
+	}
+}
+
+// Equal specs must produce byte-identical artifacts — the property CI's
+// determinism check enforces on the committed SWEEP_*.json.
+func TestRunDeterministic(t *testing.T) {
+	first, err := Run(smallSpec(), nil)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	second, err := Run(smallSpec(), nil)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	a, err := first.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := second.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same spec produced different artifact bytes")
+	}
+}
+
+// A shared warm cache must change plan_builds but nothing else.
+func TestRunWarmCacheSameResults(t *testing.T) {
+	cache := universal.NewPlanCache(16)
+	cold, err := Run(smallSpec(), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PlanBuilds == 0 {
+		t.Fatal("cold run built no plans")
+	}
+	warm, err := Run(smallSpec(), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.PlanBuilds != 0 {
+		t.Fatalf("warm run built %d plans, want 0", warm.PlanBuilds)
+	}
+	for i := range cold.Points {
+		if cold.Points[i] != warm.Points[i] {
+			t.Fatalf("point %d differs between cold and warm cache:\n%+v\n%+v",
+				i, cold.Points[i], warm.Points[i])
+		}
+	}
+}
+
+func TestArtifactFileRoundTrip(t *testing.T) {
+	art, err := Run(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "SWEEP_test.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	a, _ := art.Encode()
+	b, _ := back.Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("artifact changed across a file round trip")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	art, err := Run(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakages := map[string]func(a *Artifact){
+		"wrong schema":      func(a *Artifact) { a.Schema = "sweep/v0" },
+		"no points":         func(a *Artifact) { a.Points = nil },
+		"pe mismatch":       func(a *Artifact) { a.Points[0].PEs++ },
+		"zero makespan":     func(a *Artifact) { a.Points[0].MakespanSeconds = 0 },
+		"peak over 100":     func(a *Artifact) { a.Points[0].PercentOfPeak = 101 },
+		"healthy w/ factor": func(a *Artifact) { a.Points[0].DegradeFactor = 0.5 },
+		"degraded w/ 1.0":   func(a *Artifact) { a.Points[1].DegradeFactor = 1 },
+		"bad rails":         func(a *Artifact) { a.Points[0].Rails = 3 },
+	}
+	for name, sabotage := range breakages {
+		bad := *art
+		bad.Points = append([]Point(nil), art.Points...)
+		sabotage(&bad)
+		if err := Validate(&bad); err == nil {
+			t.Errorf("%s: Validate accepted a broken artifact", name)
+		}
+	}
+}
+
+// ReadFile must reject artifacts with unknown fields (schema drift) and
+// junk — sharing Validate with the writer is the point.
+func TestReadFileRejectsJunk(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"junk":          "not json",
+		"unknown field": `{"schema":"sweep/v1","name":"x","surprise":1}`,
+		"empty":         `{}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFile(path); err == nil {
+			t.Errorf("%s: ReadFile accepted it", name)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"slicing/internal/sweep"
+)
+
+// WriteSweepTable renders a cluster-sweep artifact as an aligned text
+// table: one row per grid point in sweep order, with the cluster shape,
+// the autotuned layout, and the model-predicted makespan and
+// percent-of-peak — the human-readable view of SWEEP_*.json.
+func WriteSweepTable(w io.Writer, art *sweep.Artifact) {
+	fmt.Fprintf(w, "%s: %s batch %d (%dx%dx%d), %d points, %d plan builds\n",
+		art.Name, art.Layer, art.Batch, art.M, art.N, art.K, len(art.Points), art.PlanBuilds)
+	fmt.Fprintf(w, "%6s %6s %6s %8s %8s  %-14s %-7s %-6s %12s %7s\n",
+		"nodes", "pes", "rails", "oversub", "degrade", "partitioning", "repl", "stat", "makespan", "%peak")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 90))
+	for _, pt := range art.Points {
+		degrade := "-"
+		if pt.DegradedRail != "" {
+			degrade = fmt.Sprintf("%.2fx", pt.DegradeFactor)
+		}
+		repl := fmt.Sprintf("%dx%d", pt.ReplAB, pt.ReplC)
+		fmt.Fprintf(w, "%6d %6d %6d %8.2g %8s  %-14s %-7s %-6s %10.3fms %6.1f%%\n",
+			pt.Nodes, pt.PEs, pt.Rails, pt.Oversub, degrade,
+			pt.Partitioning, repl, pt.Stationary,
+			pt.MakespanSeconds*1e3, pt.PercentOfPeak)
+	}
+}

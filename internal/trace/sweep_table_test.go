@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"slicing/internal/sweep"
+)
+
+func TestWriteSweepTable(t *testing.T) {
+	art := &sweep.Artifact{
+		Schema: sweep.ArtifactSchema,
+		Name:   "test",
+		Layer:  "MLP-1",
+		Batch:  1024,
+		M:      1024, N: 49152, K: 12288,
+		PlanBuilds: 2,
+		Points: []sweep.Point{
+			{
+				Nodes: 2, PEs: 16, Rails: 4, Oversub: 1, DegradeFactor: 1,
+				Partitioning: "Block", ReplAB: 1, ReplC: 1, Stationary: "C",
+				CostSeconds: 1e-3, MakespanSeconds: 2e-3, PercentOfPeak: 42.5,
+				AvgComputeUtil: 0.5, Ops: 64, RemoteGetBytes: 1 << 20,
+			},
+			{
+				Nodes: 2, PEs: 16, Rails: 4, Oversub: 1,
+				DegradedRail: sweep.DegradedRailName, DegradeFactor: 0.5,
+				Partitioning: "Outer Prod.", ReplAB: 2, ReplC: 1, Stationary: "C",
+				CostSeconds: 1e-3, MakespanSeconds: 3e-3, PercentOfPeak: 28.3,
+				AvgComputeUtil: 0.4, Ops: 64, RemoteGetBytes: 1 << 20,
+			},
+		},
+	}
+	var sb strings.Builder
+	WriteSweepTable(&sb, art)
+	out := sb.String()
+	for _, want := range []string{"MLP-1", "Block", "Outer Prod.", "0.50x", "42.5%", "2 plan builds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 {
+		t.Errorf("table has %d lines, want 5 (header x3 + 2 points):\n%s", lines, out)
+	}
+}

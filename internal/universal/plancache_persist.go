@@ -1,0 +1,101 @@
+package universal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// PlanCacheFileSchema versions the plan-cache disk format. Readers reject
+// files carrying any other value rather than guessing.
+const PlanCacheFileSchema = "plancache/v1"
+
+// planCacheFile is the serialized form: the schema tag and every cached
+// plan in LRU→MRU order, so replaying the list through Put reproduces the
+// source cache's recency order exactly (the last Put is the most recent).
+type planCacheFile struct {
+	Schema string          `json:"schema"`
+	Plans  []*CompiledPlan `json:"plans"`
+}
+
+// Save writes the cache's current contents to w as schema-versioned JSON.
+// Compiled plans are immutable, so the snapshot taken under the lock is
+// consistent even while other goroutines keep hitting the cache.
+func (c *PlanCache) Save(w io.Writer) error {
+	c.mu.Lock()
+	plans := make([]*CompiledPlan, 0, len(c.entries))
+	for e := c.tail; e != nil; e = e.prev {
+		plans = append(plans, e.cp)
+	}
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(planCacheFile{Schema: PlanCacheFileSchema, Plans: plans})
+}
+
+// SaveFile persists the cache to path, writing a temporary file in the
+// same directory and renaming it into place so a crash mid-save never
+// leaves a truncated cache for the next warm start to choke on.
+func (c *PlanCache) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads a schema-versioned plan file and seeds the cache with every
+// plan it holds, in file (LRU→MRU) order. Each plan passes the full
+// CompiledPlan validation on decode, so a corrupted or hand-edited file
+// fails loudly instead of poisoning later executions. Returns the number
+// of plans inserted (bounded by the cache capacity — a small cache keeps
+// only the most recent tail of a larger file).
+func (c *PlanCache) Load(r io.Reader) (int, error) {
+	var file planCacheFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return 0, fmt.Errorf("universal: decoding plan cache: %w", err)
+	}
+	if file.Schema != PlanCacheFileSchema {
+		return 0, fmt.Errorf("universal: plan cache schema %q, want %q", file.Schema, PlanCacheFileSchema)
+	}
+	for i, cp := range file.Plans {
+		if cp == nil {
+			return 0, fmt.Errorf("universal: plan cache entry %d is null", i)
+		}
+	}
+	for _, cp := range file.Plans {
+		c.Put(cp)
+	}
+	return len(file.Plans), nil
+}
+
+// LoadFile is Load over a file path. A missing file is not an error of the
+// warm-start protocol — it returns (0, nil) so first runs and warm runs
+// share one call site; any other failure (unreadable file, bad schema,
+// invalid plan) is returned as-is.
+func (c *PlanCache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	n, err := c.Load(f)
+	if err != nil {
+		return n, fmt.Errorf("%s: %w", path, err)
+	}
+	return n, nil
+}

@@ -119,26 +119,39 @@ type simBuilder struct {
 	nodes   simnet.NodeMapper
 
 	scratch []gpusim.ResourceID // reused per-op resource list (AddOp copies)
+	getDep  [1]gpusim.OpID      // reused dep list for the §3 put-after-get edge
 }
 
 func newSimBuilder(eng *gpusim.Engine, sys SimSystem, p int) *simBuilder {
-	b := &simBuilder{eng: eng, sys: sys, compute: make([]gpusim.ResourceID, p)}
+	b := &simBuilder{}
+	b.reset(eng, sys, p)
+	return b
+}
+
+// reset rebinds the builder to an engine/system pair and registers the
+// system's resources, reusing the builder's slices so a long-lived builder
+// (ModelExecutor) re-registers each sweep point's resources without
+// allocating once capacities have grown to the largest point seen.
+func (b *simBuilder) reset(eng *gpusim.Engine, sys SimSystem, p int) {
+	b.eng, b.sys = eng, sys
 	b.routed, _ = sys.Topo.(simnet.Routed)
 	b.nodes, _ = sys.Topo.(simnet.NodeMapper)
+	b.compute = b.compute[:0]
+	b.egress = b.egress[:0]
+	b.ingress = b.ingress[:0]
+	b.linkRes = b.linkRes[:0]
 	for pe := 0; pe < p; pe++ {
-		b.compute[pe] = eng.AddResource("compute")
+		b.compute = append(b.compute, eng.AddResource("compute"))
 		if b.routed == nil {
 			b.egress = append(b.egress, eng.AddResource("egress"))
 			b.ingress = append(b.ingress, eng.AddResource("ingress"))
 		}
 	}
 	if b.routed != nil {
-		b.linkRes = make([]gpusim.ResourceID, b.routed.NumLinks())
-		for li := range b.linkRes {
-			b.linkRes[li] = eng.AddResource(b.routed.LinkName(li))
+		for li := 0; li < b.routed.NumLinks(); li++ {
+			b.linkRes = append(b.linkRes, eng.AddResource(b.routed.LinkName(li)))
 		}
 	}
-	return b
 }
 
 // netRes returns the engine resources a src→dst transfer occupies. The
@@ -176,13 +189,16 @@ func (b *simBuilder) transferDur(src, dst, bytes int) float64 {
 // Within a node it is a single accumulate at the measured fraction of copy
 // bandwidth (claiming the initiator's compute engine too on devices that
 // model accumulate/GEMM interference); across nodes it is the §3 get+put
-// round trip, the put gated on the get as the coarse lock requires.
-func (b *simBuilder) addAccum(label string, rank, dst, bytes int, deps []gpusim.OpID) gpusim.OpID {
+// round trip, the put gated on the get as the coarse lock requires. The
+// cross-node labels are passed in pre-concatenated ("accum_get", ...) so
+// the hot replay path builds no strings.
+func (b *simBuilder) addAccum(label, getLabel, putLabel string, rank, dst, bytes int, deps []gpusim.OpID) gpusim.OpID {
 	if b.crossNode(rank, dst) {
-		get := b.eng.AddOp(label+"_get", gpusim.OpAccum, b.transferDur(dst, rank, bytes),
+		get := b.eng.AddOp(getLabel, gpusim.OpAccum, b.transferDur(dst, rank, bytes),
 			deps, b.netRes(dst, rank))
-		return b.eng.AddOp(label+"_put", gpusim.OpAccum, b.transferDur(rank, dst, bytes),
-			[]gpusim.OpID{get}, b.netRes(rank, dst))
+		b.getDep[0] = get
+		return b.eng.AddOp(putLabel, gpusim.OpAccum, b.transferDur(rank, dst, bytes),
+			b.getDep[:], b.netRes(rank, dst))
 	}
 	bw := b.sys.Topo.Bandwidth(rank, dst)
 	dur := b.sys.Dev.AccumTime(float64(bytes), bw) + b.sys.Topo.Latency(rank, dst) + b.sys.Dev.LaunchOverhead
@@ -205,48 +221,97 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 	}
 	plans := buildPlans(prob, cfg, p)
 	eng := gpusim.NewEngine()
-	b := newSimBuilder(eng, sys, p)
+	var r planReplayer
+	res, run := r.replay(prob, cfg, sys, plans, eng)
+	return res, eng, run
+}
+
+// planReplayer maps per-rank plans onto a discrete-event DAG and runs it.
+// It is the single replay implementation behind both SimulateMultiplyTrace
+// (fresh plans, fresh engine) and ModelExecutor (compiled plans, reused
+// engine), so the two paths agree bit for bit by construction: same op
+// insertion order, same resources, same durations, same scheduler.
+//
+// All scratch lives on the replayer and is grown once, so a reused
+// replayer performs zero steady-state allocations per replay.
+type planReplayer struct {
+	b simBuilder
+
+	// Per-rank step scratch. fetchA/fetchB replace the old per-step fetch
+	// slice-of-slices: a step issues at most one A fetch and one B fetch,
+	// always in that order, so two flat arrays with a -1 sentinel carry the
+	// same information without per-step allocations.
+	gemmIDs  []gpusim.OpID
+	chainEnd []gpusim.OpID // gemm or accum, whichever finishes the chain
+	fetchA   []gpusim.OpID
+	fetchB   []gpusim.OpID
+
+	lastOpPerRank []gpusim.OpID
+	deps          []gpusim.OpID // reused dependency scratch (AddOp copies)
+}
+
+// growOps reslices s to length n, reallocating only when capacity is
+// insufficient; contents are not preserved.
+func growOps(s []gpusim.OpID, n int) []gpusim.OpID {
+	if cap(s) < n {
+		return make([]gpusim.OpID, n)
+	}
+	return s[:n]
+}
+
+// addFetch issues the fetch for step i of rank's plan. Fetches are issued
+// in program order with a lookahead window of PrefetchDepth: the fetch for
+// step i may not start before the GEMM of step i-1-PrefetchDepth has been
+// issued (§4.2 prefetches the next two tiles while computing the current
+// one).
+func (r *planReplayer) addFetch(cfg Config, rank, i, src, bytes int) gpusim.OpID {
+	r.deps = r.deps[:0]
+	if gate := i - 1 - cfg.PrefetchDepth; gate >= 0 {
+		r.deps = append(r.deps, r.gemmIDs[gate])
+	}
+	return r.b.eng.AddOp("get", gpusim.OpComm, r.b.transferDur(src, rank, bytes),
+		r.deps, r.b.netRes(src, rank))
+}
+
+// replay builds the engine DAG for plans over sys, runs it, and summarizes.
+// cfg must already have defaults applied; the engine must be empty (fresh
+// or Reset). plans must hold exactly sys.Topo.NumPE() rank plans.
+func (r *planReplayer) replay(prob Problem, cfg Config, sys SimSystem, plans []Plan, eng *gpusim.Engine) (SimResult, gpusim.Result) {
+	p := len(plans)
+	r.b.reset(eng, sys, p)
 
 	result := SimResult{}
-	lastOpPerRank := make([]gpusim.OpID, 0, p)
+	r.lastOpPerRank = r.lastOpPerRank[:0]
 	var resolved Stationary
 
-	// Reused dependency scratch: AddOp copies its deps, so one buffer
-	// serves every op.
-	var deps []gpusim.OpID
-
 	for rank := 0; rank < p; rank++ {
-		plan := plans[rank]
+		plan := &plans[rank]
 		resolved = plan.Stationary
 		result.Ops += len(plan.Steps)
 		result.RemoteGetBytes += plan.RemoteFetchBytes()
 		result.RemoteAccumBytes += plan.RemoteAccumBytes()
 
-		gemmIDs := make([]gpusim.OpID, len(plan.Steps))
-		chainEnd := make([]gpusim.OpID, len(plan.Steps)) // gemm or accum, whichever finishes the chain
-		fetchFor := make([][]gpusim.OpID, len(plan.Steps))
-
-		// Fetches are issued in program order with a lookahead window of
-		// PrefetchDepth: the fetch for step i may not start before the GEMM
-		// of step i-1-PrefetchDepth has been issued (§4.2 prefetches the
-		// next two tiles while computing the current one).
-		addFetch := func(i int, src, bytes int) gpusim.OpID {
-			deps = deps[:0]
-			if gate := i - 1 - cfg.PrefetchDepth; gate >= 0 {
-				deps = append(deps, gemmIDs[gate])
-			}
-			return eng.AddOp("get", gpusim.OpComm, b.transferDur(src, rank, bytes),
-				deps, b.netRes(src, rank))
-		}
+		n := len(plan.Steps)
+		r.gemmIDs = growOps(r.gemmIDs, n)
+		r.chainEnd = growOps(r.chainEnd, n)
+		r.fetchA = growOps(r.fetchA, n)
+		r.fetchB = growOps(r.fetchB, n)
 
 		for i, s := range plan.Steps {
+			r.fetchA[i], r.fetchB[i] = -1, -1
 			if s.FetchA {
-				fetchFor[i] = append(fetchFor[i], addFetch(i, s.ASrc, s.ABytes))
+				r.fetchA[i] = r.addFetch(cfg, rank, i, s.ASrc, s.ABytes)
 			}
 			if s.FetchB {
-				fetchFor[i] = append(fetchFor[i], addFetch(i, s.BSrc, s.BBytes))
+				r.fetchB[i] = r.addFetch(cfg, rank, i, s.BSrc, s.BBytes)
 			}
-			deps = append(deps[:0], fetchFor[i]...)
+			r.deps = r.deps[:0]
+			if r.fetchA[i] >= 0 {
+				r.deps = append(r.deps, r.fetchA[i])
+			}
+			if r.fetchB[i] >= 0 {
+				r.deps = append(r.deps, r.fetchB[i])
+			}
 			// Tile-cache hits must still wait for the step that fetched the
 			// tile; the engine's per-resource serialization of fetches on
 			// rank's ingress side plus program order makes that fetch precede
@@ -254,27 +319,27 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 			// to the earlier fetch is redundant for timing.
 			// Bounded chain concurrency: the semaphore of §4.2.
 			if gate := i - cfg.MaxInflight; gate >= 0 {
-				deps = append(deps, chainEnd[gate])
+				r.deps = append(r.deps, r.chainEnd[gate])
 			}
 			op := s.Op
 			gemmDur := sys.Dev.GemmTime(op.M.Len(), op.N.Len(), op.K.Len()) + sys.Dev.LaunchOverhead
-			gemmIDs[i] = eng.AddOp("gemm", gpusim.OpCompute, gemmDur, deps,
-				[]gpusim.ResourceID{b.compute[rank]})
-			chainEnd[i] = gemmIDs[i]
+			r.gemmIDs[i] = eng.AddOp("gemm", gpusim.OpCompute, gemmDur, r.deps,
+				r.b.compute[rank:rank+1])
+			r.chainEnd[i] = r.gemmIDs[i]
 
 			if s.AccumBytes > 0 {
-				deps = append(deps[:0], gemmIDs[i])
+				r.deps = append(r.deps[:0], r.gemmIDs[i])
 				if s.CLocal {
 					// Local accumulate: read-modify-write in HBM.
 					accDur := 2*float64(s.AccumBytes)/sys.Dev.MemBW + sys.Dev.LaunchOverhead
-					chainEnd[i] = eng.AddOp("accum", gpusim.OpAccum, accDur, deps, nil)
+					r.chainEnd[i] = eng.AddOp("accum", gpusim.OpAccum, accDur, r.deps, nil)
 				} else {
-					chainEnd[i] = b.addAccum("accum", rank, s.CDst, s.AccumBytes, deps)
+					r.chainEnd[i] = r.b.addAccum("accum", "accum_get", "accum_put", rank, s.CDst, s.AccumBytes, r.deps)
 				}
 			}
 		}
-		if n := len(plan.Steps); n > 0 {
-			lastOpPerRank = append(lastOpPerRank, chainEnd[n-1])
+		if n > 0 {
+			r.lastOpPerRank = append(r.lastOpPerRank, r.chainEnd[n-1])
 		}
 	}
 
@@ -290,7 +355,7 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 			dst := prob.C.RankFor(prob.C.SlotOf(rank), origin)
 			for _, idx := range prob.C.OwnedTiles(rank) {
 				bytes := prob.C.TileBounds(idx).Area() * 4
-				b.addAccum("reduce", rank, dst, bytes, lastOpPerRank)
+				r.b.addAccum("reduce", "reduce_get", "reduce_put", rank, dst, bytes, r.lastOpPerRank)
 				result.RemoteAccumBytes += bytes
 			}
 		}
@@ -306,8 +371,8 @@ func SimulateMultiplyTrace(prob Problem, cfg Config, sys SimSystem) (SimResult, 
 	}
 	var util float64
 	for pe := 0; pe < p; pe++ {
-		util += run.Utilization(b.compute[pe])
+		util += run.Utilization(r.b.compute[pe])
 	}
 	result.AvgComputeUtil = util / float64(p)
-	return result, eng, run
+	return result, run
 }

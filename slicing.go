@@ -33,10 +33,12 @@ import (
 	"slicing/internal/distmat"
 	"slicing/internal/gpubackend"
 	"slicing/internal/gpusim"
+	"slicing/internal/modelworld"
 	"slicing/internal/runtime"
 	"slicing/internal/serve"
 	"slicing/internal/shmem"
 	"slicing/internal/simbackend"
+	"slicing/internal/sweep"
 	"slicing/internal/tile"
 	"slicing/internal/universal"
 )
@@ -301,6 +303,51 @@ func NewPlanCache(capacity int) *PlanCache { return universal.NewPlanCache(capac
 
 // PlansOf returns the world's shared plan cache, creating it on first use.
 func PlansOf(w World) *PlanCache { return universal.PlansOf(w) }
+
+// ModelExecutor is the model-only execution mode: it replays compiled
+// plans through a reused discrete-event engine with no real arithmetic and
+// no tile allocation, so cluster-scale what-if evaluation (thousands of
+// PEs, internal/sweep's grids) runs at full MLP scale. Not safe for
+// concurrent use; pool executors instead. See docs/SWEEPS.md.
+type ModelExecutor = universal.ModelExecutor
+
+// NewModelExecutor returns a reusable model-only executor.
+func NewModelExecutor() *ModelExecutor { return universal.NewModelExecutor() }
+
+// SimulateCompiledTrace replays one compiled plan over a system through a
+// fresh model executor and returns the result plus the underlying engine
+// run for tracing (the compiled-plan counterpart of SimulateMultiply).
+func SimulateCompiledTrace(p Problem, cp *CompiledPlan, cfg Config, sys SimSystem) (SimResult, *gpusim.Engine, gpusim.Result) {
+	return universal.SimulateCompiledTrace(p, cp, cfg, sys)
+}
+
+// ModelBackend is the metadata-only backend shim: worlds that carry
+// segment lengths but no storage, on which plans, plan keys, and autotune
+// searches are computed at cluster scale with zero tile memory. Any
+// attempt to execute or touch data panics. See docs/SWEEPS.md.
+type ModelBackend = modelworld.Backend
+
+// NewModelWorld returns a metadata-only world with p PEs.
+func NewModelWorld(p int) *modelworld.World { return modelworld.NewWorld(p) }
+
+// SweepSpec declares a cluster sweep: one MLP layer and batch over a grid
+// of H100 fat-tree shapes (node counts × rails × oversubscription ×
+// degraded rails). The zero value sweeps the default Figure 2/3-shaped
+// grid. See docs/SWEEPS.md.
+type SweepSpec = sweep.Spec
+
+// SweepArtifact is the schema-versioned ("sweep/v1"), machine-readable
+// result of a cluster sweep — what cmd/cluster_sweep writes as
+// SWEEP_*.json.
+type SweepArtifact = sweep.Artifact
+
+// RunSweep evaluates every grid point of the spec through the model-only
+// executor, sharing compiled plans via cache (nil for a private cache),
+// and returns a validated artifact. Deterministic: equal specs produce
+// byte-identical artifacts.
+func RunSweep(spec SweepSpec, cache *PlanCache) (*SweepArtifact, error) {
+	return sweep.Run(spec, cache)
+}
 
 // Server is the multiply-as-a-service layer: a long-lived server
 // multiplexing concurrent multiply requests from many tenants over one
