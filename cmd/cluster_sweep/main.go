@@ -5,9 +5,11 @@
 // with a degraded-rail column), at full MLP scale, with no real arithmetic
 // and no tile allocation.
 //
-//	go run ./cmd/cluster_sweep -pr 9              # writes SWEEP_PR9.json
+//	go run ./cmd/cluster_sweep -pr 10             # writes SWEEP_PR10.json
 //	go run ./cmd/cluster_sweep -nodes 2,8 -rails 8 -oversub 1 -degrade 1
-//	go run ./cmd/cluster_sweep -validate SWEEP_PR9.json
+//	go run ./cmd/cluster_sweep -crashes 0,1,8     # adds the availability axis
+//	go run ./cmd/cluster_sweep -validate SWEEP_PR10.json
+//	go run ./cmd/cluster_sweep -plot SWEEP_PR10_AVAIL.json
 //
 // The sweep is deterministic: the same flags always produce byte-identical
 // artifacts (CI diffs two runs), unless -stamp adds a generation
@@ -60,7 +62,7 @@ func fail(err error) {
 }
 
 func main() {
-	pr := flag.Int("pr", 9, "PR number for the default output name")
+	pr := flag.Int("pr", 10, "PR number for the default output name")
 	out := flag.String("out", "", "output path (default SWEEP_PR<pr>.json)")
 	layer := flag.String("layer", "mlp1", "MLP layer to sweep: mlp1 or mlp2")
 	batch := flag.Int("batch", 0, "global batch size (0: the largest paper batch)")
@@ -68,10 +70,12 @@ func main() {
 	rails := flag.String("rails", "", "comma-separated rail counts (default 1,4,8)")
 	oversub := flag.String("oversub", "", "comma-separated oversubscription ratios (default 1,2)")
 	degrade := flag.String("degrade", "", "comma-separated degrade factors (default 1,0.5)")
+	crashes := flag.String("crashes", "", "comma-separated crashed-rank counts for the availability axis (default none)")
 	seed := flag.Int64("seed", 0, "identity seed recorded in the artifact")
 	stamp := flag.Bool("stamp", false, "record the generation time (breaks byte-determinism)")
 	planCache := flag.String("plancache", "", "plan-cache file to warm-start from and save back to")
 	validate := flag.String("validate", "", "validate an existing artifact file and exit")
+	plot := flag.String("plot", "", "render an existing artifact's curves as ASCII and exit")
 	flag.Parse()
 
 	if *validate != "" {
@@ -80,6 +84,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("%s: valid %s artifact, %d points\n", *validate, art.Schema, len(art.Points))
+		return
+	}
+	if *plot != "" {
+		art, err := sweep.ReadFile(*plot)
+		if err != nil {
+			fail(err)
+		}
+		trace.WriteSweepPlot(os.Stdout, art)
 		return
 	}
 
@@ -115,6 +127,11 @@ func main() {
 	if *degrade != "" {
 		if spec.DegradeFactors, err = floats(*degrade); err != nil {
 			fail(fmt.Errorf("-degrade: %w", err))
+		}
+	}
+	if *crashes != "" {
+		if spec.CrashCounts, err = ints(*crashes); err != nil {
+			fail(fmt.Errorf("-crashes: %w", err))
 		}
 	}
 

@@ -119,9 +119,16 @@ func stormRules(rate float64) []chaos.Rule {
 }
 
 // runServeStorm drives the chaos workload against one world (chaos-
-// wrapped or healthy) and returns per-request latencies, the completed
-// count, and the server's fault accounting.
+// wrapped or healthy) with the default serving config.
 func runServeStorm(o ServeChaosOptions, w rt.World) (lat []time.Duration, completed int, st serve.Stats) {
+	return runServeConfigured(o, w, serve.Config{})
+}
+
+// runServeConfigured drives the chaos workload against one world under
+// the given serving config (batch and queue sizing is overridden from
+// the options) and returns per-request latencies, the completed count,
+// and the server's fault accounting.
+func runServeConfigured(o ServeChaosOptions, w rt.World, cfg serve.Config) (lat []time.Duration, completed int, st serve.Stats) {
 	part := distmat.Custom{TileRows: o.TileDim, TileCols: o.TileDim, ProcRows: 2, ProcCols: o.P / 2}
 	a := distmat.New(w, o.Dim, o.Dim, part, 1)
 	b := distmat.New(w, o.Dim, o.Dim, part, 1)
@@ -133,7 +140,9 @@ func runServeStorm(o ServeChaosOptions, w rt.World) (lat []time.Duration, comple
 		a.FillRandom(pe, 1)
 		b.FillRandom(pe, 2)
 	})
-	s := serve.NewServer(w, serve.Config{Batch: o.Batch, Queue: 2 * o.Workers * o.PerWorker})
+	cfg.Batch = o.Batch
+	cfg.Queue = 2 * o.Workers * o.PerWorker
+	s := serve.NewServer(w, cfg)
 	lats := make([][]time.Duration, o.Workers)
 	var done sync.WaitGroup
 	var okCount sync.Map

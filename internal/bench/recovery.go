@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"sort"
+
+	"slicing/internal/chaos"
+	"slicing/internal/serve"
+	"slicing/internal/shmem"
+)
+
+// ServeRecoveryOptions sizes the RunServeRecovery crash storm. The zero
+// value selects the ISSUE acceptance workload: 4 PEs, 16³ multiplies, 64
+// concurrent clients across 4 tenants, a seeded transient drizzle, one
+// rank crashed mid-run — and the serving loop's failover switched on.
+type ServeRecoveryOptions struct {
+	P          int     // PEs (default 4)
+	Dim        int     // square multiply dimension (default 16)
+	TileDim    int     // partition tile (default Dim/2)
+	Workers    int     // concurrent clients (default 64)
+	Tenants    int     // tenants the clients spread over (default 4)
+	PerWorker  int     // requests per client (default 10)
+	Batch      int     // server batch size (default 8)
+	Rate       float64 // transient fault rate per op (default 0.01)
+	Seed       int64   // chaos seed (default 42)
+	CrashAfter int     // ops before the crash rule arms (default 200)
+}
+
+func (o ServeRecoveryOptions) withDefaults() ServeRecoveryOptions {
+	c := ServeChaosOptions{P: o.P, Dim: o.Dim, TileDim: o.TileDim,
+		Workers: o.Workers, Tenants: o.Tenants, PerWorker: o.PerWorker,
+		Batch: o.Batch, Rate: o.Rate, Seed: o.Seed}.withDefaults()
+	o.P, o.Dim, o.TileDim = c.P, c.Dim, c.TileDim
+	o.Workers, o.Tenants, o.PerWorker = c.Workers, c.Tenants, c.PerWorker
+	o.Batch, o.Rate, o.Seed = c.Batch, c.Rate, c.Seed
+	if o.CrashAfter <= 0 {
+		o.CrashAfter = 200
+	}
+	return o
+}
+
+// ServeRecoveryResult reports one failover run: how much of the load the
+// server kept serving through a rank death, and what the repair cost.
+type ServeRecoveryResult struct {
+	Requests        int     // total requests issued under the storm
+	AvailabilityPct float64 // completed / issued, percent
+	RecoveredReqs   int64   // requests that completed via replan-and-replay
+	Replans         int64   // plan-repair attempts across the run
+	ReplanMsP99     float64 // p99 of per-attempt replan latency, ms
+	Crashes         int64   // rank crashes injected (1: the rule fired)
+	Heals           int64   // rank revivals injected
+	P99Ms           float64 // p99 request latency through the storm
+}
+
+// recoveryRules is the failover storm: the transient drizzle of the
+// acceptance storm, one rank crashed mid-run, and a later heal that folds
+// it back in — the full kill/recover/heal cycle under serving load.
+func recoveryRules(rate float64, crashAfter int) []chaos.Rule {
+	return []chaos.Rule{
+		{Name: "get-drizzle", Ops: chaos.OpGet, Rate: rate},
+		{Name: "die", Kind: chaos.Crash, Ranks: []int{1}, Rate: 1, After: crashAfter, MaxFires: 1},
+		// Crashed ranks draw no sequence numbers, so survivor traffic
+		// necessarily drives the heal.
+		{Name: "mend", Kind: chaos.Heal, Target: 1, Rate: 1, After: 4 * crashAfter, MaxFires: 1},
+	}
+}
+
+// RunServeRecovery measures the serving loop's failover: the chaos
+// workload runs with Config.Recover enabled while a seeded plan crashes
+// one rank mid-multiply and later heals it. Availability counts every
+// request that completed — including those absorbed by replan-and-replay
+// against the surviving world.
+func RunServeRecovery(o ServeRecoveryOptions) ServeRecoveryResult {
+	o = o.withDefaults()
+
+	plan := &chaos.Plan{Seed: o.Seed, Rules: recoveryRules(o.Rate, o.CrashAfter)}
+	w := chaos.WrapWorld(shmem.NewWorld(o.P), plan)
+	cw, _ := chaos.Of(w)
+	co := ServeChaosOptions{P: o.P, Dim: o.Dim, TileDim: o.TileDim,
+		Workers: o.Workers, Tenants: o.Tenants, PerWorker: o.PerWorker,
+		Batch: o.Batch, Rate: o.Rate, Seed: o.Seed}
+	lat, completed, st := runServeConfigured(co, w, serve.Config{Recover: true})
+
+	total := o.Workers * o.PerWorker
+	res := ServeRecoveryResult{
+		Requests:      total,
+		RecoveredReqs: st.Recovered,
+		Replans:       st.Replans,
+		Crashes:       cw.Injected().Crashes,
+		Heals:         cw.Injected().Heals,
+	}
+	if total > 0 {
+		res.AvailabilityPct = 100 * float64(completed) / float64(total)
+	}
+	res.ReplanMsP99 = p99Float(st.ReplanMs)
+	_, res.P99Ms = percentiles(lat)
+	return res
+}
+
+// p99Float is percentiles' tail for plain millisecond samples.
+func p99Float(ms []float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	return s[int(0.99*float64(len(s)-1))]
+}

@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestRunServeRecoveryAcceptance is the ISSUE acceptance check at reduced
+// client count: a seeded storm crashes one rank mid-multiply under
+// concurrent serving load with failover on, and the server must keep
+// availability at 100% of requests with the crash absorbed by recovery.
+func TestRunServeRecoveryAcceptance(t *testing.T) {
+	// CrashAfter scales with load: the full 640-request bench uses the 200
+	// default; this 64-request test arms the rule proportionally earlier.
+	r := RunServeRecovery(ServeRecoveryOptions{Workers: 16, PerWorker: 4, CrashAfter: 20})
+	if r.Crashes != 1 {
+		t.Fatalf("crash rule fired %d times, want 1", r.Crashes)
+	}
+	if r.AvailabilityPct < 99 {
+		t.Fatalf("availability %.2f%% below the 99%% acceptance floor (%+v)", r.AvailabilityPct, r)
+	}
+	if r.RecoveredReqs < 1 || r.Replans < 1 {
+		t.Fatalf("crash was not absorbed by recovery: %+v", r)
+	}
+	if r.Replans > 0 && r.ReplanMsP99 <= 0 {
+		t.Fatalf("replans recorded but no replan latency: %+v", r)
+	}
+	if r.Requests != 16*4 {
+		t.Fatalf("issued %d requests, want 64", r.Requests)
+	}
+}

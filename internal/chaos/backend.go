@@ -99,6 +99,7 @@ type World struct {
 	hung      atomic.Int64
 	crashes   atomic.Int64
 	degrades  atomic.Int64
+	heals     atomic.Int64
 
 	mu  sync.Mutex
 	log []Fire
@@ -144,6 +145,25 @@ func (w *World) DegradeLink(name string, factor float64) bool {
 // Crashed reports whether a Crash rule has fired on rank.
 func (w *World) Crashed(rank int) bool { return w.crashed[rank].Load() }
 
+// RankFailed implements runtime.HealthReporter from the sticky crash
+// flags, so membership views (runtime.Membership.Sync, DeadRanksOf) and
+// the serving loop's failover path can poll liveness through the plain
+// runtime.World interface.
+func (w *World) RankFailed(rank int) bool { return w.crashed[rank].Load() }
+
+// Revive clears rank's crash flag — the test-scriptable heal: the PE's
+// NIC came back and its initiations work again. It reports whether the
+// rank was crashed (false makes repeated revival idempotent). Reviving
+// does not rewind rule state: a Crash rule that still matches the rank
+// may crash it again, and MaxFires caps already consumed stay consumed.
+func (w *World) Revive(rank int) bool {
+	if w.crashed[rank].CompareAndSwap(true, false) {
+		w.heals.Add(1)
+		return true
+	}
+	return false
+}
+
 // Injected returns a snapshot of the per-kind injection counters.
 func (w *World) Injected() Stats {
 	return Stats{
@@ -152,6 +172,7 @@ func (w *World) Injected() Stats {
 		Hung:      w.hung.Load(),
 		Crashes:   w.crashes.Load(),
 		Degrades:  w.degrades.Load(),
+		Heals:     w.heals.Load(),
 	}
 }
 
@@ -248,6 +269,13 @@ func (w *World) fire(idx int, r *Rule, class OpClass, rank, seq int, op string) 
 		if w.once[idx].CompareAndSwap(false, true) && w.DegradeLink(r.Link, r.Factor) {
 			w.record(r, class, rank, seq)
 			w.degrades.Add(1)
+		}
+	case Heal:
+		// Revive only records when Target was actually crashed, so the
+		// logged schedule stays meaningful (one fire per revival) even
+		// though the rule keeps deciding true on later ops.
+		if w.Revive(r.Target) {
+			w.record(r, class, rank, seq)
 		}
 	}
 }

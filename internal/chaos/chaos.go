@@ -29,6 +29,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"slicing/internal/fabric"
@@ -104,6 +105,16 @@ const (
 	// Rule.Factor through the mid-run-safe degrade hook, then performs
 	// the op normally. Fires at most once per world regardless of rank.
 	DegradeRail
+	// Heal revives the crashed rank named Rule.Target (World.Revive),
+	// then performs the op normally. Because a crashed rank's in-scope
+	// ops fail before drawing sequence numbers, a Heal rule necessarily
+	// fires from ANOTHER rank's op stream — the health prober noticing
+	// the NIC came back, not the dead rank healing itself. It records a
+	// fire only when a revival actually happens (Target was crashed), so
+	// with Rate 1 the rule is an idempotent "revive Target once N ops
+	// have passed". A revived rank may crash again if a Crash rule still
+	// matches it; bound kill/heal cycles with MaxFires on the Crash rule.
+	Heal
 )
 
 // String names the kind for logs.
@@ -119,6 +130,8 @@ func (k Kind) String() string {
 		return "crash"
 	case DegradeRail:
 		return "degrade-rail"
+	case Heal:
+		return "heal"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -151,6 +164,8 @@ type Rule struct {
 	// bandwidth multiplier in (0, 1].
 	Link   string
 	Factor float64
+	// Target is the rank a Heal rule revives.
+	Target int
 }
 
 // matches reports whether the rule applies to an op of class c initiated
@@ -239,5 +254,45 @@ func (f Fire) String() string {
 
 // Stats counts injected effects per kind across a world's lifetime.
 type Stats struct {
-	Transient, Delayed, Hung, Crashes, Degrades int64
+	Transient, Delayed, Hung, Crashes, Degrades, Heals int64
+}
+
+// PickRanks deterministically selects k distinct ranks out of p using the
+// same splitmix64 mixer as the fire decisions: each rank is scored by
+// hashing (seed, salt, rank) and the k lowest scores win (ties broken by
+// rank). The result is sorted ascending — ready for
+// universal.Config.Exclude — and depends only on the inputs, so seeded
+// crash grids (the sweep's availability axis) reproduce exactly. k is
+// clamped to [0, p].
+func PickRanks(seed int64, salt uint64, k, p int) []int {
+	if k <= 0 || p <= 0 {
+		return nil
+	}
+	if k > p {
+		k = p
+	}
+	base := splitmix64(uint64(seed) ^ splitmix64(salt))
+	picked := make([]int, 0, k)
+	for len(picked) < k {
+		best, bestScore := -1, uint64(0)
+		for r := 0; r < p; r++ {
+			taken := false
+			for _, pr := range picked {
+				if pr == r {
+					taken = true
+					break
+				}
+			}
+			if taken {
+				continue
+			}
+			score := splitmix64(base ^ uint64(r))
+			if best < 0 || score < bestScore {
+				best, bestScore = r, score
+			}
+		}
+		picked = append(picked, best)
+	}
+	sort.Ints(picked)
+	return picked
 }

@@ -1,0 +1,154 @@
+package chaos
+
+// Tests of the kill/heal machinery: the Heal rule kind, World.Revive,
+// the HealthReporter view, and the deterministic rank picker behind the
+// sweep's availability axis.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	rt "slicing/internal/runtime"
+	"slicing/internal/shmem"
+)
+
+// TestHealRevivesCrashedRank scripts a full kill/heal cycle: rank 1
+// crashes on its first in-scope op, rank 0's third op fires the Heal
+// rule (the prober noticing the NIC came back), and rank 1's next op
+// succeeds. The health view must track both transitions.
+func TestHealRevivesCrashedRank(t *testing.T) {
+	plan := &Plan{Seed: 3, Rules: []Rule{
+		{Name: "die", Kind: Crash, Ranks: []int{1}, Rate: 1, MaxFires: 1},
+		{Name: "probe-heal", Kind: Heal, Target: 1, Ranks: []int{0}, Rate: 1, After: 2, MaxFires: 1},
+	}}
+	w := WrapWorld(shmem.NewWorld(2), plan)
+	cw, ok := Of(w)
+	if !ok {
+		t.Fatal("Of failed on a wrapped world")
+	}
+	var dead, sticky, healed error
+	w.Run(func(pe rt.PE) {
+		seg := pe.AllocSymmetric(16)
+		dst := make([]float32, 16)
+		rt.PushFaultScope(pe)
+		defer rt.PopFaultScope(pe)
+		if pe.Rank() == 1 {
+			dead = tryOp(func() { pe.Get(dst, seg, 0, 0) })
+			sticky = tryOp(func() { pe.Get(dst, seg, 0, 0) })
+		}
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			if !cw.RankFailed(1) {
+				t.Error("health view missed the crash")
+			}
+			// Ops 0 and 1 warm past After; op 2 fires the heal.
+			for i := 0; i < 3; i++ {
+				if err := tryOp(func() { pe.Get(dst, seg, 1, 0) }); err != nil {
+					t.Errorf("rank 0 op %d onto the dead rank's memory: %v", i, err)
+				}
+			}
+		}
+		pe.Barrier()
+		if pe.Rank() == 1 {
+			healed = tryOp(func() { pe.Get(dst, seg, 0, 0) })
+		}
+	})
+	if !errors.Is(dead, rt.ErrPEFailed) {
+		t.Fatalf("crash op error: %v", dead)
+	}
+	if !errors.Is(sticky, rt.ErrPEFailed) {
+		t.Fatalf("crash was not sticky before the heal: %v", sticky)
+	}
+	if healed != nil {
+		t.Fatalf("post-heal op still failing: %v", healed)
+	}
+	if cw.RankFailed(1) {
+		t.Fatal("health view still reports rank 1 failed after the heal")
+	}
+	inj := cw.Injected()
+	if inj.Crashes != 1 || inj.Heals != 1 {
+		t.Fatalf("stats = %+v, want exactly one crash and one heal", inj)
+	}
+	foundHeal := false
+	for _, f := range cw.Fires() {
+		if f.Kind == Heal {
+			if foundHeal {
+				t.Fatal("heal fired twice despite MaxFires 1")
+			}
+			foundHeal = true
+			if f.Rank != 0 {
+				t.Fatalf("heal fired from rank %d, want the prober rank 0", f.Rank)
+			}
+		}
+	}
+	if !foundHeal {
+		t.Fatal("no heal fire in the schedule log")
+	}
+}
+
+// TestReviveIsIdempotent pins Revive's direct contract: reviving a
+// healthy rank is a no-op that records nothing.
+func TestReviveIsIdempotent(t *testing.T) {
+	plan := &Plan{Seed: 1, Rules: []Rule{
+		{Name: "die", Kind: Crash, Ranks: []int{0}, Rate: 1},
+	}}
+	w := WrapWorld(shmem.NewWorld(1), plan)
+	cw, _ := Of(w)
+	if cw.Revive(0) {
+		t.Fatal("Revive on a healthy rank reported a revival")
+	}
+	w.Run(func(pe rt.PE) {
+		seg := pe.AllocSymmetric(8)
+		dst := make([]float32, 8)
+		rt.PushFaultScope(pe)
+		defer rt.PopFaultScope(pe)
+		_ = tryOp(func() { pe.Get(dst, seg, 0, 0) })
+	})
+	if !cw.Crashed(0) {
+		t.Fatal("rank 0 did not crash")
+	}
+	if !cw.Revive(0) {
+		t.Fatal("Revive on a crashed rank reported nothing")
+	}
+	if cw.Revive(0) {
+		t.Fatal("second Revive reported a revival")
+	}
+	if got := cw.Injected().Heals; got != 1 {
+		t.Fatalf("Heals = %d, want 1", got)
+	}
+}
+
+// TestPickRanksDeterministic pins the sweep's crash-grid picker: pure in
+// its inputs, sorted, distinct, clamped, and salt-sensitive.
+func TestPickRanksDeterministic(t *testing.T) {
+	a := PickRanks(42, 7, 3, 8)
+	b := PickRanks(42, 7, 3, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs, different picks: %v vs %v", a, b)
+	}
+	if len(a) != 3 {
+		t.Fatalf("picked %d ranks, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] < 0 || a[i] >= 8 {
+			t.Fatalf("pick %d out of range: %v", i, a)
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("picks not sorted-distinct: %v", a)
+		}
+	}
+	if got := PickRanks(42, 7, 12, 8); len(got) != 8 {
+		t.Fatalf("k past p not clamped: %v", got)
+	}
+	if PickRanks(42, 7, 0, 8) != nil || PickRanks(42, 7, 3, 0) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+	differs := false
+	for salt := uint64(0); salt < 32 && !differs; salt++ {
+		differs = !reflect.DeepEqual(PickRanks(42, salt, 3, 8), a)
+	}
+	if !differs {
+		t.Fatal("32 salts all produced the same picks")
+	}
+}

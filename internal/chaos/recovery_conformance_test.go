@@ -1,0 +1,139 @@
+package chaos_test
+
+// The recovery conformance suite: every backend, with one of its four
+// ranks crashed mid-multiply by a seeded chaos plan, must still produce C
+// within 1e-4 of the naive reference through MultiplyResilient — the
+// survivors adopt exactly the dead rank's unfinished steps — with pooled
+// buffers balanced and every rank (the crashed one included) returning a
+// nil error and the identical recovery report.
+
+import (
+	"testing"
+
+	"slicing/internal/chaos"
+	"slicing/internal/distmat"
+	"slicing/internal/gpusim"
+	rt "slicing/internal/runtime"
+	"slicing/internal/tile"
+	"slicing/internal/universal"
+)
+
+// recoveryStormPlan crashes rank 2 mid-run (After skips its first ops, so
+// the checkpoint has landed steps to preserve) on top of a light
+// transient drizzle, proving retry and recovery compose.
+func recoveryStormPlan(seed int64) *chaos.Plan {
+	return &chaos.Plan{Seed: seed, Rules: []chaos.Rule{
+		{Name: "get-drizzle", Ops: chaos.OpGet, Rate: 0.02},
+		{Name: "die", Kind: chaos.Crash, Ranks: []int{2}, Rate: 1, After: 8, MaxFires: 1},
+	}}
+}
+
+func TestRecoveryConformanceAcrossBackends(t *testing.T) {
+	for _, b := range chaosBackends() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			const p, m, n, k = 4, 90, 70, 50
+			pool := gpusim.NewPool()
+			w := chaos.Wrap(b, recoveryStormPlan(99)).NewWorld(p)
+			cw, ok := chaos.Of(w)
+			if !ok {
+				t.Fatal("chaos.Of failed on a wrapped world")
+			}
+			a := distmat.New(w, m, k, distmat.RowBlock{}, 1)
+			bm := distmat.New(w, k, n, distmat.ColBlock{}, 1)
+			c := distmat.New(w, m, n, distmat.Custom{TileRows: 13, TileCols: 11, ProcRows: 2, ProcCols: 2}, 1)
+			cfg := universal.DefaultConfig()
+			cfg.Pool = pool
+			cfg.Retry.Attempts = stormRetryAttempts
+			var got, want *tile.Matrix
+			errs := make([]error, p)
+			reports := make([]universal.RecoveryReport, p)
+			w.Run(func(pe rt.PE) {
+				a.FillRandom(pe, 31)
+				bm.FillRandom(pe, 32)
+				pe.Barrier()
+				if pe.Rank() == 0 {
+					want = tile.New(m, n)
+					tile.GemmNaive(want, a.Gather(pe, 0), bm.Gather(pe, 0))
+				}
+				_, reports[pe.Rank()], errs[pe.Rank()] = universal.MultiplyResilient(pe, c, a, bm, cfg)
+				pe.Barrier()
+				if pe.Rank() == 0 {
+					got = c.Gather(pe, 0)
+				}
+			})
+			if !cw.Crashed(2) {
+				t.Fatal("rank 2 never crashed — the test exercised nothing")
+			}
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: resilient multiply failed: %v", r, err)
+				}
+			}
+			// Every rank — the crashed one included — must compute the same
+			// recovery story from the exchanged status.
+			for r, rep := range reports {
+				if !rep.Recovered {
+					t.Errorf("rank %d: report not marked Recovered: %+v", r, rep)
+				}
+				if len(rep.FailedRanks) != 1 || rep.FailedRanks[0] != 2 {
+					t.Errorf("rank %d: FailedRanks = %v, want [2]", r, rep.FailedRanks)
+				}
+				if rep.Rounds < 1 {
+					t.Errorf("rank %d: Rounds = %d, want >= 1", r, rep.Rounds)
+				}
+				if rep.Rounds != reports[0].Rounds || rep.ReplayedOps != reports[0].ReplayedOps {
+					t.Errorf("rank %d: report diverged: %+v vs %+v", r, rep, reports[0])
+				}
+			}
+			if d := maxRelDiff(want, got); d > 1e-4 {
+				t.Errorf("max rel diff %g vs GemmNaive after recovery", d)
+			}
+			if live := pool.Stats().Live; live != 0 {
+				t.Errorf("%d pooled elements leaked across the recovery", live)
+			}
+		})
+	}
+}
+
+// TestRecoveryCleanRunNoOverhead pins that a fault-free resilient
+// multiply reports no recovery and matches the reference: the checkpoint
+// and status exchange are overhead, never a behaviour change.
+func TestRecoveryCleanRunNoOverhead(t *testing.T) {
+	plan := &chaos.Plan{Seed: 7} // no rules: nothing ever fires
+	const p, m, n, k = 4, 90, 70, 50
+	pool := gpusim.NewPool()
+	w := chaos.Wrap(chaosBackends()[0], plan).NewWorld(p)
+	a := distmat.New(w, m, k, distmat.RowBlock{}, 1)
+	bm := distmat.New(w, k, n, distmat.ColBlock{}, 1)
+	c := distmat.New(w, m, n, distmat.RowBlock{}, 1)
+	cfg := universal.DefaultConfig()
+	cfg.Pool = pool
+	var got, want *tile.Matrix
+	w.Run(func(pe rt.PE) {
+		a.FillRandom(pe, 41)
+		bm.FillRandom(pe, 42)
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			want = tile.New(m, n)
+			tile.GemmNaive(want, a.Gather(pe, 0), bm.Gather(pe, 0))
+		}
+		_, rep, err := universal.MultiplyResilient(pe, c, a, bm, cfg)
+		if err != nil {
+			t.Errorf("rank %d: %v", pe.Rank(), err)
+		}
+		if rep.Recovered || rep.Rounds != 0 || len(rep.FailedRanks) != 0 {
+			t.Errorf("rank %d: clean run reported recovery: %+v", pe.Rank(), rep)
+		}
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			got = c.Gather(pe, 0)
+		}
+	})
+	if d := maxRelDiff(want, got); d > 1e-4 {
+		t.Errorf("max rel diff %g vs GemmNaive on a clean resilient run", d)
+	}
+	if live := pool.Stats().Live; live != 0 {
+		t.Errorf("%d pooled elements leaked", live)
+	}
+}

@@ -1,0 +1,107 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stubWorld satisfies World with inert methods so health-view tests can
+// build worlds from scripted liveness alone.
+type stubWorld struct{}
+
+func (stubWorld) AllocSymmetric(int) SegmentID            { return 0 }
+func (stubWorld) World() World                            { return nil }
+func (stubWorld) NumPE() int                              { return 0 }
+func (stubWorld) SegmentStorage(SegmentID, int) []float32 { return nil }
+func (stubWorld) SegmentLen(SegmentID) int                { return 0 }
+func (stubWorld) Run(func(PE))                            {}
+func (stubWorld) Stats() Stats                            { return Stats{} }
+func (stubWorld) ResetStats()                             {}
+
+// fakeHealthWorld is a minimal World + HealthReporter for membership
+// tests: liveness is scripted directly.
+type fakeHealthWorld struct {
+	stubWorld
+	failed []bool
+}
+
+func (w *fakeHealthWorld) NumPE() int            { return len(w.failed) }
+func (w *fakeHealthWorld) RankFailed(r int) bool { return w.failed[r] }
+
+func TestMembershipTransitionsAndEpochs(t *testing.T) {
+	m := NewMembership(4)
+	if m.NumPE() != 4 || m.NumAlive() != 4 {
+		t.Fatalf("fresh membership: NumPE %d NumAlive %d", m.NumPE(), m.NumAlive())
+	}
+	if m.Excluded() != nil {
+		t.Fatalf("fresh membership excludes %v", m.Excluded())
+	}
+	if !m.Exclude(2) {
+		t.Fatal("first Exclude reported no transition")
+	}
+	if m.Exclude(2) {
+		t.Fatal("repeated Exclude reported a transition")
+	}
+	if m.Alive(2) || m.Epoch(2) != 1 {
+		t.Fatalf("after exclude: alive=%v epoch=%d", m.Alive(2), m.Epoch(2))
+	}
+	if got := m.Excluded(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("Excluded = %v", got)
+	}
+	if got := m.Survivors(); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Fatalf("Survivors = %v", got)
+	}
+	if !m.Revive(2) || m.Revive(2) {
+		t.Fatal("Revive idempotence broken")
+	}
+	// Odd epoch = dead, even = alive after Epoch/2 kill/heal cycles.
+	if !m.Alive(2) || m.Epoch(2) != 2 {
+		t.Fatalf("after revive: alive=%v epoch=%d", m.Alive(2), m.Epoch(2))
+	}
+	m.Exclude(2)
+	if m.Epoch(2) != 3 {
+		t.Fatalf("second death epoch = %d, want 3", m.Epoch(2))
+	}
+}
+
+func TestMembershipSyncFollowsHealthReporter(t *testing.T) {
+	w := &fakeHealthWorld{failed: make([]bool, 4)}
+	m := NewMembership(4)
+	if died, healed := m.Sync(w); died != 0 || healed != 0 {
+		t.Fatalf("healthy sync: died=%d healed=%d", died, healed)
+	}
+	w.failed[1], w.failed[3] = true, true
+	if died, healed := m.Sync(w); died != 2 || healed != 0 {
+		t.Fatalf("crash sync: died=%d healed=%d", died, healed)
+	}
+	if got := m.Excluded(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("Excluded = %v", got)
+	}
+	// Re-sync with no change is a no-op.
+	if died, healed := m.Sync(w); died != 0 || healed != 0 {
+		t.Fatalf("steady sync: died=%d healed=%d", died, healed)
+	}
+	w.failed[1] = false
+	if died, healed := m.Sync(w); died != 0 || healed != 1 {
+		t.Fatalf("heal sync: died=%d healed=%d", died, healed)
+	}
+	if got := m.Excluded(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("Excluded after heal = %v", got)
+	}
+	if m.Epoch(1) != 2 {
+		t.Fatalf("rank 1 epoch = %d after one kill/heal cycle, want 2", m.Epoch(1))
+	}
+}
+
+func TestMembershipSyncWithoutReporterIsInert(t *testing.T) {
+	m := NewMembership(2)
+	m.Exclude(0)
+	// A world without the HealthReporter capability must leave the view
+	// untouched.
+	if died, healed := m.Sync(stubWorld{}); died != 0 || healed != 0 {
+		t.Fatalf("capability-less sync: died=%d healed=%d", died, healed)
+	}
+	if got := m.Excluded(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Excluded = %v", got)
+	}
+}

@@ -99,6 +99,18 @@ type Config struct {
 	// reported by PlanCachePersistence, not surfaced as serving errors: a
 	// cold start is a performance event, never a correctness one.
 	PlanCacheFile string
+	// Recover enables failover in the serving loop: when a fused batch
+	// dies with a fatal PE fault, the dispatcher syncs its membership view
+	// against the world's health reporter, recompiles the batch's plans
+	// with the crashed ranks excluded (repair plans are ordinary plan-cache
+	// entries — PlanKey carries the exclusion set), and replays the whole
+	// batch. The replay re-zeroes every result matrix first, so per-tenant
+	// order and the disjoint-accumulate invariant hold exactly as on the
+	// first attempt. Recovered batches count as Served (plus Recovered);
+	// only failures the recovery path could not absorb feed the circuit
+	// breakers. Healed ranks are re-included before the next batch.
+	// Requires the compiled-plan cache: ignored under NoCache.
+	Recover bool
 }
 
 func (cfg Config) withDefaults(w rt.World) Config {
@@ -109,6 +121,11 @@ func (cfg Config) withDefaults(w rt.World) Config {
 		cfg.Batch = 8
 	}
 	cfg.Breaker = cfg.Breaker.withDefaults()
+	if cfg.NoCache {
+		// Failover recompiles against the surviving world through the
+		// compiled-plan cache; the naive path has no plans to repair.
+		cfg.Recover = false
+	}
 	if cfg.Exec.Retry.Retries == nil {
 		// The server owns a retry counter so Stats can report the world's
 		// transparently-recovered faults (every Config copy shares it).
@@ -165,12 +182,15 @@ type TenantStats struct {
 	// done.
 	Served, Rejected, Cancelled, Expired int64
 	// Failed counts requests whose fused batch hit a fatal one-sided
-	// fault (every request of the batch fails — there is no telling which
-	// results the fault poisoned). Shed counts admissions rejected by
-	// deadline-aware load shedding or an open circuit breaker. Tripped
-	// counts this tenant's breaker trips (including failed half-open
-	// probes re-opening it).
-	Failed, Shed, Tripped int64
+	// fault the recovery path could not absorb (every request of the
+	// batch fails — there is no telling which results the fault
+	// poisoned). Shed counts admissions rejected by deadline-aware load
+	// shedding or an open circuit breaker. Tripped counts this tenant's
+	// breaker trips (including failed half-open probes re-opening it).
+	// Recovered counts served requests whose batch hit a fatal fault that
+	// failover absorbed (Config.Recover): they also count in Served, and
+	// they feed the breaker's success path, not its failure path.
+	Failed, Shed, Tripped, Recovered int64
 	// Traffic aggregates the runtime.Stats deltas attributed to this
 	// tenant's executed requests.
 	Traffic rt.Stats
@@ -187,6 +207,13 @@ type Stats struct {
 	// performed transparently on the server's behalf — recovered faults
 	// that never surfaced to any caller.
 	Failed, Shed, Tripped, Retries int64
+	// Recovered aggregates per-tenant recovered requests (Config.Recover);
+	// Replans counts plan recompilations the failover path performed
+	// against a shrunken world, and ReplanMs their individual durations in
+	// milliseconds (lookup-through-recompile, per failover attempt) —
+	// the recovery cost axis of the availability story.
+	Recovered, Replans int64
+	ReplanMs           []float64
 	// Batches counts collective activations; BatchedRequests their total
 	// request count (BatchedRequests/Batches is the realized batch size).
 	Batches, BatchedRequests int64
@@ -211,7 +238,14 @@ type Server struct {
 
 	served, rejected, cancelled, expired int64
 	failed, shed, tripped                int64
+	recovered, replans                   int64
+	replanMs                             []float64
 	batches, batchedRequests             int64
+
+	// member is the failover path's health view of the world's ranks,
+	// non-nil only under Config.Recover; the dispatcher syncs it against
+	// the world's HealthReporter around every batch. Dispatcher-only.
+	member *rt.Membership
 	// batchEWMA is the exponentially-weighted average batch duration in
 	// seconds, the load-shedding wait model; guarded by mu.
 	batchEWMA float64
@@ -247,6 +281,9 @@ func newServer(w rt.World, cfg Config) *Server {
 	}
 	if s.cfg.PlanCacheFile != "" && s.cfg.Exec.Plans != nil {
 		s.warmLoaded, s.persistErr = s.cfg.Exec.Plans.LoadFile(s.cfg.PlanCacheFile)
+	}
+	if s.cfg.Recover {
+		s.member = rt.NewMembership(w.NumPE())
 	}
 	return s
 }
@@ -574,29 +611,35 @@ func (s *Server) drainClosed() {
 	}
 }
 
-// runBatch executes one admitted batch as a single fused collective
-// activation: every PE zeroes all results, barriers once, runs every
-// request's plan back-to-back, and barriers once more. The batch invariant
-// from nextBatch — no request touches another's result matrix — makes the
-// unsynchronized interleaving safe: all intervening one-sided updates
-// target disjoint matrices and commute.
-func (s *Server) runBatch(batch []*request) {
-	start := time.Now()
-	cfg := s.cfg.Exec
-	// Plan lookup happens once per batch on the dispatcher thread, not P
-	// times inside the collective: on a hit the PEs receive ready-to-run
-	// compiled plans and touch no shared cache state at all.
-	var probs []universal.Problem
-	var cps []*universal.CompiledPlan
-	if cfg.Plans != nil {
-		probs = make([]universal.Problem, len(batch))
-		cps = make([]*universal.CompiledPlan, len(batch))
-		for i, r := range batch {
-			probs[i] = r.prob
-			cps[i] = cfg.Plans.GetOrCompile(r.prob, cfg)
-			r.stat = cps[i].Stationary()
-		}
+// lookupPlans resolves the batch's compiled plans on the dispatcher
+// thread, once per batch rather than P times inside the collective: on a
+// hit the PEs receive ready-to-run compiled plans and touch no shared
+// cache state at all. cfg.Exclude keys the lookup — a failover replay
+// against a shrunken world resolves different (repair) plans from the
+// same cache. Returns nils under NoCache.
+func (s *Server) lookupPlans(batch []*request, cfg universal.Config) ([]universal.Problem, []*universal.CompiledPlan) {
+	if cfg.Plans == nil {
+		return nil, nil
 	}
+	probs := make([]universal.Problem, len(batch))
+	cps := make([]*universal.CompiledPlan, len(batch))
+	for i, r := range batch {
+		probs[i] = r.prob
+		cps[i] = cfg.Plans.GetOrCompile(r.prob, cfg)
+		r.stat = cps[i].Stationary()
+	}
+	return probs, cps
+}
+
+// executeBatch runs one fused collective activation of the batch: every
+// PE zeroes all results, barriers once, runs every request's plan
+// back-to-back, and barriers once more. The batch invariant from
+// nextBatch — no request touches another's result matrix — makes the
+// unsynchronized interleaving safe: all intervening one-sided updates
+// target disjoint matrices and commute. Re-zeroing on entry makes the
+// activation idempotent, which is what lets failover replay a whole
+// batch after a fatal fault without double-counting partial accumulates.
+func (s *Server) executeBatch(batch []*request, probs []universal.Problem, cps []*universal.CompiledPlan, cfg universal.Config) error {
 	// Any rank's fatal fault fails the whole fused batch: the requests'
 	// accumulates interleave without synchronization, so there is no
 	// telling which results the aborted rank had already contributed to.
@@ -654,6 +697,55 @@ func (s *Server) runBatch(batch []*request) {
 			}
 		}
 	})
+	return execErr
+}
+
+// runBatch executes one admitted batch, recovering from fatal PE faults
+// when Config.Recover is set: a batch that dies with ErrPEFailed is
+// replayed in full against the surviving world — membership re-synced,
+// plans recompiled with the crashed ranks excluded, every result
+// re-zeroed by executeBatch — until it lands or no repair is possible.
+// Because nextBatch admitted these requests in tenant FIFO order and the
+// replay keeps the batch intact, recovery preserves per-tenant order; a
+// recovered batch is accounted as served (plus Recovered) and never
+// feeds the circuit breakers.
+func (s *Server) runBatch(batch []*request) {
+	start := time.Now()
+	cfg := s.cfg.Exec
+	if s.member != nil {
+		// Pick up heals (and crashes detected since the last batch) before
+		// compiling: a revived rank rejoins the plan here.
+		s.member.Sync(s.world)
+		cfg.Exclude = s.member.Excluded()
+	}
+	var replans int64
+	var replanMs []float64
+	recovered := false
+	probs, cps := s.lookupPlans(batch, cfg)
+	execErr := s.executeBatch(batch, probs, cps, cfg)
+	if execErr != nil && s.member != nil && errors.Is(execErr, rt.ErrPEFailed) {
+		// Failover: each attempt retires at least one newly crashed rank,
+		// so NumPE attempts bound the loop even under a rolling crash storm.
+		for attempt := 0; attempt < s.world.NumPE(); attempt++ {
+			t0 := time.Now()
+			died, _ := s.member.Sync(s.world)
+			if died == 0 || s.member.NumAlive() == 0 {
+				break // nothing new to exclude, or nobody left to run on
+			}
+			cfg.Exclude = s.member.Excluded()
+			probs, cps = s.lookupPlans(batch, cfg)
+			replans++
+			replanMs = append(replanMs, time.Since(t0).Seconds()*1e3)
+			execErr = s.executeBatch(batch, probs, cps, cfg)
+			if execErr == nil {
+				recovered = true
+				break
+			}
+			if !errors.Is(execErr, rt.ErrPEFailed) {
+				break
+			}
+		}
+	}
 	now := time.Now()
 	s.mu.Lock()
 	if s.batchEWMA == 0 {
@@ -661,6 +753,8 @@ func (s *Server) runBatch(batch []*request) {
 	} else {
 		s.batchEWMA += ewmaAlpha * (now.Sub(start).Seconds() - s.batchEWMA)
 	}
+	s.replans += replans
+	s.replanMs = append(s.replanMs, replanMs...)
 	breakerOn := s.cfg.Breaker.Threshold > 0
 	for _, r := range batch {
 		t := r.tenant
@@ -673,6 +767,10 @@ func (s *Server) runBatch(batch []*request) {
 				s.tripped++
 			}
 			continue
+		}
+		if recovered {
+			t.stats.Recovered++
+			s.recovered++
 		}
 		t.stats.Served++
 		addStats(&t.stats.Traffic, r.traffic)
@@ -756,6 +854,9 @@ func (s *Server) Stats() Stats {
 		Shed:            s.shed,
 		Tripped:         s.tripped,
 		Retries:         s.cfg.Exec.Retry.Retries.Load(),
+		Recovered:       s.recovered,
+		Replans:         s.replans,
+		ReplanMs:        append([]float64(nil), s.replanMs...),
 		Batches:         s.batches,
 		BatchedRequests: s.batchedRequests,
 		Tenants:         make(map[string]TenantStats, len(s.tenants)),

@@ -108,6 +108,18 @@ func validatePoint(pt Point) error {
 	case pt.RemoteGetBytes < 0 || pt.RemoteAccumBytes < 0:
 		return fmt.Errorf("negative traffic (%d get, %d accum)", pt.RemoteGetBytes, pt.RemoteAccumBytes)
 	}
+	// The availability axis is optional (classic artifacts carry none of
+	// its fields); when any of them is set, all must be coherent.
+	if pt.AvailabilityPct != 0 || pt.DegradationX != 0 || pt.CrashedRanks != 0 {
+		switch {
+		case pt.AvailabilityPct <= 0 || pt.AvailabilityPct > 100:
+			return fmt.Errorf("availability %g%% outside (0, 100]", pt.AvailabilityPct)
+		case pt.DegradationX < 1:
+			return fmt.Errorf("degradation %gx below 1", pt.DegradationX)
+		case pt.CrashedRanks < 0 || pt.CrashedRanks >= pt.PEs:
+			return fmt.Errorf("%d crashed ranks on %d PEs", pt.CrashedRanks, pt.PEs)
+		}
+	}
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"slicing/internal/autotune"
 	"slicing/internal/bench"
+	"slicing/internal/chaos"
 	"slicing/internal/fabric"
 	"slicing/internal/gpusim"
 	"slicing/internal/modelworld"
@@ -59,6 +60,15 @@ type Spec struct {
 	// 1 is the healthy fabric, values in (0, 1) add a degraded-rail
 	// column to the figure.
 	DegradeFactors []float64
+	// CrashCounts, when non-empty, adds the availability axis: each count
+	// crashes that many ranks — picked deterministically from (Seed, point
+	// index) via chaos.PickRanks — and re-prices the point's plan with the
+	// crashed ranks excluded (universal.Config.Exclude), the survivors
+	// having adopted their work. The point then carries availability
+	// (healthy-vs-degraded makespan ratio) and degradation fields. Counts
+	// must lie in [0, PEs); 0 is the explicit 100%-availability baseline.
+	// Nil keeps the classic grid and artifact byte-layout unchanged.
+	CrashCounts []int
 	// Autotune bounds the per-point search. Partitionings nil searches
 	// every family (expensive at cluster scale); Replications nil every
 	// divisor of p. MemBudgetElems 0 is unlimited. SimulateTop re-ranks
@@ -104,33 +114,45 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
-// PointSpec is one expanded grid point.
+// PointSpec is one expanded grid point. Crashes is the availability
+// axis: -1 when the axis is absent (classic sweeps), otherwise the
+// number of ranks to crash at this point.
 type PointSpec struct {
 	Nodes   int
 	Rails   int
 	Oversub float64
 	Degrade float64
+	Crashes int
 }
 
 // valid reports whether the fat-tree preset accepts the combination.
 func (ps PointSpec) valid() bool {
 	return ps.Nodes >= 2 && ps.Rails >= 1 && ps.Rails <= 8 && 8%ps.Rails == 0 &&
 		ps.Oversub >= 1 && !(ps.Rails == 1 && ps.Oversub != 1) &&
-		ps.Degrade > 0 && ps.Degrade <= 1
+		ps.Degrade > 0 && ps.Degrade <= 1 &&
+		ps.Crashes >= -1 && ps.Crashes < 8*ps.Nodes
 }
 
 // Points expands the spec's grid in deterministic nesting order
-// (nodes, rails, oversub, degrade), skipping invalid combinations.
+// (nodes, rails, oversub, degrade, crashes), skipping invalid
+// combinations. Without CrashCounts the crash axis collapses to the
+// -1 sentinel, leaving classic expansions unchanged.
 func (s Spec) Points() []PointSpec {
 	s = s.withDefaults()
+	crashes := s.CrashCounts
+	if len(crashes) == 0 {
+		crashes = []int{-1}
+	}
 	var out []PointSpec
 	for _, nodes := range s.NodeCounts {
 		for _, rails := range s.RailCounts {
 			for _, ov := range s.Oversubs {
 				for _, dg := range s.DegradeFactors {
-					ps := PointSpec{Nodes: nodes, Rails: rails, Oversub: ov, Degrade: dg}
-					if ps.valid() {
-						out = append(out, ps)
+					for _, cr := range crashes {
+						ps := PointSpec{Nodes: nodes, Rails: rails, Oversub: ov, Degrade: dg, Crashes: cr}
+						if ps.valid() {
+							out = append(out, ps)
+						}
 					}
 				}
 			}
@@ -164,6 +186,19 @@ type Point struct {
 	RemoteAccumBytes int     `json:"remote_accum_bytes"`
 	AvgComputeUtil   float64 `json:"avg_compute_util"`
 	Ops              int     `json:"ops"`
+
+	// The availability axis (Spec.CrashCounts), absent — and omitted from
+	// the JSON — on classic sweeps. CrashedRanks is how many ranks this
+	// point crashed; AvailabilityPct is the fraction of healthy throughput
+	// the surviving ranks retain, 100·healthy/degraded makespan capped at
+	// 100 (work conservation means survivors can only slow down, but the
+	// cap keeps a pathologically better balance from reading as >100%
+	// availability); DegradationX is the makespan stretch, floored at 1
+	// symmetrically. MakespanSeconds stays the healthy baseline so the
+	// classic columns remain comparable across specs.
+	CrashedRanks    int     `json:"crashed_ranks,omitempty"`
+	AvailabilityPct float64 `json:"availability_pct,omitempty"`
+	DegradationX    float64 `json:"degradation_x,omitempty"`
 }
 
 // Run evaluates every grid point concurrently and freezes the results into
@@ -190,7 +225,7 @@ func Run(spec Spec, cache *universal.PlanCache) (*Artifact, error) {
 	var executors sync.Pool
 	results := make([]Point, len(points))
 	rt.ForEachIndex(len(points), func(i int) {
-		results[i] = evalPoint(points[i], spec, m, n, k, cache, &executors)
+		results[i] = evalPoint(points[i], i, spec, m, n, k, cache, &executors)
 	})
 
 	art := &Artifact{
@@ -214,7 +249,10 @@ func Run(spec Spec, cache *universal.PlanCache) (*Artifact, error) {
 
 // evalPoint prices one grid point: build the fabric, autotune the layout,
 // compile or fetch the plan, and replay it through the model executor.
-func evalPoint(ps PointSpec, spec Spec, m, n, k int, cache *universal.PlanCache, executors *sync.Pool) Point {
+// idx is the point's position in the deterministic expansion order; it
+// salts the crash picker so different grid points crash different rank
+// sets under one seed.
+func evalPoint(ps PointSpec, idx int, spec Spec, m, n, k int, cache *universal.PlanCache, executors *sync.Pool) Point {
 	fab := fabric.H100FatTree(ps.Nodes, ps.Rails, ps.Oversub)
 	degraded := ""
 	if ps.Degrade < 1 {
@@ -243,9 +281,8 @@ func evalPoint(ps PointSpec, spec Spec, m, n, k int, cache *universal.PlanCache,
 		x = universal.NewModelExecutor()
 	}
 	res := x.Simulate(prob, cp, cfg, sys)
-	executors.Put(x)
 
-	return Point{
+	pt := Point{
 		Nodes: ps.Nodes, PEs: p, Rails: ps.Rails, Oversub: ps.Oversub,
 		DegradedRail: degraded, DegradeFactor: ps.Degrade,
 		Partitioning: cand.Part.String(), ReplAB: cand.ReplAB, ReplC: cand.ReplC,
@@ -254,4 +291,24 @@ func evalPoint(ps PointSpec, spec Spec, m, n, k int, cache *universal.PlanCache,
 		RemoteGetBytes: res.RemoteGetBytes, RemoteAccumBytes: res.RemoteAccumBytes,
 		AvgComputeUtil: res.AvgComputeUtil, Ops: res.Ops,
 	}
+	if ps.Crashes >= 0 {
+		pt.CrashedRanks = ps.Crashes
+		pt.AvailabilityPct, pt.DegradationX = 100, 1
+		if ps.Crashes > 0 {
+			// Re-price the same schedule with the crashed ranks excluded:
+			// the exclusion set is part of the plan key, so the repair plan
+			// is an ordinary cache entry shared across points that agree on
+			// everything including which ranks died.
+			cfgx := cfg
+			cfgx.Exclude = chaos.PickRanks(spec.Seed, uint64(idx), ps.Crashes, p)
+			cpx := cache.GetOrCompile(prob, cfgx)
+			resx := x.Simulate(prob, cpx, cfgx, sys)
+			if resx.Makespan > res.Makespan {
+				pt.AvailabilityPct = 100 * res.Makespan / resx.Makespan
+				pt.DegradationX = resx.Makespan / res.Makespan
+			}
+		}
+	}
+	executors.Put(x)
+	return pt
 }

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"slicing/internal/sweep"
+)
+
+// WriteSweepPlot renders a cluster-sweep artifact as a deterministic
+// ASCII scatter — the terminal-native view of the paper's figures.
+// Artifacts carrying the availability axis plot availability (% of
+// healthy throughput) against crashed ranks; classic artifacts plot
+// percent-of-peak against cluster size. One glyph per series (a distinct
+// cluster configuration), with a legend underneath. Output is a pure
+// function of the artifact: same file, same bytes.
+func WriteSweepPlot(w io.Writer, art *sweep.Artifact) {
+	avail := false
+	for _, pt := range art.Points {
+		if pt.AvailabilityPct != 0 {
+			avail = true
+			break
+		}
+	}
+	if avail {
+		series := groupPoints(art, func(pt sweep.Point) (string, float64, float64, bool) {
+			key := fmt.Sprintf("%dn x %dr ov%g dg%g", pt.Nodes, pt.Rails, pt.Oversub, pt.DegradeFactor)
+			return key, float64(pt.CrashedRanks), pt.AvailabilityPct, pt.AvailabilityPct != 0
+		})
+		title := fmt.Sprintf("%s: availability vs crashed ranks (%s batch %d)", art.Name, art.Layer, art.Batch)
+		renderPlot(w, title, "crashed ranks", "avail %", series)
+	} else {
+		series := groupPoints(art, func(pt sweep.Point) (string, float64, float64, bool) {
+			key := fmt.Sprintf("%dr ov%g dg%g", pt.Rails, pt.Oversub, pt.DegradeFactor)
+			return key, float64(pt.PEs), pt.PercentOfPeak, true
+		})
+		title := fmt.Sprintf("%s: percent of peak vs cluster size (%s batch %d)", art.Name, art.Layer, art.Batch)
+		renderPlot(w, title, "PEs", "% peak", series)
+	}
+}
+
+// plotSeries is one named point set of the plot.
+type plotSeries struct {
+	name   string
+	xs, ys []float64
+}
+
+// groupPoints buckets the artifact's points into series via pick, which
+// returns the series key, the (x, y) coordinates, and whether the point
+// participates. Series come back sorted by name so glyph assignment is
+// deterministic.
+func groupPoints(art *sweep.Artifact, pick func(sweep.Point) (string, float64, float64, bool)) []plotSeries {
+	byName := map[string]*plotSeries{}
+	for _, pt := range art.Points {
+		key, x, y, ok := pick(pt)
+		if !ok {
+			continue
+		}
+		s := byName[key]
+		if s == nil {
+			s = &plotSeries{name: key}
+			byName[key] = s
+		}
+		s.xs = append(s.xs, x)
+		s.ys = append(s.ys, y)
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]plotSeries, len(names))
+	for i, name := range names {
+		out[i] = *byName[name]
+	}
+	return out
+}
+
+// plotGlyphs are assigned to series in sorted-name order; overlapping
+// points keep the earlier series' glyph (first write wins), so rendering
+// order never depends on map iteration.
+const plotGlyphs = "ox+*#@%&"
+
+// renderPlot rasterizes the series onto a fixed-size character grid with
+// y-axis labels, an x-axis ruler, and a legend.
+func renderPlot(w io.Writer, title, xLabel, yLabel string, series []plotSeries) {
+	const width, height = 58, 16
+	if len(series) == 0 {
+		fmt.Fprintf(w, "%s\n(no points to plot)\n", title)
+		return
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.xs {
+			minX, maxX = math.Min(minX, s.xs[i]), math.Max(maxX, s.xs[i])
+			minY, maxY = math.Min(minY, s.ys[i]), math.Max(maxY, s.ys[i])
+		}
+	}
+	// Degenerate spans still need a nonzero scale to land on the grid.
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.xs {
+			col := int(math.Round((s.xs[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.ys[i]-minY)/(maxY-minY)*float64(height-1)))
+			if grid[row][col] == ' ' {
+				grid[row][col] = g
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n\n", title)
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%.4g", minY)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%.4g", (maxY+minY)/2)
+		}
+		fmt.Fprintf(w, "%8s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%8s  %-*g%*g\n", "", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(w, "%8s  (%s vs %s)\n", "", yLabel, xLabel)
+	for si, s := range series {
+		fmt.Fprintf(w, "%10c %s\n", plotGlyphs[si%len(plotGlyphs)], s.name)
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"slicing/internal/sweep"
+)
+
+// plotPoint builds a minimal valid classic point; callers layer the
+// availability fields on top.
+func plotPoint(nodes int, peak float64) sweep.Point {
+	return sweep.Point{
+		Nodes: nodes, PEs: 8 * nodes, Rails: 4, Oversub: 1, DegradeFactor: 1,
+		Partitioning: "Block", ReplAB: 1, ReplC: 1, Stationary: "C",
+		CostSeconds: 1e-3, MakespanSeconds: 2e-3, PercentOfPeak: peak,
+		AvgComputeUtil: 0.5, Ops: 64, RemoteGetBytes: 1 << 20,
+	}
+}
+
+func plotArtifact(points ...sweep.Point) *sweep.Artifact {
+	return &sweep.Artifact{
+		Schema: sweep.ArtifactSchema,
+		Name:   "test-plot",
+		Layer:  "MLP-1",
+		Batch:  1024,
+		M:      1024, N: 49152, K: 12288,
+		Points: points,
+	}
+}
+
+func TestWriteSweepPlotClassic(t *testing.T) {
+	art := plotArtifact(plotPoint(2, 42.5), plotPoint(4, 38.1), plotPoint(8, 31.7))
+	var sb strings.Builder
+	WriteSweepPlot(&sb, art)
+	out := sb.String()
+	for _, want := range []string{"percent of peak vs cluster size", "% peak", "PEs", "4r ov1 dg1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Errorf("plot rasterized fewer than 3 points:\n%s", out)
+	}
+}
+
+func TestWriteSweepPlotAvailability(t *testing.T) {
+	base := plotPoint(2, 42.5)
+	base.AvailabilityPct, base.DegradationX = 100, 1
+	one := plotPoint(2, 42.5)
+	one.CrashedRanks, one.AvailabilityPct, one.DegradationX = 1, 61.2, 1.63
+	four := plotPoint(2, 42.5)
+	four.CrashedRanks, four.AvailabilityPct, four.DegradationX = 4, 34.9, 2.87
+	art := plotArtifact(base, one, four)
+	var sb strings.Builder
+	WriteSweepPlot(&sb, art)
+	out := sb.String()
+	for _, want := range []string{"availability vs crashed ranks", "avail %", "2n x 4r ov1 dg1", "100", "34.9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Equal artifacts must render identical bytes — the plot feeds CI logs
+// and must not wobble across runs.
+func TestWriteSweepPlotDeterministic(t *testing.T) {
+	art := plotArtifact(plotPoint(2, 42.5), plotPoint(4, 38.1))
+	var a, b strings.Builder
+	WriteSweepPlot(&a, art)
+	WriteSweepPlot(&b, art)
+	if a.String() != b.String() {
+		t.Fatal("same artifact rendered different plots")
+	}
+}
+
+func TestWriteSweepPlotEmptySeries(t *testing.T) {
+	art := plotArtifact(plotPoint(2, 42.5))
+	art.Points = nil
+	var sb strings.Builder
+	WriteSweepPlot(&sb, art)
+	if !strings.Contains(sb.String(), "no points to plot") {
+		t.Errorf("empty artifact did not degrade gracefully:\n%s", sb.String())
+	}
+}

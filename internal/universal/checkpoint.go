@@ -1,0 +1,69 @@
+package universal
+
+import (
+	"sync/atomic"
+
+	rt "slicing/internal/runtime"
+)
+
+// Checkpoint is the step-granular progress record of one plan execution:
+// one flag per plan step, set by the worker crew at the instant the
+// step's single one-sided accumulate lands (gemmAccumulateChain issues
+// exactly one accumulate per step, and a failed op moves no data, so
+// "marked" is precisely "this step's C contribution is durable"). Marks
+// happen at the same point the step's tileSlot references retire, so a
+// checkpointed run keeps the executor's pooled-buffer balance intact.
+//
+// After a fatal fault the unmarked steps are exactly the replay set of
+// plan repair: re-executing them — and only them — on any surviving rank
+// accumulates each elementary product exactly once (docs/RESILIENCE.md,
+// "Recovery contract"). The flags are atomics because MaxInflight crew
+// workers mark concurrently; readers inspect them after the crew drains.
+type Checkpoint struct {
+	landed []atomic.Bool
+}
+
+// Reset sizes the checkpoint for an n-step plan with every step unmarked,
+// reusing storage across repair rounds.
+func (c *Checkpoint) Reset(n int) {
+	if cap(c.landed) < n {
+		c.landed = make([]atomic.Bool, n)
+		return
+	}
+	c.landed = c.landed[:n]
+	for i := range c.landed {
+		c.landed[i].Store(false)
+	}
+}
+
+// Steps returns the number of steps tracked.
+func (c *Checkpoint) Steps() int { return len(c.landed) }
+
+// mark records step i's accumulate as landed. Crew-side.
+func (c *Checkpoint) mark(i int) { c.landed[i].Store(true) }
+
+// Landed reports whether step i's accumulate landed.
+func (c *Checkpoint) Landed(i int) bool { return c.landed[i].Load() }
+
+// LandedCount returns how many steps have landed.
+func (c *Checkpoint) LandedCount() int {
+	n := 0
+	for i := range c.landed {
+		if c.landed[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// ExecutePlanCheckpointed is ExecutePlan with progress checkpointing:
+// ckpt is Reset to the plan's length and records every step whose
+// accumulate lands, so on a fatal error the caller can replay exactly the
+// unfinished steps. Same synchronization and error contract as
+// ExecutePlan.
+func ExecutePlanCheckpointed(pe rt.PE, prob Problem, plan Plan, cfg Config, ckpt *Checkpoint) error {
+	cfg = cfg.withDefaults()
+	ckpt.Reset(len(plan.Steps))
+	sched := planFetchSchedule(plan, cfg.CacheTiles)
+	return executePlanCkpt(pe, prob, plan, &sched, cfg, ckpt)
+}

@@ -3,6 +3,7 @@ package universal
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"slicing/internal/distmat"
 	"slicing/internal/index"
@@ -42,7 +43,15 @@ type PlanKey struct {
 	Stationary Stationary
 	CacheTiles int
 	SubTile    bool
-	A, B, C    MatrixKey
+	// Excluded fingerprints Config.Exclude — the set of ranks the plan
+	// assigns no work (their ops are adopted by the survivors). 0 means no
+	// exclusions, so plans serialized before the recovery subsystem existed
+	// deserialize to the same key they were compiled under. Distinct
+	// excluded sets get distinct keys, which is what makes repair plans
+	// ordinary PlanCache entries: a second crash of the same rank hits the
+	// cache instead of re-running the slicing pass.
+	Excluded uint64
+	A, B, C  MatrixKey
 }
 
 const (
@@ -89,15 +98,62 @@ func PlanKeyOf(prob Problem, cfg Config) PlanKey {
 	if ct <= 0 {
 		ct = DefaultCacheTiles
 	}
+	p := prob.C.World().NumPE()
 	return PlanKey{
-		NumPE:      prob.C.World().NumPE(),
+		NumPE:      p,
 		Stationary: prob.ResolveStationary(cfg.Stationary),
 		CacheTiles: ct,
 		SubTile:    cfg.SubTileFetch,
+		Excluded:   excludedHashOf(cfg.Exclude, p),
 		A:          matrixKeyOf(prob.A),
 		B:          matrixKeyOf(prob.B),
 		C:          matrixKeyOf(prob.C),
 	}
+}
+
+// excludedHashOf canonicalizes an excluded-rank set into the key's
+// Excluded fingerprint: 0 for the empty set, otherwise an FNV-1a fold of
+// the sorted distinct ranks, so permutations and duplicates spell the same
+// key. Out-of-range ranks panic — an exclusion list that names ranks the
+// world doesn't have is a membership bug, not a cache miss. Allocation-free
+// when exclude is already sorted and duplicate-free (the form
+// runtime.Membership.Excluded returns), keeping PlanKeyOf off the serving
+// hot path's allocation budget.
+func excludedHashOf(exclude []int, p int) uint64 {
+	if len(exclude) == 0 {
+		return 0
+	}
+	sorted := true
+	for i, r := range exclude {
+		if r < 0 || r >= p {
+			panic(fmt.Sprintf("universal: excluded rank %d outside world of %d PEs", r, p))
+		}
+		if i > 0 && r <= exclude[i-1] {
+			sorted = false
+		}
+	}
+	if !sorted {
+		exclude = normalizeExclude(exclude)
+	}
+	h := uint64(fnvOffset64)
+	for _, r := range exclude {
+		h = fnvMix(h, uint64(r))
+	}
+	return h
+}
+
+// normalizeExclude returns the sorted duplicate-free copy of exclude.
+func normalizeExclude(exclude []int) []int {
+	out := append([]int(nil), exclude...)
+	sort.Ints(out)
+	n := 0
+	for i, r := range out {
+		if i == 0 || r != out[n-1] {
+			out[n] = r
+			n++
+		}
+	}
+	return out[:n]
 }
 
 // CompiledPlan is the immutable, world-level compiled artifact of the §4.1
@@ -132,6 +188,13 @@ func (cp *CompiledPlan) Steps() int {
 // CompilePlans runs the slicing pass for every rank and freezes the result
 // into a CompiledPlan. Rank plans are independent, so they fan out across a
 // worker pool exactly like the estimator's plan replay.
+//
+// When cfg.Exclude names ranks, the compiled plan covers the shrunken
+// world: excluded ranks get empty plans (they still barrier, so the
+// collective shape is unchanged) and their ops are adopted round-robin by
+// the survivors with locality re-resolved per adopter — the plan-repair
+// primitive the recovery subsystem builds on. At least one rank must
+// survive.
 func CompilePlans(prob Problem, cfg Config) *CompiledPlan {
 	key := PlanKeyOf(prob, cfg)
 	cp := &CompiledPlan{
@@ -139,11 +202,104 @@ func CompilePlans(prob Problem, cfg Config) *CompiledPlan {
 		Plans:  make([]Plan, key.NumPE),
 		scheds: make([]fetchSchedule, key.NumPE),
 	}
+	if key.Excluded == 0 {
+		rt.ForEachIndex(key.NumPE, func(rank int) {
+			cp.Plans[rank] = BuildPlanMode(rank, prob, key.Stationary, key.CacheTiles, key.SubTile)
+			cp.scheds[rank] = planFetchSchedule(cp.Plans[rank], key.CacheTiles)
+		})
+		return cp
+	}
+	excl := normalizeExclude(cfg.Exclude)
+	dead := make([]bool, key.NumPE)
+	for _, r := range excl {
+		dead[r] = true
+	}
+	survivors := make([]int, 0, key.NumPE-len(excl))
+	for r := 0; r < key.NumPE; r++ {
+		if !dead[r] {
+			survivors = append(survivors, r)
+		}
+	}
+	if len(survivors) == 0 {
+		panic(fmt.Sprintf("universal: all %d ranks excluded", key.NumPE))
+	}
 	rt.ForEachIndex(key.NumPE, func(rank int) {
-		cp.Plans[rank] = BuildPlanMode(rank, prob, key.Stationary, key.CacheTiles, key.SubTile)
+		if dead[rank] {
+			cp.Plans[rank] = Plan{Rank: rank, Stationary: key.Stationary}
+		} else {
+			ops := GenerateOps(rank, prob, key.Stationary)
+			ops = append(ops, adoptedOps(rank, prob, key.Stationary, excl, survivors)...)
+			cp.Plans[rank] = buildStepsFromOps(rank, prob, key.Stationary, ops, key.CacheTiles, key.SubTile)
+		}
 		cp.scheds[rank] = planFetchSchedule(cp.Plans[rank], key.CacheTiles)
 	})
 	return cp
+}
+
+// adoptedOps returns the slice of the excluded ranks' ops that rank adopts
+// under the deterministic round-robin redistribution: the excluded ranks'
+// generated ops, concatenated in (excluded rank, op index) order, dealt
+// one at a time across the sorted survivors. Every rank — with no
+// communication — computes the same global deal, which is what lets both
+// the whole-world compile above and the per-rank repair path hand out
+// consistent assignments. Ops adopted by a survivor in another replica
+// group still land each elementary product exactly once: A/B replica
+// reads are identical copies, and ReduceReplicas sums whichever replica
+// slot an accumulate reached into the origin.
+func adoptedOps(rank int, prob Problem, stat Stationary, excl, survivors []int) []LocalOp {
+	pos := -1
+	for i, s := range survivors {
+		if s == rank {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil
+	}
+	var out []LocalOp
+	next := 0
+	for _, f := range excl {
+		for _, op := range GenerateOps(f, prob, stat) {
+			if next%len(survivors) == pos {
+				out = append(out, op)
+			}
+			next++
+		}
+	}
+	return out
+}
+
+// buildRankPlan builds one rank's plan honoring cfg.Exclude — the
+// per-rank (cacheless) counterpart of CompilePlans' exclusion path, used
+// by MultiplyAccumulate when no plan cache is configured. cfg must
+// already have defaults applied.
+func buildRankPlan(rank int, prob Problem, cfg Config) Plan {
+	if len(cfg.Exclude) == 0 {
+		return BuildPlanMode(rank, prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
+	}
+	p := prob.C.World().NumPE()
+	excl := normalizeExclude(cfg.Exclude)
+	stat := prob.ResolveStationary(cfg.Stationary)
+	dead := make([]bool, p)
+	for _, r := range excl {
+		if r < 0 || r >= p {
+			panic(fmt.Sprintf("universal: excluded rank %d outside world of %d PEs", r, p))
+		}
+		dead[r] = true
+	}
+	if dead[rank] {
+		return Plan{Rank: rank, Stationary: stat}
+	}
+	survivors := make([]int, 0, p-len(excl))
+	for r := 0; r < p; r++ {
+		if !dead[r] {
+			survivors = append(survivors, r)
+		}
+	}
+	ops := GenerateOps(rank, prob, stat)
+	ops = append(ops, adoptedOps(rank, prob, stat, excl, survivors)...)
+	return buildStepsFromOps(rank, prob, stat, ops, cfg.CacheTiles, cfg.SubTileFetch)
 }
 
 // compiledPlanJSON is the serialized form: the key and the step schedules.
@@ -313,7 +469,7 @@ func ExecuteCompiledBatch(pe rt.PE, probs []Problem, cps []*CompiledPlan, cfg Co
 	tasks, wg := startChainCrew(pe, cfg, &box)
 	finishers := make([]func(), len(cps))
 	for i, cp := range cps {
-		finishers[i] = feedPlanSched(pe, probs[i], cp.Plans[rank], &cp.scheds[rank], cfg, tasks, &box)
+		finishers[i] = feedPlanSched(pe, probs[i], cp.Plans[rank], &cp.scheds[rank], cfg, tasks, &box, nil)
 	}
 	close(tasks)
 	wg.Wait()

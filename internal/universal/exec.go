@@ -61,6 +61,16 @@ type Config struct {
 	// backends: per-op attempts, backoff, and the per-op deadline
 	// (docs/RESILIENCE.md). The zero value selects the defaults.
 	Retry RetryConfig
+	// Exclude names ranks this multiply assigns no work — the shrunken
+	// world of PE-loss recovery (docs/RESILIENCE.md). Excluded ranks still
+	// call the collective and participate in its barriers and reductions
+	// (their memory stays reachable); their ops are adopted round-robin by
+	// the surviving ranks. Entries must be valid ranks and at least one
+	// rank must survive. The set is part of the PlanKey, so exclusion
+	// plans are ordinary PlanCache entries; pass it sorted and
+	// duplicate-free (runtime.Membership.Excluded's form) to keep
+	// PlanKeyOf allocation-free.
+	Exclude []int
 }
 
 // DefaultConfig mirrors the paper's direct-execution settings: prefetch
@@ -124,7 +134,7 @@ func MultiplyAccumulate(pe rt.PE, prob Problem, cfg Config) (Stationary, error) 
 		err = executePlanSched(pe, prob, cp.Plans[rank], &cp.scheds[rank], cfg)
 		stat = cp.Key.Stationary
 	} else {
-		plan := BuildPlanMode(pe.Rank(), prob, cfg.Stationary, cfg.CacheTiles, cfg.SubTileFetch)
+		plan := buildRankPlan(pe.Rank(), prob, cfg)
 		sched := planFetchSchedule(plan, cfg.CacheTiles)
 		err = executePlanSched(pe, prob, plan, &sched, cfg)
 		stat = plan.Stationary
@@ -217,7 +227,15 @@ func startChainCrew(pe rt.PE, cfg Config, box *errBox) (chan<- chainTask, *sync.
 			ret := newRetrier(cfg.Retry, seed)
 			for t := range tasks {
 				if box.err() == nil {
-					box.set(gemmAccumulateChain(pe, t.prob, t.op, &t.ops.a, &t.ops.b, cfg.Pool, cfg.KernelWorkers, &ret))
+					err := gemmAccumulateChain(pe, t.prob, t.op, &t.ops.a, &t.ops.b, cfg.Pool, cfg.KernelWorkers, &ret)
+					if err == nil && t.ckpt != nil {
+						// The chain's single accumulate landed (a failed op
+						// moves no data, so this is exactly the step's C
+						// contribution becoming durable): checkpoint it at
+						// the same point the step's slot references retire.
+						t.ckpt.mark(t.step)
+					}
+					box.set(err)
 				}
 				if t.aSlot != nil {
 					t.aSlot.release()
@@ -244,13 +262,22 @@ func startChainCrew(pe rt.PE, cfg Config, box *errBox) (chan<- chainTask, *sync.
 // collectives around it stay fault-free so ranks never diverge on
 // barrier counts.
 func executePlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config) error {
+	return executePlanCkpt(pe, prob, plan, sched, cfg, nil)
+}
+
+// executePlanCkpt is executePlanSched with an optional step checkpoint:
+// with ckpt non-nil (already Reset to the plan's length) every step whose
+// accumulate lands is marked, so after a fatal fault the caller knows
+// exactly which C contributions are durable and which steps a repair plan
+// must replay.
+func executePlanCkpt(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config, ckpt *Checkpoint) error {
 	rt.PushFaultScope(pe)
 	defer rt.PopFaultScope(pe)
 	rt.SetOpDeadline(pe, cfg.Retry.OpTimeout)
 	defer rt.SetOpDeadline(pe, 0)
 	var box errBox
 	tasks, wg := startChainCrew(pe, cfg, &box)
-	finish := feedPlanSched(pe, prob, plan, sched, cfg, tasks, &box)
+	finish := feedPlanSched(pe, prob, plan, sched, cfg, tasks, &box, ckpt)
 	close(tasks)
 	wg.Wait()
 	finish()
@@ -272,7 +299,7 @@ func executePlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, c
 // Already-issued fetches are safe to abandon — every backend completes
 // the data movement of an async get at issue time — so finish can return
 // their buffers to the pool unconditionally.
-func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config, tasks chan<- chainTask, box *errBox) (finish func()) {
+func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg Config, tasks chan<- chainTask, box *errBox, ckpt *Checkpoint) (finish func()) {
 	if box.err() != nil {
 		// A fused sibling plan already failed; skip this one entirely.
 		return func() {}
@@ -418,7 +445,7 @@ func feedPlanSched(pe rt.PE, prob Problem, plan Plan, sched *fetchSchedule, cfg 
 			break
 		}
 
-		tasks <- chainTask{prob: prob, op: s.Op, ops: ops, aSlot: aSlot, bSlot: bSlot}
+		tasks <- chainTask{prob: prob, op: s.Op, ops: ops, aSlot: aSlot, bSlot: bSlot, ckpt: ckpt, step: i}
 
 		// Sub-tile fetches are single-use: drop their residency reference
 		// now that the chain holds its own.
@@ -471,6 +498,10 @@ type chainTask struct {
 	op           LocalOp
 	ops          *stepOperands
 	aSlot, bSlot *tileSlot
+	// ckpt/step checkpoint the chain's accumulate when it lands (nil = no
+	// checkpointing; the common fault-free entry points pay nothing).
+	ckpt *Checkpoint
+	step int
 }
 
 // acquireSub resolves one operand in sub-tile mode, filling view: a strided

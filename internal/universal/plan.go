@@ -239,9 +239,18 @@ func BuildPlan(rank int, p Problem, stat Stationary, cacheTiles int) Plan {
 // whole tiles through the LRU cache — more bytes, amortized across the ops
 // sharing a tile. The tradeoff is benchmarked in BenchmarkFetchModeAblation.
 func BuildPlanMode(rank int, p Problem, stat Stationary, cacheTiles int, subTile bool) Plan {
-	planBuilds.Add(1)
 	resolved := p.ResolveStationary(stat)
-	ops := GenerateOps(rank, p, resolved)
+	return buildStepsFromOps(rank, p, resolved, GenerateOps(rank, p, resolved), cacheTiles, subTile)
+}
+
+// buildStepsFromOps lowers an explicit op list into a Step sequence with
+// locality, fetch decisions, and byte counts resolved for the executing
+// rank. BuildPlanMode feeds it the rank's own generated ops; the recovery
+// path feeds it ops adopted from a failed rank (plan repair), where the
+// adopting rank's own replica placement — not the dead rank's — must
+// drive the source/destination resolution. stat must already be resolved.
+func buildStepsFromOps(rank int, p Problem, resolved Stationary, ops []LocalOp, cacheTiles int, subTile bool) Plan {
+	planBuilds.Add(1)
 	cache := newTileLRU(cacheTiles)
 	steps := make([]Step, 0, len(ops))
 	for _, op := range ops {
